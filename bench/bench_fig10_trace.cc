@@ -1,0 +1,106 @@
+// Figure 10 — Experiment B.2: trace-driven upload/download performance.
+//
+// Replays seven consecutive daily backups for nine users through the full
+// REED stack (chunk reconstruction from trace records, per paper §VI-B;
+// OPRF keygen with cache cleared between users; enhanced encryption; 1 Gb/s
+// simulated link), then downloads every backup of the last day.
+//
+// Paper shapes: day-1 upload is slow (~13 MB/s; every user misses the key
+// cache), subsequent days jump to ~105 MB/s (cache hits + dedup);
+// downloads sit slightly below the synthetic-data speeds and degrade
+// gently as chunk fragmentation spreads later backups across containers
+// (modeled here with a per-container-switch seek cost on server reads).
+//
+//   ./bench_fig10_trace [--full]
+#include "bench/bench_util.h"
+#include "trace/trace.h"
+
+using namespace reed;
+using namespace reed::bench;
+
+int main(int argc, char** argv) {
+  bool full = HasFlag(argc, argv, "--full");
+
+  trace::TraceOptions topts;
+  topts.num_users = 9;
+  topts.num_days = 7;  // paper: March 19-25, 2013
+  topts.user_snapshot_bytes = full ? (256ull << 20) : (8ull << 20);
+  topts.daily_mod_rate = 0.010;
+  topts.daily_growth_rate = 0.002;
+  topts.cross_user_share = 0.30;
+  topts.seed = 319;
+
+  std::printf("=== Figure 10 / Experiment B.2: trace-driven upload/download ===\n");
+  std::printf("%zu users x %zu days, %llu MB/user-day; enhanced encryption;"
+              " key cache cleared per user; 1 Gb/s link\n\n",
+              topts.num_users, topts.num_days,
+              static_cast<unsigned long long>(topts.user_snapshot_bytes >> 20));
+
+  core::SystemOptions sys_opts = PaperSystem(10);
+  // 7200 RPM disk model: seek charged per container switch during restores
+  // — the mechanism behind the paper's gentle download degradation
+  // (chunk fragmentation across daily backups).
+  sys_opts.disk_seek_seconds = 8e-3;
+  core::ReedSystem system(sys_opts);
+  // One client per user (the paper uploads "on behalf of all users" from
+  // one machine, clearing the key cache between users — same effect).
+  std::vector<std::unique_ptr<client::ReedClient>> clients;
+  for (std::size_t u = 0; u < topts.num_users; ++u) {
+    std::string name = "user-" + std::to_string(u);
+    system.RegisterUser(name);
+    client::ClientOptions copts;
+    copts.scheme = aont::Scheme::kEnhanced;
+    copts.avg_chunk_size = 8192;
+    copts.rng_seed = 100 + u;
+    clients.push_back(system.CreateClient(name, copts));
+  }
+
+  trace::TraceGenerator gen(topts);
+  Table t({"day", "upload_mbps", "download_mbps"});
+
+  // Paper order: all days of user 1, then user 2, ... with the cache
+  // cleared per user. Equivalent (and reported per-day as the figure
+  // does): iterate days outer, users inner, with per-user clients whose
+  // caches persist across days.
+  std::vector<std::vector<Bytes>> last_day_data(topts.num_users);
+  for (std::size_t day = 0; day < topts.num_days; ++day) {
+    std::uint64_t day_bytes = 0;
+    double up_secs = 0;
+    for (std::size_t u = 0; u < topts.num_users; ++u) {
+      auto snap = trace::MaterializeSnapshot(gen.GetSnapshot(u, day));
+      std::string file_id =
+          "backup/u" + std::to_string(u) + "/d" + std::to_string(day);
+      Stopwatch sw;
+      (void)clients[u]->UploadChunked(file_id, snap.data, snap.refs,
+                                      {"user-" + std::to_string(u)});
+      up_secs += sw.ElapsedSeconds();
+      day_bytes += snap.data.size();
+      if (day + 1 == topts.num_days) {
+        last_day_data[u].push_back(std::move(snap.data));
+      }
+    }
+    // Download the day's backups back (paper downloads after uploading).
+    double down_secs = 0;
+    std::uint64_t down_bytes = 0;
+    for (std::size_t u = 0; u < topts.num_users; ++u) {
+      std::string file_id =
+          "backup/u" + std::to_string(u) + "/d" + std::to_string(day);
+      Stopwatch sw;
+      Bytes data = clients[u]->Download(file_id);
+      down_secs += sw.ElapsedSeconds();
+      down_bytes += data.size();
+    }
+    t.Row({Fmt("%.0f", static_cast<double>(day + 1)),
+           Fmt("%.1f", MbPerSec(day_bytes, up_secs)),
+           Fmt("%.1f", MbPerSec(down_bytes, down_secs))});
+  }
+
+  auto stats = system.TotalStats();
+  std::printf("\nstored: %.1f MB physical + %.1f MB stubs for %.1f MB logical\n",
+              stats.physical_bytes / 1048576.0, stats.stub_bytes / 1048576.0,
+              stats.logical_bytes / 1048576.0);
+  std::printf("\npaper: upload 13.1 MB/s on day 1, ~105 MB/s after; download"
+              " slightly below synthetic speeds,\n       degrading gently from"
+              " chunk fragmentation across daily backups.\n");
+  return 0;
+}

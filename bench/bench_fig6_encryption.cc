@@ -1,0 +1,91 @@
+// Figure 6 — Experiment A.2: chunk-encryption performance.
+//
+// Speed of the basic vs enhanced REED encryption schemes as a function of
+// average chunk size, with 2 encryption threads (paper setup). Keys are
+// pre-fetched, as in the paper ("suppose that the client has created
+// chunks ... and obtained MLE keys").
+//
+// Paper shapes: both schemes speed up with chunk size; basic is ~20-25%
+// faster than enhanced (one fewer encryption pass); both comfortably
+// exceed a 1 Gb/s link, so encryption is not the upload bottleneck.
+//
+//   ./bench_fig6_encryption [--full]
+#include "aont/reed_cipher.h"
+#include "bench/bench_util.h"
+#include "chunk/chunker.h"
+#include "crypto/aes.h"
+#include "crypto/sha256.h"
+#include "util/thread_pool.h"
+
+using namespace reed;
+using namespace reed::bench;
+
+namespace {
+
+double MeasureEncryptionOnce(aont::Scheme scheme, ByteSpan data,
+                             std::size_t avg_chunk_size, std::size_t threads) {
+  chunk::RabinChunker chunker(chunk::PaperChunking(avg_chunk_size));
+  auto refs = chunker.Split(data);
+  // Derive per-chunk MLE keys locally (already-fetched keys, per paper).
+  std::vector<Bytes> keys(refs.size());
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    keys[i] = crypto::Sha256::HashToBytes(
+        data.subspan(refs[i].offset, refs[i].length));
+  }
+
+  aont::ReedCipher cipher(scheme);
+  ThreadPool pool(threads);
+  std::vector<aont::SealedChunk> out(refs.size());
+  Stopwatch sw;
+  pool.ParallelFor(refs.size(), [&](std::size_t i) {
+    out[i] = cipher.Encrypt(data.subspan(refs[i].offset, refs[i].length),
+                            keys[i]);
+  });
+  double secs = sw.ElapsedSeconds();
+  return MbPerSec(data.size(), secs);
+}
+
+// Best of three runs — the box the bench runs on may be time-shared, and
+// throughput benches want the least-disturbed sample.
+double MeasureEncryption(aont::Scheme scheme, ByteSpan data,
+                         std::size_t avg_chunk_size, std::size_t threads) {
+  double best = 0;
+  for (int i = 0; i < 3; ++i) {
+    best = std::max(best,
+                    MeasureEncryptionOnce(scheme, data, avg_chunk_size, threads));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = HasFlag(argc, argv, "--full");
+  std::size_t file_size = full ? (2ull << 30) : (128ull << 20);
+  std::printf("=== Figure 6 / Experiment A.2: encryption speed ===\n");
+  std::printf("file: %zu MB unique chunks; 2 encryption threads; hardware "
+              "AES/SHA: %s/%s\n\n",
+              file_size >> 20,
+              crypto::Aes256::UsingHardware() ? "AES-NI" : "portable",
+              crypto::Sha256::UsingHardware() ? "SHA-NI" : "portable");
+
+  Bytes data = UniqueData(file_size, 6);
+  // Warm-up: touch the buffer and spin up thread-pool/code paths so the
+  // first table cell is not penalized.
+  (void)MeasureEncryption(aont::Scheme::kBasic,
+                          ByteSpan(data.data(), std::min<std::size_t>(
+                                                    data.size(), 32u << 20)),
+                          8 * 1024, 2);
+
+  Table t({"chunk_size_kb", "basic_mbps", "enhanced_mbps", "basic_adv"});
+  for (std::size_t kb : {2, 4, 8, 16}) {
+    double basic = MeasureEncryption(aont::Scheme::kBasic, data, kb * 1024, 2);
+    double enhanced =
+        MeasureEncryption(aont::Scheme::kEnhanced, data, kb * 1024, 2);
+    t.Row({Fmt("%.0f", static_cast<double>(kb)), Fmt("%.1f", basic),
+           Fmt("%.1f", enhanced), Fmt("%.0f%%", 100.0 * (basic / enhanced - 1.0))});
+  }
+  std::printf("\npaper (8 KB): basic 203 MB/s vs enhanced 155 MB/s (24%% faster);"
+              " both rise with chunk size and exceed the 1 Gb/s network.\n");
+  return 0;
+}

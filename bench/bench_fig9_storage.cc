@@ -1,0 +1,91 @@
+// Figure 9 — Experiment B.1: storage overhead on the (synthetic) FSL-style
+// backup trace.
+//
+// (a) cumulative logical data vs physical+stub data over backup days
+// (b) cumulative physical (deduplicated trimmed packages) vs stub data
+//
+// Paper shapes: logical data grows by hundreds of GB per day while
+// physical+stub grow by a sliver (5.52 GB/day avg; 98.6% total saving
+// after 147 days); stub data cannot be deduplicated, so it grows linearly
+// and ends the run comparable in size to the physical data (380 GB vs
+// 432 GB in the paper).
+//
+// Substitution (DESIGN.md §3): the FSL-Homes 2013 dataset is replaced by
+// the synthetic trace generator at laptop scale; per-day logical bytes are
+// ~4 MB/user instead of ~50 GB/user, every ratio is preserved.
+//
+//   ./bench_fig9_storage [--full]
+#include <unordered_set>
+
+#include "aont/reed_cipher.h"
+#include "bench/bench_util.h"
+#include "trace/trace.h"
+
+using namespace reed;
+using namespace reed::bench;
+
+int main(int argc, char** argv) {
+  bool full = HasFlag(argc, argv, "--full");
+
+  trace::TraceOptions topts;
+  topts.num_users = 9;
+  topts.num_days = full ? 147 : 147;  // full day count either way
+  topts.user_snapshot_bytes = full ? (64ull << 20) : (4ull << 20);
+  topts.daily_mod_rate = 0.010;
+  topts.daily_growth_rate = 0.002;
+  topts.cross_user_share = 0.30;
+  topts.seed = 2013;
+
+  std::printf("=== Figure 9 / Experiment B.1: storage overhead ===\n");
+  std::printf("synthetic FSL-style trace: %zu users x %zu days, %llu MB/user-day,"
+              " 1.0%%/day churn, 0.2%%/day growth, 30%% cross-user sharing\n",
+              topts.num_users, topts.num_days,
+              static_cast<unsigned long long>(topts.user_snapshot_bytes >> 20));
+  std::printf("stub size 64 B per 8 KB-average chunk; dedup on trimmed-package"
+              " fingerprints\n\n");
+
+  // Dedup accounting at trace level: the REED trimmed package for a chunk
+  // is (chunk + 32 B key/canary + 32 B tail - 64 B stub) = chunk-sized, so
+  // physical bytes equal unique chunk bytes and stub bytes are
+  // 64 B x logical chunks. (The integration tests verify this equivalence
+  // against the full encrypt pipeline; here it lets the 147-day run finish
+  // quickly at any scale.)
+  trace::TraceGenerator gen(topts);
+  std::unordered_set<std::uint64_t> seen;
+  std::uint64_t logical = 0, physical = 0, stub = 0;
+
+  Table t({"day", "logical_gb", "physical_gb", "stub_gb", "saving_pct"});
+  const double kGB = 1024.0 * 1024.0 * 1024.0;
+  for (std::size_t day = 0; day < topts.num_days; ++day) {
+    for (std::size_t user = 0; user < topts.num_users; ++user) {
+      trace::Snapshot snap = gen.GetSnapshot(user, day);
+      for (const auto& rec : snap) {
+        logical += rec.size;
+        stub += aont::kDefaultStubSize;
+        if (seen.insert(rec.fingerprint48).second) {
+          physical += rec.size;  // trimmed package ≈ chunk size (see above)
+        }
+      }
+    }
+    bool report = day == 0 || (day + 1) % 21 == 0 || day + 1 == topts.num_days;
+    if (report) {
+      double saving = 100.0 * (1.0 - static_cast<double>(physical + stub) /
+                                         static_cast<double>(logical));
+      t.Row({Fmt("%.0f", static_cast<double>(day + 1)),
+             Fmt("%.3f", logical / kGB), Fmt("%.3f", physical / kGB),
+             Fmt("%.3f", stub / kGB), Fmt("%.2f", saving)});
+    }
+  }
+
+  double total_saving = 100.0 * (1.0 - static_cast<double>(physical + stub) /
+                                           static_cast<double>(logical));
+  std::printf("\nfinal: %.2f GB logical -> %.3f GB physical + %.3f GB stub"
+              " (saving %.2f%%)\n",
+              logical / kGB, physical / kGB, stub / kGB, total_saving);
+  std::printf("stub/physical ratio: %.2f (paper: 380.14/431.89 = 0.88)\n",
+              static_cast<double>(stub) / physical);
+  std::printf("\npaper: 57,548 GB logical -> 812 GB physical+stub after 147 days"
+              " (98.6%% saving);\n       stub data grows linearly and cannot be"
+              " deduplicated.\n");
+  return 0;
+}

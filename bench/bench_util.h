@@ -1,0 +1,76 @@
+// Shared helpers for the figure-reproduction benches: testbed-shaped system
+// construction, synthetic data, and table printing in the same units the
+// paper reports (MB/s, seconds, GB).
+//
+// Every bench accepts --full to run at the paper's original scale
+// (2 GB files, 147-day trace); the default scale finishes on a laptop core
+// in minutes and preserves every reported *shape*.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/reed_system.h"
+#include "crypto/random.h"
+#include "util/stopwatch.h"
+
+namespace reed::bench {
+
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+// The paper's LAN testbed: 1 Gb/s switch; per-message latency folded into
+// the link RTT (includes protocol/TLS overhead, which is why it is larger
+// than a raw ping).
+inline core::SystemOptions PaperSystem(std::uint64_t seed = 2016) {
+  core::SystemOptions opts;
+  opts.key_manager.rsa_bits = 1024;  // §V: 1024-bit RSA OPRF
+  opts.num_data_servers = 4;         // §VI: 4 data + 1 key server
+  opts.derivation_key_bits = 1024;
+  opts.bandwidth_bps = 1e9;
+  opts.rtt_seconds = 1e-3;
+  opts.rng_seed = seed;
+  return opts;
+}
+
+// Globally-unique-chunk synthetic data (paper §VI-A), deterministic.
+inline Bytes UniqueData(std::size_t size, std::uint64_t seed) {
+  crypto::DeterministicRng rng(seed);
+  return rng.Generate(size);
+}
+
+// Table printer: fixed-width columns, matching row/series structure of the
+// paper's figures so outputs diff cleanly against EXPERIMENTS.md.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const auto& h : headers_) std::printf("%14s", h.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < headers_.size(); ++i) std::printf("%14s", "------------");
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    for (const auto& c : cells) std::printf("%14s", c.c_str());
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace reed::bench

@@ -1,0 +1,85 @@
+// Backup rotation: the workload REED's intro motivates — a user's machine
+// pushing daily backup snapshots to encrypted cloud storage. Uses the
+// FSL-style synthetic trace to model day-over-day churn, shows how the
+// MLE key cache and dedup interact across a week, and finishes with a
+// scheduled key rotation ("every cryptographic key has a lifetime", §II-B).
+//
+//   ./examples/backup_rotation
+#include <cstdio>
+
+#include "core/reed_system.h"
+#include "trace/trace.h"
+#include "util/stopwatch.h"
+
+using namespace reed;
+
+int main() {
+  std::printf("=== REED backup rotation (1 user, 7 daily snapshots) ===\n\n");
+
+  core::SystemOptions sys_opts;
+  sys_opts.rng_seed = 7;
+  core::ReedSystem system(sys_opts);
+  system.RegisterUser("backup-agent");
+  auto agent = system.CreateClient("backup-agent", client::ClientOptions{});
+
+  trace::TraceOptions topts;
+  topts.num_users = 1;
+  topts.num_days = 7;
+  topts.user_snapshot_bytes = 24 << 20;  // 24 MB working set
+  topts.daily_mod_rate = 0.02;           // 2% of files touched per day
+  topts.daily_growth_rate = 0.01;        // 1% growth per day
+  topts.seed = 2013;
+  trace::TraceGenerator gen(topts);
+
+  std::printf("%-6s %10s %9s %9s %10s %11s %10s\n", "day", "logical",
+              "chunks", "dup%", "keycache%", "stored(MB)", "MB/s");
+  std::uint64_t total_logical = 0;
+  for (std::size_t day = 0; day < topts.num_days; ++day) {
+    auto snap = trace::MaterializeSnapshot(gen.GetSnapshot(0, day));
+    auto before = agent->key_client().stats();
+    Stopwatch sw;
+    auto result = agent->UploadChunked("backup/day-" + std::to_string(day),
+                                       snap.data, snap.refs, {"backup-agent"});
+    double secs = sw.ElapsedSeconds();
+    auto after = agent->key_client().stats();
+    std::uint64_t hits = after.cache_hits - before.cache_hits;
+    std::uint64_t misses = after.cache_misses - before.cache_misses;
+    total_logical += result.logical_bytes;
+    std::printf("%-6zu %8.1fMB %9zu %8.1f%% %9.1f%% %10.2f %10.1f\n", day,
+                result.logical_bytes / 1048576.0, result.chunk_count,
+                100.0 * result.duplicate_chunks / result.chunk_count,
+                100.0 * hits / std::max<std::uint64_t>(1, hits + misses),
+                result.stored_bytes / 1048576.0,
+                MbPerSec(result.logical_bytes, secs));
+  }
+
+  auto stats = system.TotalStats();
+  std::printf("\nweek total: %.1f MB logical -> %.1f MB physical + %.2f MB stubs"
+              " (saving %.1f%%)\n",
+              total_logical / 1048576.0, stats.physical_bytes / 1048576.0,
+              stats.stub_bytes / 1048576.0,
+              100.0 * (1.0 - static_cast<double>(stats.physical_bytes +
+                                                 stats.stub_bytes) /
+                                 total_logical));
+
+  // Scheduled key rotation over every snapshot of the week: lightweight
+  // because only stub files are touched.
+  std::printf("\nrotating file keys for all 7 snapshots (active revocation)...\n");
+  Stopwatch sw;
+  std::uint64_t stub_bytes = 0;
+  for (std::size_t day = 0; day < topts.num_days; ++day) {
+    auto r = agent->Rekey("backup/day-" + std::to_string(day),
+                          {"backup-agent"}, client::RevocationMode::kActive);
+    stub_bytes += r.stub_bytes;
+  }
+  std::printf("rotated 7 file keys in %.2f s (%.2f MB of stubs re-encrypted, "
+              "0 bytes of chunk data moved)\n",
+              sw.ElapsedSeconds(), stub_bytes / 1048576.0);
+
+  // Verify the latest snapshot still restores after rotation.
+  auto last = trace::MaterializeSnapshot(gen.GetSnapshot(0, topts.num_days - 1));
+  Bytes restored = agent->Download("backup/day-6");
+  std::printf("restore check after rotation: %s\n",
+              restored == last.data ? "OK" : "MISMATCH!");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Ciphertext-policy attribute-based encryption (BSW07), from scratch over
+// our Type-A pairing — the primitive REED uses to wrap per-file key states
+// so that exactly the authorized users can recover the file key (§IV-C).
+//
+// Scheme (Bethencourt–Sahai–Waters, IEEE S&P 2007):
+//   Setup:    α, β ← Z_r.  PK = (g, h=g^β, e(g,g)^α),  MK = (β, g^α)
+//   KeyGen(S): t ← Z_r.  D = g^{(α+t)/β};  per attribute j ∈ S:
+//              t_j ← Z_r, D_j = g^t · H(j)^{t_j},  D'_j = g^{t_j}
+//   Encrypt(M ∈ GT, T): secret s shared down the access tree T with
+//              per-node polynomials; C̃ = M·e(g,g)^{αs}, C = h^s, and per
+//              leaf y: C_y = g^{λ_y}, C'_y = H(att(y))^{λ_y}
+//   Decrypt:  pair leaf components, recombine shares in the exponent with
+//              Lagrange coefficients, divide out e(C, D).
+//
+// EncryptBytes/DecryptBytes add the standard hybrid layer: a random GT
+// element is ABE-encrypted and hashed into an AES-256-CTR + HMAC key pair
+// protecting the payload.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "abe/policy.h"
+#include "crypto/random.h"
+#include "pairing/pairing.h"
+
+namespace reed::abe {
+
+using bigint::BigInt;
+using pairing::Fp2;
+using pairing::G1Point;
+using pairing::TypeAPairing;
+
+struct PublicKey {
+  G1Point g;        // group generator
+  G1Point h;        // g^β
+  Fp2 e_gg_alpha;   // e(g,g)^α
+};
+
+struct MasterKey {
+  BigInt beta;
+  G1Point g_alpha;  // g^α
+};
+
+struct AttributeKey {
+  G1Point d;        // D_j  = g^t · H(j)^{t_j}
+  G1Point d_prime;  // D'_j = g^{t_j}
+};
+
+struct PrivateKey {
+  G1Point d;  // g^{(α+t)/β}
+  std::map<std::string, AttributeKey> components;
+
+  std::vector<std::string> Attributes() const;
+};
+
+struct CiphertextLeaf {
+  G1Point c;        // g^{λ_y}
+  G1Point c_prime;  // H(att(y))^{λ_y}
+};
+
+struct Ciphertext {
+  PolicyNode policy;
+  Fp2 c_tilde;  // M · e(g,g)^{αs}
+  G1Point c;    // h^s
+  // One entry per policy leaf, in DFS order.
+  std::vector<CiphertextLeaf> leaves;
+};
+
+class CpAbe {
+ public:
+  explicit CpAbe(std::shared_ptr<const TypeAPairing> pairing);
+
+  const TypeAPairing& pairing() const { return *pairing_; }
+
+  struct SetupResult {
+    PublicKey pk;
+    MasterKey mk;
+  };
+  SetupResult Setup(crypto::Rng& rng) const;
+
+  PrivateKey KeyGen(const PublicKey& pk, const MasterKey& mk,
+                    const std::vector<std::string>& attributes,
+                    crypto::Rng& rng) const;
+
+  // Core scheme over GT elements.
+  Ciphertext EncryptElement(const PublicKey& pk, const Fp2& message,
+                            const PolicyNode& policy, crypto::Rng& rng) const;
+  // nullopt when the key's attributes do not satisfy the policy.
+  std::optional<Fp2> DecryptElement(const PrivateKey& sk,
+                                    const Ciphertext& ct) const;
+
+  // Hybrid encryption of arbitrary byte strings (ABE + AES-CTR + HMAC).
+  Bytes EncryptBytes(const PublicKey& pk, const PolicyNode& policy,
+                     ByteSpan plaintext, crypto::Rng& rng) const;
+  // Throws Error on unauthorized key or tampered ciphertext.
+  Bytes DecryptBytes(const PrivateKey& sk, ByteSpan blob) const;
+
+  // Serialization (ciphertexts are stored in the cloud key store).
+  Bytes SerializeCiphertext(const Ciphertext& ct) const;
+  Ciphertext DeserializeCiphertext(ByteSpan blob) const;
+  Bytes SerializePrivateKey(const PrivateKey& sk) const;
+  PrivateKey DeserializePrivateKey(ByteSpan blob) const;
+  Bytes SerializePublicKey(const PublicKey& pk) const;
+  PublicKey DeserializePublicKey(ByteSpan blob) const;
+  // Master-key serialization for the attribute authority's state file
+  // (reedctl init-org). Secret material.
+  Bytes SerializeMasterKey(const MasterKey& mk) const;
+  MasterKey DeserializeMasterKey(ByteSpan blob) const;
+
+ private:
+  // H(attribute) with a per-instance memo: attribute points recur across
+  // keygen/encrypt calls (every rekey re-encrypts under user attributes).
+  G1Point AttributePoint(const std::string& attribute) const;
+
+  void ShareSecret(const PolicyNode& node, const BigInt& value,
+                   crypto::Rng& rng, std::vector<BigInt>& leaf_shares) const;
+  std::optional<Fp2> DecryptNode(const PolicyNode& node, const PrivateKey& sk,
+                                 const Ciphertext& ct,
+                                 std::size_t& leaf_index) const;
+
+  std::shared_ptr<const TypeAPairing> pairing_;
+  mutable std::mutex attr_cache_mu_;
+  mutable std::map<std::string, G1Point> attr_cache_;
+};
+
+}  // namespace reed::abe

@@ -1,0 +1,135 @@
+#include "abe/policy.h"
+
+#include <algorithm>
+
+namespace reed::abe {
+
+PolicyNode PolicyNode::Leaf(std::string attribute) {
+  if (attribute.empty()) throw Error("PolicyNode::Leaf: empty attribute");
+  PolicyNode n;
+  n.attribute_ = std::move(attribute);
+  return n;
+}
+
+PolicyNode PolicyNode::Threshold(std::size_t k, std::vector<PolicyNode> children) {
+  if (children.empty() || k == 0 || k > children.size()) {
+    throw Error("PolicyNode::Threshold: invalid threshold");
+  }
+  PolicyNode n;
+  n.threshold_ = k;
+  n.children_ = std::move(children);
+  return n;
+}
+
+PolicyNode PolicyNode::Or(std::vector<PolicyNode> children) {
+  return Threshold(1, std::move(children));
+}
+
+PolicyNode PolicyNode::And(std::vector<PolicyNode> children) {
+  std::size_t k = children.size();
+  return Threshold(k, std::move(children));
+}
+
+PolicyNode PolicyNode::OrOfUsers(const std::vector<std::string>& user_ids) {
+  if (user_ids.empty()) throw Error("PolicyNode::OrOfUsers: no users");
+  std::vector<PolicyNode> leaves;
+  leaves.reserve(user_ids.size());
+  for (const auto& id : user_ids) leaves.push_back(Leaf("user:" + id));
+  if (leaves.size() == 1) return std::move(leaves.front());
+  return Or(std::move(leaves));
+}
+
+std::size_t PolicyNode::LeafCount() const {
+  if (IsLeaf()) return 1;
+  std::size_t total = 0;
+  for (const auto& c : children_) total += c.LeafCount();
+  return total;
+}
+
+bool PolicyNode::IsSatisfiedBy(const std::vector<std::string>& attributes) const {
+  if (IsLeaf()) {
+    return std::find(attributes.begin(), attributes.end(), attribute_) !=
+           attributes.end();
+  }
+  std::size_t satisfied = 0;
+  for (const auto& c : children_) {
+    if (c.IsSatisfiedBy(attributes) && ++satisfied >= threshold_) return true;
+  }
+  return false;
+}
+
+bool PolicyNode::operator==(const PolicyNode& o) const {
+  return attribute_ == o.attribute_ && threshold_ == o.threshold_ &&
+         children_ == o.children_;
+}
+
+void PolicyNode::SerializeTo(Bytes& out) const {
+  if (IsLeaf()) {
+    out.push_back(0);  // tag: leaf
+    AppendU32(out, static_cast<std::uint32_t>(attribute_.size()));
+    Append(out, ToBytes(attribute_));
+  } else {
+    out.push_back(1);  // tag: threshold gate
+    AppendU32(out, static_cast<std::uint32_t>(threshold_));
+    AppendU32(out, static_cast<std::uint32_t>(children_.size()));
+    for (const auto& c : children_) c.SerializeTo(out);
+  }
+}
+
+PolicyNode PolicyNode::Parse(ByteSpan blob, std::size_t& off, int depth) {
+  if (depth > 64) throw Error("PolicyNode: tree too deep");
+  if (off >= blob.size()) throw Error("PolicyNode: truncated");
+  std::uint8_t tag = blob[off++];
+  if (tag == 0) {
+    if (off + 4 > blob.size()) throw Error("PolicyNode: truncated");
+    std::uint32_t len = GetU32(blob.subspan(off));
+    off += 4;
+    if (off + len > blob.size() || len == 0 || len > 4096) {
+      throw Error("PolicyNode: bad attribute length");
+    }
+    std::string attr(reinterpret_cast<const char*>(blob.data() + off), len);
+    off += len;
+    return Leaf(std::move(attr));
+  }
+  if (tag != 1) throw Error("PolicyNode: bad tag");
+  if (off + 8 > blob.size()) throw Error("PolicyNode: truncated");
+  std::uint32_t k = GetU32(blob.subspan(off));
+  std::uint32_t n = GetU32(blob.subspan(off + 4));
+  off += 8;
+  if (n == 0 || n > 1u << 20) throw Error("PolicyNode: bad child count");
+  std::vector<PolicyNode> children;
+  children.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    children.push_back(Parse(blob, off, depth + 1));
+  }
+  return Threshold(k, std::move(children));
+}
+
+PolicyNode PolicyNode::Deserialize(ByteSpan blob) {
+  std::size_t off = 0;
+  PolicyNode n = Parse(blob, off, 0);
+  if (off != blob.size()) throw Error("PolicyNode: trailing bytes");
+  return n;
+}
+
+std::string PolicyNode::ToString() const {
+  if (IsLeaf()) return attribute_;
+  std::string sep;
+  if (threshold_ == 1) {
+    sep = " OR ";
+  } else if (threshold_ == children_.size()) {
+    sep = " AND ";
+  } else {
+    sep = " ?" + std::to_string(threshold_) + "of" +
+          std::to_string(children_.size()) + " ";
+  }
+  std::string out = "(";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i) out += sep;
+    out += children_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace reed::abe

@@ -1,0 +1,60 @@
+// Access-policy trees for CP-ABE (Bethencourt–Sahai–Waters, S&P 2007).
+//
+// Interior nodes are k-of-n threshold gates (OR = 1-of-n, AND = n-of-n);
+// leaves name attributes. REED's policies (paper §IV-C) are a single OR
+// gate over per-user identifier attributes, but the implementation supports
+// arbitrary trees, matching the paper's "we can define more attributes and
+// a more sophisticated access tree structure" remark.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace reed::abe {
+
+class PolicyNode {
+ public:
+  // Default-constructed node is an empty placeholder (not a valid policy);
+  // use the factory functions below to build real trees.
+  PolicyNode() = default;
+
+  // Leaf carrying one attribute.
+  static PolicyNode Leaf(std::string attribute);
+  // k-of-n threshold gate; 1 <= k <= children.size().
+  static PolicyNode Threshold(std::size_t k, std::vector<PolicyNode> children);
+  static PolicyNode Or(std::vector<PolicyNode> children);
+  static PolicyNode And(std::vector<PolicyNode> children);
+
+  // Convenience for REED's canonical policy: OR over user identifiers.
+  static PolicyNode OrOfUsers(const std::vector<std::string>& user_ids);
+
+  bool IsLeaf() const { return children_.empty(); }
+  const std::string& attribute() const { return attribute_; }
+  std::size_t threshold() const { return threshold_; }
+  const std::vector<PolicyNode>& children() const { return children_; }
+
+  // Number of leaves in the subtree (ciphertext size is linear in this).
+  std::size_t LeafCount() const;
+
+  // True if the attribute set satisfies this (sub)tree.
+  bool IsSatisfiedBy(const std::vector<std::string>& attributes) const;
+
+  bool operator==(const PolicyNode& o) const;
+
+  void SerializeTo(Bytes& out) const;
+  static PolicyNode Deserialize(ByteSpan blob);
+
+  // Human-readable form, e.g. "(user:alice OR user:bob)".
+  std::string ToString() const;
+
+ private:
+  static PolicyNode Parse(ByteSpan blob, std::size_t& offset, int depth);
+
+  std::string attribute_;   // non-empty iff leaf
+  std::size_t threshold_ = 0;
+  std::vector<PolicyNode> children_;
+};
+
+}  // namespace reed::abe

@@ -1,0 +1,90 @@
+#include "aont/aont.h"
+
+#include <cstring>
+
+#include "crypto/aes.h"
+#include "crypto/sha256.h"
+
+namespace reed::aont {
+
+namespace {
+// The "publicly known block S": a fixed, public CTR IV. Any fixed value
+// works; what matters is that all parties share it.
+constexpr std::uint8_t kPublicIv[16] = {'R', 'E', 'E', 'D', '-', 'A', 'O',
+                                        'N', 'T', '-', 'M', 'A', 'S', 'K',
+                                        '0', '1'};
+
+Bytes HashKeyXorTail(ByteSpan head, ByteSpan key_or_hash) {
+  // t = H(C) ⊕ K (and symmetrically K = H(C) ⊕ t).
+  crypto::Sha256Digest hc = crypto::Sha256::Hash(head);
+  Bytes t(hc.begin(), hc.end());
+  XorInto(t, key_or_hash);
+  return t;
+}
+}  // namespace
+
+Bytes Mask(ByteSpan key, std::size_t length) {
+  Bytes out(length);
+  crypto::AesCtr ctr(key, ByteSpan(kPublicIv, sizeof(kPublicIv)));
+  ctr.Keystream(out);
+  return out;
+}
+
+Bytes AontTransform(ByteSpan message, crypto::Rng& rng) {
+  Bytes key = rng.Generate(kAontKeySize);
+  Bytes package(message.begin(), message.end());
+  XorInto(package, Mask(key, package.size()));  // C = M ⊕ G(K)
+  Append(package, HashKeyXorTail(ByteSpan(package.data(), message.size()), key));
+  return package;
+}
+
+Bytes AontRevert(ByteSpan package) {
+  if (package.size() < kAontTailSize) {
+    throw Error("AontRevert: package too small");
+  }
+  std::size_t head_len = package.size() - kAontTailSize;
+  ByteSpan head = package.subspan(0, head_len);
+  ByteSpan tail = package.subspan(head_len);
+  Bytes key = HashKeyXorTail(head, tail);  // K = H(C) ⊕ t
+  Bytes message(head.begin(), head.end());
+  XorInto(message, Mask(key, head_len));
+  return message;
+}
+
+Bytes CaontTransform(ByteSpan message) {
+  Bytes key = crypto::Sha256::HashToBytes(message);  // h = H(M)
+  Bytes package(message.begin(), message.end());
+  XorInto(package, Mask(key, package.size()));
+  Append(package, HashKeyXorTail(ByteSpan(package.data(), message.size()), key));
+  return package;
+}
+
+Bytes CaontRevert(ByteSpan package) {
+  if (package.size() < kAontTailSize) {
+    throw Error("CaontRevert: package too small");
+  }
+  std::size_t head_len = package.size() - kAontTailSize;
+  ByteSpan head = package.subspan(0, head_len);
+  ByteSpan tail = package.subspan(head_len);
+  Bytes key = HashKeyXorTail(head, tail);
+  Bytes message(head.begin(), head.end());
+  XorInto(message, Mask(key, head_len));
+  // CAONT is self-verifying: the recovered message must hash back to h.
+  if (!ConstantTimeEqual(crypto::Sha256::HashToBytes(message), key)) {
+    throw Error("CaontRevert: integrity check failed");
+  }
+  return message;
+}
+
+Bytes SelfXor(ByteSpan data) {
+  Bytes acc(kAontTailSize, 0);
+  std::size_t off = 0;
+  while (off < data.size()) {
+    std::size_t n = std::min(kAontTailSize, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) acc[i] ^= data[off + i];
+    off += n;
+  }
+  return acc;
+}
+
+}  // namespace reed::aont

@@ -1,0 +1,203 @@
+#include "aont/reed_cipher.h"
+
+#include <cstring>
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace reed::aont {
+
+namespace {
+// Public IV for the enhanced scheme's deterministic MLE encryption step
+// (distinct from the AONT mask IV for domain separation).
+constexpr std::uint8_t kMleIv[16] = {'R', 'E', 'E', 'D', '-', 'M', 'L', 'E',
+                                     '-', 'C', 'T', 'R', '-', '0', '0', '1'};
+}  // namespace
+
+const char* SchemeName(Scheme scheme) {
+  return scheme == Scheme::kBasic ? "basic" : "enhanced";
+}
+
+ReedCipher::ReedCipher(Scheme scheme, std::size_t stub_size)
+    : scheme_(scheme), stub_size_(stub_size) {
+  if (stub_size_ < kAontTailSize) {
+    throw Error("ReedCipher: stub must cover at least the package tail");
+  }
+}
+
+std::size_t ReedCipher::PackageSize(std::size_t chunk_size) const {
+  // Basic head: chunk + canary; enhanced head: C1 + K_M. Both + tail.
+  std::size_t head = chunk_size + (scheme_ == Scheme::kBasic ? kCanarySize
+                                                             : kMleKeySize);
+  return head + kAontTailSize;
+}
+
+SealedChunk ReedCipher::SplitPackage(Bytes package) const {
+  if (package.size() <= stub_size_) {
+    throw Error("ReedCipher: chunk too small for the configured stub size");
+  }
+  SealedChunk out;
+  std::size_t trim = package.size() - stub_size_;
+  out.stub.assign(package.begin() + trim, package.end());
+  package.resize(trim);
+  out.trimmed_package = std::move(package);
+  return out;
+}
+
+SealedChunk ReedCipher::Encrypt(ByteSpan chunk, ByteSpan mle_key) const {
+  if (mle_key.size() != kMleKeySize) {
+    throw Error("ReedCipher: MLE key must be 32 bytes");
+  }
+  if (chunk.empty()) throw Error("ReedCipher: empty chunk");
+  return scheme_ == Scheme::kBasic ? EncryptBasic(chunk, mle_key)
+                                   : EncryptEnhanced(chunk, mle_key);
+}
+
+Bytes ReedCipher::Decrypt(ByteSpan trimmed_package, ByteSpan stub) const {
+  if (stub.size() != stub_size_) {
+    throw Error("ReedCipher: stub size mismatch");
+  }
+  Bytes package = Concat(trimmed_package, stub);
+  if (package.size() < kAontTailSize + 1) {
+    throw Error("ReedCipher: package too small");
+  }
+  return scheme_ == Scheme::kBasic ? DecryptBasic(package)
+                                   : DecryptEnhanced(package);
+}
+
+// --------------------------- basic scheme ---------------------------
+
+SealedChunk ReedCipher::EncryptBasic(ByteSpan chunk, ByteSpan mle_key) const {
+  // Head: C = (M ‖ canary) ⊕ G(K_M)
+  Bytes package(chunk.begin(), chunk.end());
+  package.resize(chunk.size() + kCanarySize, 0);  // canary = 32 zero bytes
+  XorInto(package, Mask(mle_key, package.size()));
+
+  // Tail: t = K_M ⊕ H(C)
+  crypto::Sha256Digest hc = crypto::Sha256::Hash(package);
+  Bytes tail(hc.begin(), hc.end());
+  XorInto(tail, mle_key);
+  Append(package, tail);
+  return SplitPackage(std::move(package));
+}
+
+Bytes ReedCipher::DecryptBasic(ByteSpan package) const {
+  std::size_t head_len = package.size() - kAontTailSize;
+  if (head_len < kCanarySize + 1) throw Error("ReedCipher: package too small");
+  ByteSpan head = package.subspan(0, head_len);
+  ByteSpan tail = package.subspan(head_len);
+
+  // K_M = t ⊕ H(C) — any modification of the package corrupts K_M, which
+  // the canary check below then catches.
+  crypto::Sha256Digest hc = crypto::Sha256::Hash(head);
+  Bytes mle_key(hc.begin(), hc.end());
+  XorInto(mle_key, tail);
+
+  Bytes plain(head.begin(), head.end());
+  XorInto(plain, Mask(mle_key, plain.size()));
+
+  static const Bytes kZeroCanary(kCanarySize, 0);
+  ByteSpan canary = ByteSpan(plain).subspan(plain.size() - kCanarySize);
+  if (!ConstantTimeEqual(canary, kZeroCanary)) {
+    throw Error("ReedCipher: canary check failed (tampered chunk)");
+  }
+  plain.resize(plain.size() - kCanarySize);
+  return plain;
+}
+
+// --------------------------- enhanced scheme ---------------------------
+
+SealedChunk ReedCipher::EncryptEnhanced(ByteSpan chunk, ByteSpan mle_key) const {
+  // Step 1: MLE encryption, C1 = E(K_M, M) (deterministic CTR).
+  Bytes package = crypto::AesCtrEncrypt(mle_key, ByteSpan(kMleIv, 16), chunk);
+  // Step 2: CAONT over (C1 ‖ K_M) with hash key h = H(C1 ‖ K_M).
+  Append(package, mle_key);
+  crypto::Sha256Digest hd = crypto::Sha256::Hash(package);
+  Bytes h(hd.begin(), hd.end());
+  XorInto(package, Mask(h, package.size()));  // C2
+  // Tail via self-XOR (cheaper than a second hash pass): t = SelfXor(C2) ⊕ h.
+  Bytes tail = SelfXor(package);
+  XorInto(tail, h);
+  Append(package, tail);
+  return SplitPackage(std::move(package));
+}
+
+Bytes ReedCipher::DecryptEnhanced(ByteSpan package) const {
+  std::size_t head_len = package.size() - kAontTailSize;
+  if (head_len < kMleKeySize + 1) throw Error("ReedCipher: package too small");
+  ByteSpan c2 = package.subspan(0, head_len);
+  ByteSpan tail = package.subspan(head_len);
+
+  // h = SelfXor(C2) ⊕ t
+  Bytes h = SelfXor(c2);
+  XorInto(h, tail);
+
+  Bytes y(c2.begin(), c2.end());  // C1 ‖ K_M
+  XorInto(y, Mask(h, y.size()));
+
+  // Integrity: H(C1 ‖ K_M) must equal h. (The self-XOR alone can be fooled
+  // by paired bit flips, but the recovered Y then fails this hash check —
+  // §IV-E.)
+  if (!ConstantTimeEqual(crypto::Sha256::HashToBytes(y), h)) {
+    throw Error("ReedCipher: hash-key check failed (tampered chunk)");
+  }
+
+  Bytes mle_key(y.end() - kMleKeySize, y.end());
+  y.resize(y.size() - kMleKeySize);
+  return crypto::AesCtrEncrypt(mle_key, ByteSpan(kMleIv, 16), y);  // CTR dec
+}
+
+// --------------------------- stub-file crypto ---------------------------
+
+namespace {
+
+Bytes SealAuthenticated(ByteSpan plaintext, ByteSpan key, crypto::Rng& rng,
+                        std::string_view enc_label, std::string_view mac_label) {
+  Bytes enc_key = crypto::DeriveKey32(key, enc_label);
+  Bytes mac_key = crypto::DeriveKey32(key, mac_label);
+  Bytes iv = rng.Generate(16);
+  Bytes ct = crypto::AesCtrEncrypt(enc_key, iv, plaintext);
+  Bytes out = Concat(iv, ct);
+  Append(out, crypto::HmacSha256ToBytes(mac_key, out));
+  return out;
+}
+
+Bytes OpenAuthenticated(ByteSpan blob, ByteSpan key,
+                        std::string_view enc_label, std::string_view mac_label,
+                        const char* what) {
+  if (blob.size() < 16 + 32) throw Error(std::string(what) + ": truncated");
+  Bytes enc_key = crypto::DeriveKey32(key, enc_label);
+  Bytes mac_key = crypto::DeriveKey32(key, mac_label);
+  ByteSpan body = blob.subspan(0, blob.size() - 32);
+  ByteSpan mac = blob.subspan(blob.size() - 32);
+  if (!ConstantTimeEqual(crypto::HmacSha256ToBytes(mac_key, body), mac)) {
+    throw Error(std::string(what) +
+                ": MAC verification failed (wrong key or tampered data)");
+  }
+  return crypto::AesCtrEncrypt(enc_key, body.subspan(0, 16), body.subspan(16));
+}
+
+}  // namespace
+
+Bytes WrapKeyBlob(ByteSpan plaintext, ByteSpan key, crypto::Rng& rng) {
+  return SealAuthenticated(plaintext, key, rng, "reed/wrap-enc",
+                           "reed/wrap-mac");
+}
+
+Bytes UnwrapKeyBlob(ByteSpan blob, ByteSpan key) {
+  return OpenAuthenticated(blob, key, "reed/wrap-enc", "reed/wrap-mac",
+                           "UnwrapKeyBlob");
+}
+
+Bytes EncryptStubFile(ByteSpan stub_data, ByteSpan file_key, crypto::Rng& rng) {
+  return SealAuthenticated(stub_data, file_key, rng, "reed/stub-enc",
+                           "reed/stub-mac");
+}
+
+Bytes DecryptStubFile(ByteSpan blob, ByteSpan file_key) {
+  return OpenAuthenticated(blob, file_key, "reed/stub-enc", "reed/stub-mac",
+                           "DecryptStubFile");
+}
+
+}  // namespace reed::aont

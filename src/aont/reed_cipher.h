@@ -1,0 +1,80 @@
+// The REED chunk-encryption schemes — the paper's primary contribution
+// (§IV-B, Figures 2 and 3).
+//
+// Both schemes turn (chunk, MLE key) into a deterministic CAONT package and
+// split it into:
+//   * a large *trimmed package* that deduplicates across users, and
+//   * a small *stub* (64 B default) whose possession is necessary to revert
+//     the package — the stub is what the renewable file key encrypts, so
+//     rekeying a file costs only a stub-file re-encryption.
+//
+// Basic  (Fig. 2): C = (M‖canary) ⊕ G(K_M),  t = K_M ⊕ H(C).
+//   Fast, but an adversary holding K_M can unmask the trimmed package.
+// Enhanced (Fig. 3): C1 = E(K_M, M);  h = H(C1‖K_M);
+//   C2 = (C1‖K_M) ⊕ G(h);  t = SelfXor(C2) ⊕ h.
+//   One extra encryption pass buys resilience against MLE-key leakage.
+//
+// Decryption needs only (trimmed package, stub) — MLE keys are never
+// uploaded or needed again (paper §IV-D, footnote 1).
+#pragma once
+
+#include "aont/aont.h"
+#include "util/bytes.h"
+
+namespace reed::aont {
+
+inline constexpr std::size_t kCanarySize = 32;      // zero canary (§V)
+inline constexpr std::size_t kDefaultStubSize = 64; // §IV-A / §V
+inline constexpr std::size_t kMleKeySize = 32;
+
+enum class Scheme { kBasic, kEnhanced };
+
+const char* SchemeName(Scheme scheme);
+
+// A chunk after REED encryption, before stub-file encryption.
+struct SealedChunk {
+  Bytes trimmed_package;
+  Bytes stub;
+};
+
+class ReedCipher {
+ public:
+  explicit ReedCipher(Scheme scheme, std::size_t stub_size = kDefaultStubSize);
+
+  Scheme scheme() const { return scheme_; }
+  std::size_t stub_size() const { return stub_size_; }
+
+  // Deterministically seals `chunk` under its 32-byte MLE key.
+  SealedChunk Encrypt(ByteSpan chunk, ByteSpan mle_key) const;
+
+  // Reassembles the package and reverts it. Throws Error if either part
+  // was tampered with (canary / hash-key verification).
+  Bytes Decrypt(ByteSpan trimmed_package, ByteSpan stub) const;
+
+  // Package size for a given chunk size (trimmed + stub).
+  std::size_t PackageSize(std::size_t chunk_size) const;
+
+ private:
+  SealedChunk EncryptBasic(ByteSpan chunk, ByteSpan mle_key) const;
+  Bytes DecryptBasic(ByteSpan package) const;
+  SealedChunk EncryptEnhanced(ByteSpan chunk, ByteSpan mle_key) const;
+  Bytes DecryptEnhanced(ByteSpan package) const;
+  SealedChunk SplitPackage(Bytes package) const;
+
+  Scheme scheme_;
+  std::size_t stub_size_;
+};
+
+// Stub-file protection under the (renewable) file key: AES-256-CTR with a
+// fresh IV plus an HMAC tag, with keys derived from the file key by label.
+// Re-encrypting this blob is the entire cost of active revocation.
+Bytes EncryptStubFile(ByteSpan stub_data, ByteSpan file_key, crypto::Rng& rng);
+Bytes DecryptStubFile(ByteSpan blob, ByteSpan file_key);
+
+// Authenticated symmetric wrap for key material (same AES-CTR + HMAC
+// construction under distinct derivation labels). Used by the group
+// rekeying extension to wrap per-file key states under a group wrap key.
+Bytes WrapKeyBlob(ByteSpan plaintext, ByteSpan key, crypto::Rng& rng);
+Bytes UnwrapKeyBlob(ByteSpan blob, ByteSpan key);
+
+}  // namespace reed::aont

@@ -1,0 +1,20 @@
+// Primality testing and prime generation for RSA key material.
+#pragma once
+
+#include "bigint/bigint.h"
+#include "crypto/random.h"
+
+namespace reed::bigint {
+
+// Miller–Rabin with `rounds` random bases (after small-prime trial
+// division). Error probability ≤ 4^-rounds for odd composites.
+bool IsProbablePrime(const BigInt& n, crypto::Rng& rng, int rounds = 20);
+
+// Uniform random probable prime with exactly `bits` bits (top bit set).
+BigInt GeneratePrime(std::size_t bits, crypto::Rng& rng);
+
+// Random prime p with exactly `bits` bits such that gcd(p-1, e) == 1 —
+// the form required for RSA factors with public exponent e.
+BigInt GenerateRsaPrime(std::size_t bits, const BigInt& e, crypto::Rng& rng);
+
+}  // namespace reed::bigint

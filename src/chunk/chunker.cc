@@ -1,0 +1,70 @@
+#include "chunk/chunker.h"
+
+namespace reed::chunk {
+
+FixedSizeChunker::FixedSizeChunker(std::size_t chunk_size)
+    : chunk_size_(chunk_size) {
+  if (chunk_size_ == 0) throw Error("FixedSizeChunker: zero chunk size");
+}
+
+std::vector<ChunkRef> FixedSizeChunker::Split(ByteSpan data) {
+  std::vector<ChunkRef> out;
+  out.reserve(data.size() / chunk_size_ + 1);
+  for (std::size_t off = 0; off < data.size(); off += chunk_size_) {
+    out.push_back({off, std::min(chunk_size_, data.size() - off)});
+  }
+  return out;
+}
+
+RabinChunker::RabinChunker(Options options)
+    : options_(options),
+      mask_(options.average_size - 1),
+      window_(options.window_size) {
+  if (options_.average_size == 0 ||
+      (options_.average_size & (options_.average_size - 1)) != 0) {
+    throw Error("RabinChunker: average size must be a power of two");
+  }
+  if (options_.min_size == 0 || options_.min_size > options_.max_size) {
+    throw Error("RabinChunker: invalid min/max sizes");
+  }
+}
+
+std::vector<ChunkRef> RabinChunker::Split(ByteSpan data) {
+  std::vector<ChunkRef> out;
+  if (data.empty()) return out;
+  out.reserve(data.size() / options_.average_size + 1);
+
+  std::size_t start = 0;
+  std::size_t len = 0;
+  window_.Reset();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::uint64_t fp = window_.Slide(data[i]);
+    ++len;
+    bool at_boundary =
+        len >= options_.min_size && (fp & mask_) == mask_;
+    if (at_boundary || len == options_.max_size) {
+      out.push_back({start, len});
+      start = i + 1;
+      len = 0;
+      // Restart the window so each chunk's boundaries depend only on its
+      // own content (keeps boundaries stable across chunk-local edits).
+      window_.Reset();
+    }
+  }
+  if (len > 0) out.push_back({start, len});
+  return out;
+}
+
+RabinChunker::Options PaperChunking(std::size_t average_size) {
+  RabinChunker::Options opts;
+  opts.min_size = 2 * 1024;
+  opts.max_size = 16 * 1024;
+  opts.average_size = average_size;
+  // Small averages need min below the default 2 KB to have any effect.
+  if (average_size < opts.min_size * 2) {
+    opts.min_size = average_size / 2;
+  }
+  return opts;
+}
+
+}  // namespace reed::chunk

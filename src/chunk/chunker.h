@@ -1,0 +1,63 @@
+// Chunkers: fixed-size and content-defined (Rabin) variable-size, matching
+// the paper's client (§V): min 2 KB, max 16 KB, configurable average.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "chunk/rabin.h"
+#include "util/bytes.h"
+
+namespace reed::chunk {
+
+// A chunk boundary within the input buffer.
+struct ChunkRef {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+class Chunker {
+ public:
+  virtual ~Chunker() = default;
+
+  // Splits `data` into consecutive, exhaustive, non-overlapping chunks.
+  virtual std::vector<ChunkRef> Split(ByteSpan data) = 0;
+};
+
+class FixedSizeChunker : public Chunker {
+ public:
+  explicit FixedSizeChunker(std::size_t chunk_size);
+  std::vector<ChunkRef> Split(ByteSpan data) override;
+
+ private:
+  std::size_t chunk_size_;
+};
+
+// Content-defined chunking: a boundary is declared where the Rabin
+// fingerprint of the trailing window matches a target pattern, subject to
+// the min/max bounds. Identical content produces identical boundaries even
+// after insertions/deletions elsewhere — the property dedup relies on.
+class RabinChunker : public Chunker {
+ public:
+  struct Options {
+    std::size_t min_size = 2 * 1024;
+    std::size_t max_size = 16 * 1024;
+    std::size_t average_size = 8 * 1024;  // must be a power of two
+    std::size_t window_size = RabinWindow::kDefaultWindowSize;
+  };
+
+  explicit RabinChunker(Options options);
+  std::vector<ChunkRef> Split(ByteSpan data) override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::uint64_t mask_;
+  RabinWindow window_;
+};
+
+// Paper parameterization helper: min 2 KB / max 16 KB, given average.
+RabinChunker::Options PaperChunking(std::size_t average_size);
+
+}  // namespace reed::chunk

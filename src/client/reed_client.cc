@@ -1,0 +1,365 @@
+#include "client/reed_client.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace reed::client {
+
+namespace {
+
+crypto::ChaChaRng MakeClientRng(std::uint64_t seed) {
+  if (seed == 0) {
+    Bytes s = crypto::SecureRandom::Generate(32);
+    return crypto::ChaChaRng(s);
+  }
+  return crypto::DeterministicRng(seed);
+}
+
+std::string RecipeName(const std::string& file_id) { return "recipe/" + file_id; }
+std::string StubName(const std::string& file_id) { return "stub/" + file_id; }
+std::string StateName(const std::string& file_id) { return "keystate/" + file_id; }
+
+}  // namespace
+
+ReedClient::ReedClient(std::string user_id, ClientOptions options,
+                       std::shared_ptr<StorageClient> storage,
+                       std::shared_ptr<keymanager::MleKeyClient> keys,
+                       std::shared_ptr<const abe::CpAbe> abe,
+                       abe::PublicKey abe_pk, abe::PrivateKey access_key,
+                       rsa::RsaKeyPair derivation_keys)
+    : user_id_(std::move(user_id)),
+      options_(options),
+      storage_(std::move(storage)),
+      keys_(std::move(keys)),
+      abe_(std::move(abe)),
+      abe_pk_(std::move(abe_pk)),
+      access_key_(std::move(access_key)),
+      regression_owner_(std::move(derivation_keys)),
+      cipher_(options.scheme, options.stub_size),
+      pool_(options.encryption_threads),
+      rng_(MakeClientRng(options.rng_seed)) {
+  if (!storage_ || !keys_ || !abe_) {
+    throw Error("ReedClient: missing dependency");
+  }
+}
+
+std::string ReedClient::StorageId(const std::string& file_id) const {
+  if (options_.file_id_salt.empty()) return file_id;
+  return store::ObfuscateFileId(file_id, options_.file_id_salt);
+}
+
+std::vector<chunk::ChunkRef> ReedClient::ChunkData(ByteSpan data) {
+  if (options_.avg_chunk_size == 0) {
+    chunk::FixedSizeChunker chunker(options_.fixed_chunk_size);
+    return chunker.Split(data);
+  }
+  chunk::RabinChunker chunker(chunk::PaperChunking(options_.avg_chunk_size));
+  return chunker.Split(data);
+}
+
+std::vector<aont::SealedChunk> ReedClient::EncryptChunks(
+    ByteSpan data, const std::vector<chunk::ChunkRef>& refs,
+    const std::vector<Bytes>& mle_keys) {
+  if (refs.size() != mle_keys.size()) {
+    throw Error("ReedClient: chunk/key count mismatch");
+  }
+  std::vector<aont::SealedChunk> sealed(refs.size());
+  pool_.ParallelFor(refs.size(), [&](std::size_t i) {
+    sealed[i] = cipher_.Encrypt(data.subspan(refs[i].offset, refs[i].length),
+                                mle_keys[i]);
+  });
+  return sealed;
+}
+
+UploadResult ReedClient::Upload(const std::string& file_id, ByteSpan data,
+                                const std::vector<std::string>& authorized_users) {
+  if (data.empty()) throw Error("ReedClient::Upload: empty file");
+  // 1. Chunking, then the shared pipeline.
+  return UploadChunked(file_id, data, ChunkData(data), authorized_users);
+}
+
+UploadResult ReedClient::UploadChunked(
+    const std::string& file_id, ByteSpan data,
+    const std::vector<chunk::ChunkRef>& refs,
+    const std::vector<std::string>& authorized_users) {
+  if (refs.empty()) throw Error("ReedClient::Upload: no chunks");
+  const std::string sid = StorageId(file_id);
+
+  // 2. Server-aided MLE key generation (batched OPRF + key cache).
+  std::vector<chunk::Fingerprint> chunk_fps;
+  chunk_fps.reserve(refs.size());
+  for (const auto& ref : refs) {
+    chunk_fps.push_back(
+        chunk::Fingerprint::Of(data.subspan(ref.offset, ref.length)));
+  }
+  std::vector<Bytes> mle_keys = keys_->GetKeys(chunk_fps, rng_);
+
+  // 3. REED encryption (multi-threaded).
+  std::vector<aont::SealedChunk> sealed = EncryptChunks(data, refs, mle_keys);
+
+  // 4. Recipe + stub file assembly.
+  store::FileRecipe recipe;
+  recipe.file_id = sid;
+  recipe.file_size = data.size();
+  recipe.scheme = static_cast<std::uint8_t>(options_.scheme);
+  recipe.stub_size = static_cast<std::uint32_t>(options_.stub_size);
+  Bytes stub_data;
+  stub_data.reserve(refs.size() * options_.stub_size);
+  std::vector<std::pair<chunk::Fingerprint, Bytes>> packages;
+  packages.reserve(refs.size());
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    recipe.fingerprints.push_back(
+        chunk::Fingerprint::Of(sealed[i].trimmed_package));
+    recipe.chunk_sizes.push_back(static_cast<std::uint32_t>(refs[i].length));
+    Append(stub_data, sealed[i].stub);
+    packages.emplace_back(recipe.fingerprints.back(),
+                          std::move(sealed[i].trimmed_package));
+  }
+
+  // 5. File key from a fresh key state (version 0).
+  rsa::KeyState state = regression_owner_.GenesisState(rng_);
+  Bytes file_key = state.DeriveFileKey();
+  Bytes stub_blob = aont::EncryptStubFile(stub_data, file_key, rng_);
+
+  // 6. Wrap the key state under the file policy.
+  std::vector<std::string> users = authorized_users;
+  if (std::find(users.begin(), users.end(), user_id_) == users.end()) {
+    users.push_back(user_id_);
+  }
+  abe::PolicyNode policy = abe::PolicyNode::OrOfUsers(users);
+  store::KeyStateRecord record;
+  record.owner_id = user_id_;
+  record.key_version = state.version;
+  record.stub_key_version = state.version;
+  policy.SerializeTo(record.policy);
+  record.wrapped_state = abe_->EncryptBytes(
+      abe_pk_, policy, state.Serialize(regression_owner_.public_key()), rng_);
+  record.derivation_public_key =
+      rsa::SerializePublicKey(regression_owner_.public_key());
+
+  // 7. Upload everything: trimmed packages in ~4 MB batches, then metadata.
+  UploadResult result;
+  result.logical_bytes = data.size();
+  result.chunk_count = refs.size();
+  std::size_t start = 0;
+  while (start < packages.size()) {
+    std::size_t end = start;
+    std::size_t batch_bytes = 0;
+    while (end < packages.size() && batch_bytes < options_.upload_batch_bytes) {
+      batch_bytes += packages[end].second.size();
+      ++end;
+    }
+    std::vector<std::pair<chunk::Fingerprint, Bytes>> batch(
+        std::make_move_iterator(packages.begin() + start),
+        std::make_move_iterator(packages.begin() + end));
+    StorageClient::PutStats stats = storage_->PutChunks(batch);
+    result.duplicate_chunks += stats.duplicates;
+    result.stored_chunks += stats.stored;
+    result.stored_bytes += stats.stored_bytes;
+    start = end;
+  }
+  storage_->PutObject(server::StoreId::kData, RecipeName(sid),
+                      recipe.Serialize());
+  storage_->PutObject(server::StoreId::kData, StubName(sid), stub_blob);
+  storage_->PutObject(server::StoreId::kKey, StateName(sid),
+                      record.Serialize());
+  result.stub_bytes = stub_blob.size();
+  return result;
+}
+
+store::KeyStateRecord ReedClient::FetchKeyStateRecord(
+    const std::string& storage_id) {
+  return store::KeyStateRecord::Deserialize(
+      storage_->GetObject(server::StoreId::kKey, StateName(storage_id)));
+}
+
+rsa::KeyState ReedClient::UnwrapKeyState(const store::KeyStateRecord& record) {
+  Bytes state_blob;
+  if (record.group_wrap_id.empty()) {
+    state_blob = abe_->DecryptBytes(access_key_, record.wrapped_state);
+  } else {
+    // Group-wrapped: CP-ABE protects the group wrap key; the state itself
+    // is wrapped symmetrically under it.
+    Bytes wrap_key = abe_->DecryptBytes(
+        access_key_,
+        storage_->GetObject(server::StoreId::kKey, record.group_wrap_id));
+    state_blob = aont::UnwrapKeyBlob(record.wrapped_state, wrap_key);
+  }
+  rsa::RsaPublicKey derivation_key =
+      rsa::DeserializePublicKey(record.derivation_public_key);
+  return rsa::KeyState::Deserialize(state_blob, derivation_key);
+}
+
+Bytes ReedClient::Download(const std::string& file_id) {
+  const std::string sid = StorageId(file_id);
+  // 1. Key state: CP-ABE decrypt, then unwind to the version the stub file
+  //    is encrypted under (lazy revocation leaves it at an older version).
+  store::KeyStateRecord record = FetchKeyStateRecord(sid);
+  rsa::KeyState current = UnwrapKeyState(record);
+  rsa::KeyRegressionMember member(
+      rsa::DeserializePublicKey(record.derivation_public_key));
+  rsa::KeyState stub_state = member.UnwindTo(current, record.stub_key_version);
+  Bytes file_key = stub_state.DeriveFileKey();
+
+  // 2. Recipe and stub file.
+  store::FileRecipe recipe = store::FileRecipe::Deserialize(
+      storage_->GetObject(server::StoreId::kData, RecipeName(sid)));
+  Bytes stub_data = aont::DecryptStubFile(
+      storage_->GetObject(server::StoreId::kData, StubName(sid)), file_key);
+  if (stub_data.size() != recipe.chunk_count() * recipe.stub_size) {
+    throw Error("ReedClient::Download: stub file size mismatch");
+  }
+
+  // 3. Fetch trimmed packages in batches and revert chunks in parallel.
+  aont::ReedCipher cipher(static_cast<aont::Scheme>(recipe.scheme),
+                          recipe.stub_size);
+  Bytes file;
+  file.reserve(recipe.file_size);
+  std::vector<std::size_t> chunk_offsets(recipe.chunk_count());
+  {
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < recipe.chunk_count(); ++i) {
+      chunk_offsets[i] = off;
+      off += recipe.chunk_sizes[i];
+    }
+    file.resize(off);
+  }
+  if (file.size() != recipe.file_size) {
+    throw Error("ReedClient::Download: recipe size mismatch");
+  }
+
+  constexpr std::size_t kFetchBatch = 512;
+  for (std::size_t start = 0; start < recipe.chunk_count();
+       start += kFetchBatch) {
+    std::size_t end = std::min(recipe.chunk_count(), start + kFetchBatch);
+    std::vector<chunk::Fingerprint> fps(recipe.fingerprints.begin() + start,
+                                        recipe.fingerprints.begin() + end);
+    std::vector<Bytes> packages = storage_->GetChunks(fps);
+    pool_.ParallelFor(end - start, [&](std::size_t i) {
+      std::size_t idx = start + i;
+      ByteSpan stub = ByteSpan(stub_data)
+                          .subspan(idx * recipe.stub_size, recipe.stub_size);
+      Bytes plain = cipher.Decrypt(packages[i], stub);
+      if (plain.size() != recipe.chunk_sizes[idx]) {
+        throw Error("ReedClient::Download: chunk size mismatch");
+      }
+      std::copy(plain.begin(), plain.end(), file.begin() + chunk_offsets[idx]);
+    });
+  }
+  return file;
+}
+
+RekeyResult ReedClient::Rekey(const std::string& file_id,
+                              const std::vector<std::string>& authorized_users,
+                              RevocationMode mode) {
+  const std::string sid = StorageId(file_id);
+  // 1. Retrieve and unwrap the current key state (requires authorization).
+  store::KeyStateRecord record = FetchKeyStateRecord(sid);
+  if (record.owner_id != user_id_) {
+    throw Error("ReedClient::Rekey: only the owner may rekey (owner is " +
+                record.owner_id + ")");
+  }
+  rsa::KeyState current = UnwrapKeyState(record);
+
+  // 2. Wind the state forward with the private derivation key.
+  rsa::KeyState next = regression_owner_.Wind(current);
+
+  // 3. Re-wrap under the new policy.
+  std::vector<std::string> users = authorized_users;
+  if (std::find(users.begin(), users.end(), user_id_) == users.end()) {
+    users.push_back(user_id_);
+  }
+  abe::PolicyNode policy = abe::PolicyNode::OrOfUsers(users);
+  record.key_version = next.version;
+  record.policy.clear();
+  policy.SerializeTo(record.policy);
+  record.group_wrap_id.clear();  // individual rekey always wraps directly
+  record.wrapped_state = abe_->EncryptBytes(
+      abe_pk_, policy, next.Serialize(regression_owner_.public_key()), rng_);
+
+  RekeyResult result;
+  result.new_version = next.version;
+
+  // 4. Active revocation: immediately re-encrypt the stub file under the
+  //    new file key (the trimmed packages never move — §IV-A).
+  if (mode == RevocationMode::kActive) {
+    rsa::KeyRegressionMember member(regression_owner_.public_key());
+    rsa::KeyState stub_state =
+        member.UnwindTo(current, record.stub_key_version);
+    Bytes stub_data = aont::DecryptStubFile(
+        storage_->GetObject(server::StoreId::kData, StubName(sid)),
+        stub_state.DeriveFileKey());
+    Bytes new_blob =
+        aont::EncryptStubFile(stub_data, next.DeriveFileKey(), rng_);
+    storage_->PutObject(server::StoreId::kData, StubName(sid), new_blob);
+    record.stub_key_version = next.version;
+    result.stub_reencrypted = true;
+    result.stub_bytes = new_blob.size();
+  }
+
+  storage_->PutObject(server::StoreId::kKey, StateName(sid),
+                      record.Serialize());
+  return result;
+}
+
+std::vector<RekeyResult> ReedClient::RekeyGroup(
+    const std::vector<std::string>& file_ids,
+    const std::vector<std::string>& authorized_users, RevocationMode mode) {
+  if (file_ids.empty()) throw Error("ReedClient::RekeyGroup: empty group");
+
+  std::vector<std::string> users = authorized_users;
+  if (std::find(users.begin(), users.end(), user_id_) == users.end()) {
+    users.push_back(user_id_);
+  }
+  abe::PolicyNode policy = abe::PolicyNode::OrOfUsers(users);
+
+  // One CP-ABE encryption for the whole group: a fresh wrap key.
+  Bytes wrap_key = rng_.Generate(32);
+  std::string wrap_id = "groupwrap/" + HexEncode(rng_.Generate(16));
+  storage_->PutObject(server::StoreId::kKey, wrap_id,
+                      abe_->EncryptBytes(abe_pk_, policy, wrap_key, rng_));
+
+  rsa::KeyRegressionOwner& owner = regression_owner_;
+  std::vector<RekeyResult> results;
+  results.reserve(file_ids.size());
+  for (const std::string& file_id : file_ids) {
+    const std::string sid = StorageId(file_id);
+    store::KeyStateRecord record = FetchKeyStateRecord(sid);
+    if (record.owner_id != user_id_) {
+      throw Error("ReedClient::RekeyGroup: only the owner may rekey " + file_id);
+    }
+    rsa::KeyState current = UnwrapKeyState(record);
+    rsa::KeyState next = owner.Wind(current);
+
+    record.key_version = next.version;
+    record.policy.clear();
+    policy.SerializeTo(record.policy);
+    record.group_wrap_id = wrap_id;
+    record.wrapped_state = aont::WrapKeyBlob(
+        next.Serialize(owner.public_key()), wrap_key, rng_);
+
+    RekeyResult result;
+    result.new_version = next.version;
+    if (mode == RevocationMode::kActive) {
+      rsa::KeyRegressionMember member(owner.public_key());
+      rsa::KeyState stub_state =
+          member.UnwindTo(current, record.stub_key_version);
+      Bytes stub_data = aont::DecryptStubFile(
+          storage_->GetObject(server::StoreId::kData, StubName(sid)),
+          stub_state.DeriveFileKey());
+      Bytes new_blob =
+          aont::EncryptStubFile(stub_data, next.DeriveFileKey(), rng_);
+      storage_->PutObject(server::StoreId::kData, StubName(sid), new_blob);
+      record.stub_key_version = next.version;
+      result.stub_reencrypted = true;
+      result.stub_bytes = new_blob.size();
+    }
+    storage_->PutObject(server::StoreId::kKey, StateName(sid),
+                        record.Serialize());
+    results.push_back(result);
+  }
+  return results;
+}
+
+}  // namespace reed::client

@@ -1,0 +1,137 @@
+// The REED client (paper §III-A, §IV-D, §V "Client"): the software layer a
+// user machine runs to upload, download, and rekey files.
+//
+// Upload pipeline:  chunk → batched OPRF MLE keygen (with key cache) →
+// basic/enhanced CAONT encryption (multi-threaded) → 4 MB-batched upload of
+// trimmed packages → recipe + encrypted stub file + CP-ABE-wrapped key
+// state.
+// Download pipeline: key state (CP-ABE decrypt + key-regression unwind) →
+// recipe → chunks + stub file → CAONT revert → reassembly, aborting on any
+// tampered chunk.
+// Rekeying: wind the key state forward, re-wrap it under the new policy;
+// active revocation additionally re-encrypts the stub file — never the
+// trimmed packages.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "abe/cpabe.h"
+#include "aont/reed_cipher.h"
+#include "chunk/chunker.h"
+#include "client/storage_client.h"
+#include "keymanager/mle_key_client.h"
+#include "rsa/key_regression.h"
+#include "store/recipe.h"
+#include "util/thread_pool.h"
+
+namespace reed::client {
+
+struct ClientOptions {
+  aont::Scheme scheme = aont::Scheme::kEnhanced;
+  std::size_t stub_size = aont::kDefaultStubSize;
+  // Variable-size (Rabin) chunking with this average; 0 selects fixed-size
+  // chunking at `fixed_chunk_size`.
+  std::size_t avg_chunk_size = 8 * 1024;
+  std::size_t fixed_chunk_size = 8 * 1024;
+  std::size_t encryption_threads = 2;  // paper §VI-A.2
+  std::size_t upload_batch_bytes = 4u << 20;  // §V-B batching
+  keymanager::MleKeyClient::Options key_options;
+  // Non-empty: file identifiers are obfuscated with this salted hash before
+  // they reach the cloud (paper §IV-D: "obfuscate sensitive metadata
+  // information, such as the file pathname, by encoding it via a salted
+  // hash"). All clients sharing files must use the same salt.
+  Bytes file_id_salt;
+  // 0 = seed the client RNG from the OS; tests pin a seed.
+  std::uint64_t rng_seed = 0;
+};
+
+enum class RevocationMode { kLazy, kActive };
+
+struct UploadResult {
+  std::uint64_t logical_bytes = 0;
+  std::size_t chunk_count = 0;
+  std::size_t duplicate_chunks = 0;
+  std::size_t stored_chunks = 0;
+  std::uint64_t stored_bytes = 0;  // unique trimmed-package bytes
+  std::uint64_t stub_bytes = 0;    // encrypted stub file size
+};
+
+struct RekeyResult {
+  std::uint64_t new_version = 0;
+  bool stub_reencrypted = false;
+  std::uint64_t stub_bytes = 0;
+};
+
+class ReedClient {
+ public:
+  ReedClient(std::string user_id, ClientOptions options,
+             std::shared_ptr<StorageClient> storage,
+             std::shared_ptr<keymanager::MleKeyClient> keys,
+             std::shared_ptr<const abe::CpAbe> abe, abe::PublicKey abe_pk,
+             abe::PrivateKey access_key, rsa::RsaKeyPair derivation_keys);
+
+  const std::string& user_id() const { return user_id_; }
+  const ClientOptions& options() const { return options_; }
+  keymanager::MleKeyClient& key_client() { return *keys_; }
+
+  // Uploads `data` as `file_id`, readable by `authorized_users` (the file
+  // policy is an OR over their identifiers; the uploader is always added).
+  UploadResult Upload(const std::string& file_id, ByteSpan data,
+                      const std::vector<std::string>& authorized_users);
+
+  // Upload with caller-supplied chunk boundaries. The trace-driven
+  // experiment (§VI-B) reconstructs chunks from trace records and feeds
+  // them directly past the chunking module.
+  UploadResult UploadChunked(const std::string& file_id, ByteSpan data,
+                             const std::vector<chunk::ChunkRef>& refs,
+                             const std::vector<std::string>& authorized_users);
+
+  // Downloads and reassembles a file; throws if this user is not
+  // authorized or any chunk fails its integrity check.
+  Bytes Download(const std::string& file_id);
+
+  // Rekeys `file_id` with a new authorized-user set. Only the owner may
+  // rekey. kActive also re-encrypts the stub file under the new file key.
+  RekeyResult Rekey(const std::string& file_id,
+                    const std::vector<std::string>& authorized_users,
+                    RevocationMode mode);
+
+  // Group rekeying (paper §IV-D poses per-group rekeying as future work):
+  // rekeys many files under one new policy with a SINGLE CP-ABE encryption.
+  // A fresh group wrap key is CP-ABE-encrypted once; each file's wound key
+  // state is then wrapped symmetrically under it. Cost: O(users) + O(files)
+  // symmetric work, instead of O(users x files).
+  std::vector<RekeyResult> RekeyGroup(
+      const std::vector<std::string>& file_ids,
+      const std::vector<std::string>& authorized_users, RevocationMode mode);
+
+  // Encryption-only path (no upload) — used by the Fig. 6 benchmark.
+  std::vector<aont::SealedChunk> EncryptChunks(
+      ByteSpan data, const std::vector<chunk::ChunkRef>& refs,
+      const std::vector<Bytes>& mle_keys);
+
+  // Chunking helper exposing the client's configured chunker.
+  std::vector<chunk::ChunkRef> ChunkData(ByteSpan data);
+
+ private:
+  // The identifier actually sent to the cloud (salted hash when
+  // obfuscation is configured).
+  std::string StorageId(const std::string& file_id) const;
+  store::KeyStateRecord FetchKeyStateRecord(const std::string& storage_id);
+  rsa::KeyState UnwrapKeyState(const store::KeyStateRecord& record);
+
+  std::string user_id_;
+  ClientOptions options_;
+  std::shared_ptr<StorageClient> storage_;
+  std::shared_ptr<keymanager::MleKeyClient> keys_;
+  std::shared_ptr<const abe::CpAbe> abe_;
+  abe::PublicKey abe_pk_;
+  abe::PrivateKey access_key_;
+  rsa::KeyRegressionOwner regression_owner_;
+  aont::ReedCipher cipher_;
+  ThreadPool pool_;
+  crypto::ChaChaRng rng_;
+};
+
+}  // namespace reed::client

@@ -1,0 +1,131 @@
+#include "client/storage_client.h"
+
+namespace reed::client {
+
+using server::Opcode;
+using server::StoreId;
+
+StorageClient::StorageClient(
+    std::vector<std::shared_ptr<net::RpcChannel>> data_servers,
+    std::shared_ptr<net::RpcChannel> key_server)
+    : data_servers_(std::move(data_servers)), key_server_(std::move(key_server)) {
+  if (data_servers_.empty()) {
+    throw Error("StorageClient: need at least one data server");
+  }
+  if (!key_server_) throw Error("StorageClient: need a key server");
+}
+
+net::RpcChannel& StorageClient::ServerForFingerprint(
+    const chunk::Fingerprint& fp) {
+  return *data_servers_[fp.Short48() % data_servers_.size()];
+}
+
+net::RpcChannel& StorageClient::ServerForObject(StoreId store,
+                                                const std::string& name) {
+  if (store == StoreId::kKey) return *key_server_;
+  std::size_t h = std::hash<std::string>{}(name);
+  return *data_servers_[h % data_servers_.size()];
+}
+
+void StorageClient::CheckStatus(net::Reader& r) {
+  std::uint8_t status = r.U8();
+  if (status != 0) {
+    throw Error("StorageClient: server error: " + r.Str());
+  }
+}
+
+StorageClient::PutStats StorageClient::PutChunks(
+    const std::vector<std::pair<chunk::Fingerprint, Bytes>>& chunks) {
+  // Group into one request per target server.
+  std::vector<net::Writer> writers(data_servers_.size());
+  std::vector<std::uint32_t> counts(data_servers_.size(), 0);
+  for (const auto& [fp, data] : chunks) {
+    std::size_t target = fp.Short48() % data_servers_.size();
+    writers[target].Raw(fp.AsSpan());
+    writers[target].Blob(data);
+    ++counts[target];
+  }
+
+  PutStats stats;
+  for (std::size_t s = 0; s < data_servers_.size(); ++s) {
+    if (counts[s] == 0) continue;
+    net::Writer req;
+    req.U8(static_cast<std::uint8_t>(Opcode::kPutChunks));
+    req.U32(counts[s]);
+    req.Raw(writers[s].bytes());
+    Bytes response = data_servers_[s]->Call(req.Take());
+    net::Reader r(response);
+    CheckStatus(r);
+    stats.duplicates += r.U32();
+    stats.stored += r.U32();
+    stats.stored_bytes += r.U64();
+  }
+  return stats;
+}
+
+std::vector<Bytes> StorageClient::GetChunks(
+    const std::vector<chunk::Fingerprint>& fps) {
+  // Build per-server requests while remembering each chunk's slot.
+  std::vector<net::Writer> writers(data_servers_.size());
+  std::vector<std::uint32_t> counts(data_servers_.size(), 0);
+  std::vector<std::vector<std::size_t>> slots(data_servers_.size());
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    std::size_t target = fps[i].Short48() % data_servers_.size();
+    writers[target].Raw(fps[i].AsSpan());
+    ++counts[target];
+    slots[target].push_back(i);
+  }
+
+  std::vector<Bytes> out(fps.size());
+  for (std::size_t s = 0; s < data_servers_.size(); ++s) {
+    if (counts[s] == 0) continue;
+    net::Writer req;
+    req.U8(static_cast<std::uint8_t>(Opcode::kGetChunks));
+    req.U32(counts[s]);
+    req.Raw(writers[s].bytes());
+    Bytes response = data_servers_[s]->Call(req.Take());
+    net::Reader r(response);
+    CheckStatus(r);
+    for (std::size_t slot : slots[s]) {
+      out[slot] = r.Blob();
+    }
+    r.ExpectEnd();
+  }
+  return out;
+}
+
+void StorageClient::PutObject(StoreId store, const std::string& name,
+                              ByteSpan value) {
+  net::Writer req;
+  req.U8(static_cast<std::uint8_t>(Opcode::kPutObject));
+  req.U8(static_cast<std::uint8_t>(store));
+  req.Str(name);
+  req.Blob(value);
+  Bytes response = ServerForObject(store, name).Call(req.Take());
+  net::Reader r(response);
+  CheckStatus(r);
+}
+
+Bytes StorageClient::GetObject(StoreId store, const std::string& name) {
+  net::Writer req;
+  req.U8(static_cast<std::uint8_t>(Opcode::kGetObject));
+  req.U8(static_cast<std::uint8_t>(store));
+  req.Str(name);
+  Bytes response = ServerForObject(store, name).Call(req.Take());
+  net::Reader r(response);
+  CheckStatus(r);
+  return r.Blob();
+}
+
+bool StorageClient::HasObject(StoreId store, const std::string& name) {
+  net::Writer req;
+  req.U8(static_cast<std::uint8_t>(Opcode::kHasObject));
+  req.U8(static_cast<std::uint8_t>(store));
+  req.Str(name);
+  Bytes response = ServerForObject(store, name).Call(req.Take());
+  net::Reader r(response);
+  CheckStatus(r);
+  return r.U8() != 0;
+}
+
+}  // namespace reed::client

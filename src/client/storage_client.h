@@ -1,0 +1,52 @@
+// Client-side storage proxy: speaks the StorageServer wire protocol to a
+// cluster of data servers plus one key-store server (paper §VI default:
+// four data servers + one key server).
+//
+// Chunks are sharded across data servers by fingerprint, which preserves
+// global dedup (identical trimmed packages always land on the same server)
+// while spreading load — the multi-server parallelism of §V-B.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "chunk/fingerprint.h"
+#include "net/rpc.h"
+#include "server/storage_server.h"
+
+namespace reed::client {
+
+class StorageClient {
+ public:
+  StorageClient(std::vector<std::shared_ptr<net::RpcChannel>> data_servers,
+                std::shared_ptr<net::RpcChannel> key_server);
+
+  std::size_t data_server_count() const { return data_servers_.size(); }
+
+  struct PutStats {
+    std::size_t duplicates = 0;
+    std::size_t stored = 0;
+    std::uint64_t stored_bytes = 0;
+  };
+  // Uploads one batch, grouped into a single request per target server.
+  PutStats PutChunks(
+      const std::vector<std::pair<chunk::Fingerprint, Bytes>>& chunks);
+
+  // Fetches chunks (order-preserving), gathering from the owning servers.
+  std::vector<Bytes> GetChunks(const std::vector<chunk::Fingerprint>& fps);
+
+  void PutObject(server::StoreId store, const std::string& name, ByteSpan value);
+  Bytes GetObject(server::StoreId store, const std::string& name);
+  bool HasObject(server::StoreId store, const std::string& name);
+
+ private:
+  net::RpcChannel& ServerForFingerprint(const chunk::Fingerprint& fp);
+  net::RpcChannel& ServerForObject(server::StoreId store,
+                                   const std::string& name);
+  static void CheckStatus(net::Reader& r);
+
+  std::vector<std::shared_ptr<net::RpcChannel>> data_servers_;
+  std::shared_ptr<net::RpcChannel> key_server_;
+};
+
+}  // namespace reed::client

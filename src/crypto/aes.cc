@@ -1,0 +1,457 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <cpuid.h>
+#include <immintrin.h>
+#define REED_X86 1
+#endif
+
+namespace reed::crypto {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// GF(2^8) arithmetic and generated tables. The S-box is derived at startup
+// from the field inverse + affine transform rather than transcribed, so a
+// typo cannot silently corrupt the cipher (FIPS test vectors then pin it).
+// ---------------------------------------------------------------------------
+
+std::uint8_t GfMul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  while (b) {
+    if (b & 1) p ^= a;
+    bool hi = a & 0x80;
+    a <<= 1;
+    if (hi) a ^= 0x1b;  // x^8 + x^4 + x^3 + x + 1
+    b >>= 1;
+  }
+  return p;
+}
+
+struct AesTables {
+  std::uint8_t sbox[256];
+  std::uint8_t inv_sbox[256];
+
+  AesTables() {
+    // Multiplicative inverses by brute force (done once).
+    std::uint8_t inv[256] = {0};
+    for (int a = 1; a < 256; ++a) {
+      for (int b = 1; b < 256; ++b) {
+        if (GfMul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)) == 1) {
+          inv[a] = static_cast<std::uint8_t>(b);
+          break;
+        }
+      }
+    }
+    auto rotl8 = [](std::uint8_t x, int n) {
+      return static_cast<std::uint8_t>((x << n) | (x >> (8 - n)));
+    };
+    for (int i = 0; i < 256; ++i) {
+      std::uint8_t b = inv[i];
+      std::uint8_t s = static_cast<std::uint8_t>(
+          b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^ rotl8(b, 4) ^ 0x63);
+      sbox[i] = s;
+      inv_sbox[s] = static_cast<std::uint8_t>(i);
+    }
+  }
+};
+
+const AesTables kTables;
+
+inline std::uint8_t XTime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+}
+
+constexpr int kRounds = 14;  // AES-256
+
+void ExpandKeyPortable(ByteSpan key, std::uint8_t ek[240]) {
+  // w[i] packed big-endian so consecutive ek bytes match FIPS-197 order.
+  std::uint32_t w[60];
+  for (int i = 0; i < 8; ++i) {
+    w[i] = (static_cast<std::uint32_t>(key[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(key[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(key[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(key[4 * i + 3]);
+  }
+  auto sub_word = [](std::uint32_t v) {
+    return (static_cast<std::uint32_t>(kTables.sbox[(v >> 24) & 0xFF]) << 24) |
+           (static_cast<std::uint32_t>(kTables.sbox[(v >> 16) & 0xFF]) << 16) |
+           (static_cast<std::uint32_t>(kTables.sbox[(v >> 8) & 0xFF]) << 8) |
+           static_cast<std::uint32_t>(kTables.sbox[v & 0xFF]);
+  };
+  std::uint32_t rcon = 0x01;
+  for (int i = 8; i < 60; ++i) {
+    std::uint32_t temp = w[i - 1];
+    if (i % 8 == 0) {
+      temp = sub_word((temp << 8) | (temp >> 24)) ^ (rcon << 24);
+      rcon = GfMul(static_cast<std::uint8_t>(rcon), 2);
+    } else if (i % 8 == 4) {
+      temp = sub_word(temp);
+    }
+    w[i] = w[i - 8] ^ temp;
+  }
+  for (int i = 0; i < 60; ++i) {
+    ek[4 * i] = static_cast<std::uint8_t>(w[i] >> 24);
+    ek[4 * i + 1] = static_cast<std::uint8_t>(w[i] >> 16);
+    ek[4 * i + 2] = static_cast<std::uint8_t>(w[i] >> 8);
+    ek[4 * i + 3] = static_cast<std::uint8_t>(w[i]);
+  }
+}
+
+// State layout: column-major FIPS order, state[4c + r] = s[r][c].
+inline void AddRoundKey(std::uint8_t s[16], const std::uint8_t* rk) {
+  for (int i = 0; i < 16; ++i) s[i] ^= rk[i];
+}
+
+inline void SubBytes(std::uint8_t s[16]) {
+  for (int i = 0; i < 16; ++i) s[i] = kTables.sbox[s[i]];
+}
+
+inline void InvSubBytes(std::uint8_t s[16]) {
+  for (int i = 0; i < 16; ++i) s[i] = kTables.inv_sbox[s[i]];
+}
+
+inline void ShiftRows(std::uint8_t s[16]) {
+  std::uint8_t t[16];
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      t[4 * c + r] = s[4 * ((c + r) % 4) + r];
+    }
+  }
+  std::memcpy(s, t, 16);
+}
+
+inline void InvShiftRows(std::uint8_t s[16]) {
+  std::uint8_t t[16];
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      t[4 * ((c + r) % 4) + r] = s[4 * c + r];
+    }
+  }
+  std::memcpy(s, t, 16);
+}
+
+inline void MixColumns(std::uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* a = s + 4 * c;
+    std::uint8_t t = a[0] ^ a[1] ^ a[2] ^ a[3];
+    std::uint8_t a0 = a[0];
+    a[0] ^= t ^ XTime(static_cast<std::uint8_t>(a[0] ^ a[1]));
+    a[1] ^= t ^ XTime(static_cast<std::uint8_t>(a[1] ^ a[2]));
+    a[2] ^= t ^ XTime(static_cast<std::uint8_t>(a[2] ^ a[3]));
+    a[3] ^= t ^ XTime(static_cast<std::uint8_t>(a[3] ^ a0));
+  }
+}
+
+inline void InvMixColumns(std::uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* a = s + 4 * c;
+    std::uint8_t b0 = GfMul(a[0], 14) ^ GfMul(a[1], 11) ^ GfMul(a[2], 13) ^ GfMul(a[3], 9);
+    std::uint8_t b1 = GfMul(a[0], 9) ^ GfMul(a[1], 14) ^ GfMul(a[2], 11) ^ GfMul(a[3], 13);
+    std::uint8_t b2 = GfMul(a[0], 13) ^ GfMul(a[1], 9) ^ GfMul(a[2], 14) ^ GfMul(a[3], 11);
+    std::uint8_t b3 = GfMul(a[0], 11) ^ GfMul(a[1], 13) ^ GfMul(a[2], 9) ^ GfMul(a[3], 14);
+    a[0] = b0; a[1] = b1; a[2] = b2; a[3] = b3;
+  }
+}
+
+void EncryptBlockPortable(const std::uint8_t ek[240], const std::uint8_t in[16],
+                          std::uint8_t out[16]) {
+  std::uint8_t s[16];
+  std::memcpy(s, in, 16);
+  AddRoundKey(s, ek);
+  for (int r = 1; r < kRounds; ++r) {
+    SubBytes(s);
+    ShiftRows(s);
+    MixColumns(s);
+    AddRoundKey(s, ek + 16 * r);
+  }
+  SubBytes(s);
+  ShiftRows(s);
+  AddRoundKey(s, ek + 16 * kRounds);
+  std::memcpy(out, s, 16);
+}
+
+void DecryptBlockPortable(const std::uint8_t ek[240], const std::uint8_t in[16],
+                          std::uint8_t out[16]) {
+  std::uint8_t s[16];
+  std::memcpy(s, in, 16);
+  AddRoundKey(s, ek + 16 * kRounds);
+  for (int r = kRounds - 1; r >= 1; --r) {
+    InvShiftRows(s);
+    InvSubBytes(s);
+    AddRoundKey(s, ek + 16 * r);
+    InvMixColumns(s);
+  }
+  InvShiftRows(s);
+  InvSubBytes(s);
+  AddRoundKey(s, ek);
+  std::memcpy(out, s, 16);
+}
+
+#if defined(REED_X86)
+
+bool DetectAesNi() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  return (ecx & (1u << 25)) != 0;
+}
+
+const bool kHaveAesNi = DetectAesNi();
+
+__attribute__((target("aes,sse2")))
+void BuildDecKeysNi(const std::uint8_t enc[240], std::uint8_t dec[240]) {
+  // Equivalent inverse cipher: dec[0] = enc[last], middle keys aesimc'd in
+  // reverse order, dec[last] = enc[0].
+  __m128i k = _mm_loadu_si128(reinterpret_cast<const __m128i*>(enc + 16 * kRounds));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dec), k);
+  for (int r = 1; r < kRounds; ++r) {
+    k = _mm_loadu_si128(reinterpret_cast<const __m128i*>(enc + 16 * (kRounds - r)));
+    k = _mm_aesimc_si128(k);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dec + 16 * r), k);
+  }
+  k = _mm_loadu_si128(reinterpret_cast<const __m128i*>(enc));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dec + 16 * kRounds), k);
+}
+
+__attribute__((target("aes,sse2")))
+void EncryptBlockNi(const std::uint8_t ek[240], const std::uint8_t in[16],
+                    std::uint8_t out[16]) {
+  __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  x = _mm_xor_si128(x, _mm_loadu_si128(reinterpret_cast<const __m128i*>(ek)));
+  for (int r = 1; r < kRounds; ++r) {
+    x = _mm_aesenc_si128(x, _mm_loadu_si128(reinterpret_cast<const __m128i*>(ek + 16 * r)));
+  }
+  x = _mm_aesenclast_si128(x, _mm_loadu_si128(reinterpret_cast<const __m128i*>(ek + 16 * kRounds)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), x);
+}
+
+__attribute__((target("aes,sse2")))
+void DecryptBlockNi(const std::uint8_t dk[240], const std::uint8_t in[16],
+                    std::uint8_t out[16]) {
+  __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  x = _mm_xor_si128(x, _mm_loadu_si128(reinterpret_cast<const __m128i*>(dk)));
+  for (int r = 1; r < kRounds; ++r) {
+    x = _mm_aesdec_si128(x, _mm_loadu_si128(reinterpret_cast<const __m128i*>(dk + 16 * r)));
+  }
+  x = _mm_aesdeclast_si128(x, _mm_loadu_si128(reinterpret_cast<const __m128i*>(dk + 16 * kRounds)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), x);
+}
+
+// Pipelined 8-wide independent-block encryption: the CTR mask generation in
+// CAONT is the hottest loop in the whole system.
+__attribute__((target("aes,sse2")))
+void EncryptBlocksNiBulk(const std::uint8_t ek[240], const std::uint8_t* in,
+                         std::uint8_t* out, std::size_t nblocks) {
+  const __m128i* rk = reinterpret_cast<const __m128i*>(ek);
+  __m128i keys[kRounds + 1];
+  for (int r = 0; r <= kRounds; ++r) {
+    keys[r] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ek + 16 * r));
+  }
+  (void)rk;
+  while (nblocks >= 8) {
+    __m128i x[8];
+    for (int i = 0; i < 8; ++i) {
+      x[i] = _mm_xor_si128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * i)),
+          keys[0]);
+    }
+    for (int r = 1; r < kRounds; ++r) {
+      for (int i = 0; i < 8; ++i) x[i] = _mm_aesenc_si128(x[i], keys[r]);
+    }
+    for (int i = 0; i < 8; ++i) {
+      x[i] = _mm_aesenclast_si128(x[i], keys[kRounds]);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * i), x[i]);
+    }
+    in += 128;
+    out += 128;
+    nblocks -= 8;
+  }
+  while (nblocks-- > 0) {
+    EncryptBlockNi(ek, in, out);
+    in += 16;
+    out += 16;
+  }
+}
+
+#else
+const bool kHaveAesNi = false;
+#endif  // REED_X86
+
+}  // namespace
+
+Aes256::Aes256(ByteSpan key) {
+  if (key.size() != kAes256KeySize) {
+    throw Error("Aes256: key must be 32 bytes");
+  }
+  ExpandKeyPortable(key, enc_round_keys_.data());
+#if defined(REED_X86)
+  if (kHaveAesNi) {
+    BuildDecKeysNi(enc_round_keys_.data(), dec_round_keys_.data());
+    return;
+  }
+#endif
+  dec_round_keys_ = enc_round_keys_;  // portable decrypt reuses enc keys
+}
+
+bool Aes256::UsingHardware() { return kHaveAesNi; }
+
+void Aes256::EncryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const {
+#if defined(REED_X86)
+  if (kHaveAesNi) {
+    EncryptBlockNi(enc_round_keys_.data(), in, out);
+    return;
+  }
+#endif
+  EncryptBlockPortable(enc_round_keys_.data(), in, out);
+}
+
+void Aes256::DecryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const {
+#if defined(REED_X86)
+  if (kHaveAesNi) {
+    DecryptBlockNi(dec_round_keys_.data(), in, out);
+    return;
+  }
+#endif
+  DecryptBlockPortable(enc_round_keys_.data(), in, out);
+}
+
+void Aes256::EncryptBlocksNi(const std::uint8_t* in, std::uint8_t* out,
+                             std::size_t nblocks) const {
+#if defined(REED_X86)
+  if (kHaveAesNi) {
+    EncryptBlocksNiBulk(enc_round_keys_.data(), in, out, nblocks);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    EncryptBlockPortable(enc_round_keys_.data(), in + 16 * i, out + 16 * i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CTR mode
+// ---------------------------------------------------------------------------
+
+AesCtr::AesCtr(ByteSpan key, ByteSpan iv) : aes_(key) {
+  if (iv.size() != kAesBlockSize) {
+    throw Error("AesCtr: iv must be 16 bytes");
+  }
+  std::memcpy(counter_.data(), iv.data(), kAesBlockSize);
+}
+
+namespace {
+inline void IncrementCounter(std::uint8_t ctr[16]) {
+  for (int i = 15; i >= 0; --i) {
+    if (++ctr[i] != 0) break;  // full-width big-endian increment
+  }
+}
+}  // namespace
+
+void AesCtr::RefillBuffer() {
+  aes_.EncryptBlock(counter_.data(), buffer_.data());
+  IncrementCounter(counter_.data());
+  buffer_pos_ = 0;
+}
+
+void AesCtr::Keystream(MutableByteSpan out) {
+  std::size_t i = 0;
+  // Drain any partially consumed block first.
+  while (i < out.size() && buffer_pos_ < kAesBlockSize) {
+    out[i++] = buffer_[buffer_pos_++];
+  }
+  std::size_t remaining = out.size() - i;
+  std::size_t full_blocks = remaining / kAesBlockSize;
+  if (full_blocks > 0) {
+    // Materialize counter blocks and encrypt them in bulk (8-wide on AES-NI).
+    constexpr std::size_t kBatch = 256;
+    std::uint8_t ctrs[kBatch * kAesBlockSize];
+    while (full_blocks > 0) {
+      std::size_t n = std::min(full_blocks, kBatch);
+      for (std::size_t b = 0; b < n; ++b) {
+        std::memcpy(ctrs + 16 * b, counter_.data(), 16);
+        IncrementCounter(counter_.data());
+      }
+      aes_.EncryptBlocksNi(ctrs, out.data() + i, n);
+      i += n * kAesBlockSize;
+      full_blocks -= n;
+    }
+  }
+  while (i < out.size()) {
+    if (buffer_pos_ == kAesBlockSize) RefillBuffer();
+    out[i++] = buffer_[buffer_pos_++];
+  }
+}
+
+void AesCtr::Process(MutableByteSpan data) {
+  // XOR keystream in place; generate into a scratch buffer in slabs.
+  constexpr std::size_t kSlab = 4096;
+  std::uint8_t ks[kSlab];
+  std::size_t off = 0;
+  while (off < data.size()) {
+    std::size_t n = std::min(data.size() - off, kSlab);
+    Keystream(MutableByteSpan(ks, n));
+    for (std::size_t i = 0; i < n; ++i) data[off + i] ^= ks[i];
+    off += n;
+  }
+}
+
+Bytes AesCtrEncrypt(ByteSpan key, ByteSpan iv, ByteSpan data) {
+  Bytes out(data.begin(), data.end());
+  AesCtr ctr(key, iv);
+  ctr.Process(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CBC mode with PKCS#7
+// ---------------------------------------------------------------------------
+
+Bytes AesCbcEncrypt(ByteSpan key, ByteSpan iv, ByteSpan plaintext) {
+  if (iv.size() != kAesBlockSize) throw Error("AesCbcEncrypt: bad iv size");
+  Aes256 aes(key);
+  std::size_t pad = kAesBlockSize - (plaintext.size() % kAesBlockSize);
+  Bytes padded(plaintext.begin(), plaintext.end());
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+
+  Bytes out(padded.size());
+  std::uint8_t prev[kAesBlockSize];
+  std::memcpy(prev, iv.data(), kAesBlockSize);
+  for (std::size_t off = 0; off < padded.size(); off += kAesBlockSize) {
+    std::uint8_t blk[kAesBlockSize];
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) blk[i] = padded[off + i] ^ prev[i];
+    aes.EncryptBlock(blk, out.data() + off);
+    std::memcpy(prev, out.data() + off, kAesBlockSize);
+  }
+  return out;
+}
+
+Bytes AesCbcDecrypt(ByteSpan key, ByteSpan iv, ByteSpan ciphertext) {
+  if (iv.size() != kAesBlockSize) throw Error("AesCbcDecrypt: bad iv size");
+  if (ciphertext.empty() || ciphertext.size() % kAesBlockSize != 0) {
+    throw Error("AesCbcDecrypt: ciphertext not block-aligned");
+  }
+  Aes256 aes(key);
+  Bytes out(ciphertext.size());
+  std::uint8_t prev[kAesBlockSize];
+  std::memcpy(prev, iv.data(), kAesBlockSize);
+  for (std::size_t off = 0; off < ciphertext.size(); off += kAesBlockSize) {
+    std::uint8_t blk[kAesBlockSize];
+    aes.DecryptBlock(ciphertext.data() + off, blk);
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) blk[i] ^= prev[i];
+    std::memcpy(prev, ciphertext.data() + off, kAesBlockSize);
+    std::memcpy(out.data() + off, blk, kAesBlockSize);
+  }
+  std::uint8_t pad = out.back();
+  if (pad == 0 || pad > kAesBlockSize || pad > out.size()) {
+    throw Error("AesCbcDecrypt: bad padding");
+  }
+  for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) throw Error("AesCbcDecrypt: bad padding");
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+}  // namespace reed::crypto

@@ -1,0 +1,82 @@
+// AES-256 (FIPS 197) from scratch, with CTR and CBC modes.
+//
+// REED uses AES-256 as the symmetric cipher E(·) everywhere the paper does:
+// the CAONT pseudo-random mask G(K) = E(K, S) (S = a public constant block
+// stream), the MLE encryption step of the enhanced scheme, stub-file
+// encryption under the file key, and key-state wrapping. A portable
+// byte-oriented backend and an AES-NI backend are selected at runtime.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace reed::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+inline constexpr std::size_t kAes256KeySize = 32;
+
+using AesKey = std::array<std::uint8_t, kAes256KeySize>;
+
+// Expanded-key AES-256 context. Immutable after construction; safe to share
+// across threads for encryption.
+class Aes256 {
+ public:
+  explicit Aes256(ByteSpan key);  // key must be 32 bytes
+
+  // Single-block ECB primitives (building blocks for the modes below).
+  void EncryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void DecryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+  static bool UsingHardware();
+
+ private:
+  friend class AesCtr;
+  void EncryptBlocksNi(const std::uint8_t* in, std::uint8_t* out,
+                       std::size_t nblocks) const;
+
+  // Expanded key bytes, FIPS-197 order: round r occupies [16r, 16r+16).
+  alignas(16) std::array<std::uint8_t, 240> enc_round_keys_;
+  // AES-NI "equivalent inverse cipher" keys (aesimc-transformed, reversed).
+  alignas(16) std::array<std::uint8_t, 240> dec_round_keys_;
+};
+
+// AES-256-CTR keystream/cipher. CTR(K, iv) XOR data — encryption and
+// decryption are the same operation. The CAONT mask G(K) is exactly the CTR
+// keystream with a fixed public IV (the "publicly known block S").
+class AesCtr {
+ public:
+  // iv must be 16 bytes; it forms the initial counter block (big-endian
+  // increment over the trailing 32 bits, NIST SP 800-38A style).
+  AesCtr(ByteSpan key, ByteSpan iv);
+
+  // XORs the keystream into `data` in place, continuing from the current
+  // stream position.
+  void Process(MutableByteSpan data);
+
+  // Writes raw keystream bytes into `out`.
+  void Keystream(MutableByteSpan out);
+
+ private:
+  void RefillBuffer();
+
+  Aes256 aes_;
+  std::array<std::uint8_t, kAesBlockSize> counter_;
+  std::array<std::uint8_t, kAesBlockSize> buffer_;
+  std::size_t buffer_pos_ = kAesBlockSize;
+};
+
+// AES-256-CBC with PKCS#7 padding; used for wrapped key blobs where
+// ciphertext length may exceed plaintext length (not for CAONT packages,
+// which must stay length-preserving).
+Bytes AesCbcEncrypt(ByteSpan key, ByteSpan iv, ByteSpan plaintext);
+Bytes AesCbcDecrypt(ByteSpan key, ByteSpan iv, ByteSpan ciphertext);
+
+// Length-preserving CTR helpers used throughout REED.
+Bytes AesCtrEncrypt(ByteSpan key, ByteSpan iv, ByteSpan data);
+inline Bytes AesCtrDecrypt(ByteSpan key, ByteSpan iv, ByteSpan data) {
+  return AesCtrEncrypt(key, iv, data);
+}
+
+}  // namespace reed::crypto

@@ -1,0 +1,65 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace reed::crypto {
+
+Sha256Digest HmacSha256(ByteSpan key, ByteSpan data) {
+  std::uint8_t block[kSha256BlockSize] = {0};
+  if (key.size() > kSha256BlockSize) {
+    Sha256Digest kd = Sha256::Hash(key);
+    std::memcpy(block, kd.data(), kd.size());
+  } else {
+    std::memcpy(block, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[kSha256BlockSize];
+  std::uint8_t opad[kSha256BlockSize];
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad[i] = block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(data);
+  Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  return outer.Finish();
+}
+
+Bytes HmacSha256ToBytes(ByteSpan key, ByteSpan data) {
+  Sha256Digest d = HmacSha256(key, data);
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes HkdfSha256(ByteSpan ikm, ByteSpan salt, ByteSpan info, std::size_t length) {
+  if (length > 255 * kSha256DigestSize) {
+    throw Error("HkdfSha256: requested length too large");
+  }
+  Sha256Digest prk = HmacSha256(salt, ikm);
+
+  Bytes okm;
+  okm.reserve(length);
+  Bytes t;  // T(0) = empty
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes input = t;
+    Append(input, info);
+    input.push_back(counter++);
+    Sha256Digest block = HmacSha256(prk, input);
+    t.assign(block.begin(), block.end());
+    std::size_t take = std::min(t.size(), length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + take);
+  }
+  return okm;
+}
+
+Bytes DeriveKey32(ByteSpan ikm, std::string_view label) {
+  return HkdfSha256(ikm, /*salt=*/{}, ToBytes(label), 32);
+}
+
+}  // namespace reed::crypto

@@ -1,0 +1,23 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// REED derives its symmetric keys with HKDF so every derived key carries a
+// domain-separation label: file keys from key states, MLE keys from OPRF
+// outputs, per-purpose subkeys (stub encryption, recipe MACs).
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace reed::crypto {
+
+// HMAC-SHA256 over `data` with `key` (any length).
+Sha256Digest HmacSha256(ByteSpan key, ByteSpan data);
+Bytes HmacSha256ToBytes(ByteSpan key, ByteSpan data);
+
+// HKDF-Extract then -Expand; returns `length` bytes (≤ 255*32).
+Bytes HkdfSha256(ByteSpan ikm, ByteSpan salt, ByteSpan info, std::size_t length);
+
+// Convenience: 32-byte key with a string label for domain separation.
+Bytes DeriveKey32(ByteSpan ikm, std::string_view label);
+
+}  // namespace reed::crypto

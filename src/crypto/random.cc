@@ -1,0 +1,149 @@
+#include "crypto/random.h"
+
+#include <sys/random.h>
+
+#include <cstring>
+#include <mutex>
+
+#include "crypto/sha256.h"
+
+namespace reed::crypto {
+
+std::uint64_t Rng::Uniform(std::uint64_t bound) {
+  if (bound == 0) throw Error("Rng::Uniform: bound must be positive");
+  // Rejection sampling over the largest multiple of bound.
+  std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  for (;;) {
+    std::uint64_t v = NextU64();
+    if (v < limit) return v % bound;
+  }
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+namespace {
+
+inline std::uint32_t Rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void QuarterRound(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                         std::uint32_t& d) {
+  a += b; d ^= a; d = Rotl32(d, 16);
+  c += d; b ^= c; b = Rotl32(b, 12);
+  a += b; d ^= a; d = Rotl32(d, 8);
+  c += d; b ^= c; b = Rotl32(b, 7);
+}
+
+}  // namespace
+
+void ChaCha20Block(const std::uint32_t state[16], std::uint8_t out[64]) {
+  std::uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int i = 0; i < 10; ++i) {  // 20 rounds = 10 double rounds
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t v = x[i] + state[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+ChaChaRng::ChaChaRng(ByteSpan seed) {
+  if (seed.size() != 32) throw Error("ChaChaRng: seed must be 32 bytes");
+  std::memcpy(seed_.data(), seed.data(), 32);
+  // RFC 7539 constants "expand 32-byte k".
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    state_[4 + i] = (static_cast<std::uint32_t>(seed[4 * i])) |
+                    (static_cast<std::uint32_t>(seed[4 * i + 1]) << 8) |
+                    (static_cast<std::uint32_t>(seed[4 * i + 2]) << 16) |
+                    (static_cast<std::uint32_t>(seed[4 * i + 3]) << 24);
+  }
+  state_[12] = 0;  // 64-bit block counter in words 12-13 (DRBG use)
+  state_[13] = 0;
+  state_[14] = 0;
+  state_[15] = 0;
+}
+
+void ChaChaRng::Fill(MutableByteSpan out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    if (buffer_pos_ == 64) {
+      ChaCha20Block(state_.data(), buffer_.data());
+      if (++state_[12] == 0) ++state_[13];
+      buffer_pos_ = 0;
+    }
+    std::size_t take = std::min(out.size() - i, 64 - buffer_pos_);
+    std::memcpy(out.data() + i, buffer_.data() + buffer_pos_, take);
+    buffer_pos_ += take;
+    i += take;
+  }
+}
+
+ChaChaRng ChaChaRng::Fork(std::uint64_t stream_id) const {
+  Bytes material(seed_.begin(), seed_.end());
+  AppendU64(material, stream_id);
+  Sha256Digest child = Sha256::Hash(material);
+  return ChaChaRng(ByteSpan(child.data(), child.size()));
+}
+
+namespace {
+
+ChaChaRng MakeOsSeededRng() {
+  std::uint8_t seed[32];
+  std::size_t got = 0;
+  while (got < sizeof(seed)) {
+    ssize_t n = getrandom(seed + got, sizeof(seed) - got, 0);
+    if (n < 0) throw Error("SecureRandom: getrandom failed");
+    got += static_cast<std::size_t>(n);
+  }
+  return ChaChaRng(seed);
+}
+
+std::mutex g_secure_mu;
+ChaChaRng& GlobalSecureRng() {
+  static ChaChaRng rng = MakeOsSeededRng();
+  return rng;
+}
+
+}  // namespace
+
+void SecureRandom::Fill(MutableByteSpan out) {
+  std::lock_guard lock(g_secure_mu);
+  GlobalSecureRng().Fill(out);
+}
+
+Bytes SecureRandom::Generate(std::size_t n) {
+  Bytes out(n);
+  Fill(out);
+  return out;
+}
+
+namespace {
+Bytes SeedFromU64(std::uint64_t seed) {
+  Bytes material = ToBytes("reed-deterministic-rng");
+  AppendU64(material, seed);
+  return Sha256::HashToBytes(material);
+}
+}  // namespace
+
+DeterministicRng::DeterministicRng(std::uint64_t seed)
+    : ChaChaRng(SeedFromU64(seed)) {}
+
+}  // namespace reed::crypto

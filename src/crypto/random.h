@@ -1,0 +1,78 @@
+// Random number generation.
+//
+// Two generators share one interface:
+//  * SecureRandom — ChaCha20-based DRBG seeded from the OS entropy pool;
+//    used for key states, RSA key generation, ABE randomness.
+//  * DeterministicRng — same DRBG seeded from a caller-provided seed; used
+//    by tests, the synthetic-trace generator, and the workload generators so
+//    every experiment is reproducible bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace reed::crypto {
+
+class Rng {
+ public:
+  virtual ~Rng() = default;
+
+  virtual void Fill(MutableByteSpan out) = 0;
+
+  Bytes Generate(std::size_t n) {
+    Bytes out(n);
+    Fill(out);
+    return out;
+  }
+
+  std::uint64_t NextU64() {
+    std::uint8_t buf[8];
+    Fill(buf);
+    return GetU64(buf);
+  }
+
+  // Uniform in [0, bound) without modulo bias (rejection sampling).
+  std::uint64_t Uniform(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+};
+
+// ChaCha20 block function exposed for tests (RFC 7539 test vectors).
+void ChaCha20Block(const std::uint32_t state[16], std::uint8_t out[64]);
+
+// DRBG over the ChaCha20 block function with a 64-bit block counter.
+class ChaChaRng : public Rng {
+ public:
+  // seed: 32 bytes of key material.
+  explicit ChaChaRng(ByteSpan seed);
+
+  void Fill(MutableByteSpan out) override;
+
+  // Forks an independent stream (hashes the parent seed + stream id); lets
+  // parallel workers draw reproducible, non-overlapping randomness.
+  ChaChaRng Fork(std::uint64_t stream_id) const;
+
+ private:
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 32> seed_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_pos_ = 64;
+};
+
+// Process-wide CSPRNG seeded from the OS; thread-safe.
+class SecureRandom {
+ public:
+  static void Fill(MutableByteSpan out);
+  static Bytes Generate(std::size_t n);
+};
+
+// Deterministic RNG for tests and workload generation.
+class DeterministicRng : public ChaChaRng {
+ public:
+  explicit DeterministicRng(std::uint64_t seed);
+};
+
+}  // namespace reed::crypto

@@ -1,0 +1,115 @@
+#include "keymanager/key_manager.h"
+
+#include <chrono>
+
+namespace reed::keymanager {
+
+KeyManager::KeyManager(const Options& options, crypto::Rng& rng)
+    : KeyManager(rsa::GenerateKeyPair(options.rsa_bits, rng), options) {}
+
+KeyManager::KeyManager(rsa::RsaKeyPair keys, const Options& options)
+    : options_(options),
+      server_(std::move(keys.priv)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+std::vector<BigInt> KeyManager::SignBatch(const std::string& client_id,
+                                          const std::vector<BigInt>& blinded) {
+  if (options_.rate_limit_per_sec > 0) {
+    TokenBucket* bucket;
+    {
+      std::lock_guard lock(mu_);
+      auto& slot = buckets_[client_id];
+      if (!slot) {
+        slot = std::make_unique<TokenBucket>(options_.rate_limit_per_sec,
+                                             options_.rate_limit_burst);
+      }
+      bucket = slot.get();
+    }
+    double now = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - epoch_)
+                     .count();
+    if (!bucket->TryAcquire(now, static_cast<double>(blinded.size()))) {
+      std::lock_guard lock(mu_);
+      ++stats_.rejected;
+      throw RateLimitedError("KeyManager: client " + client_id +
+                             " exceeded its key-generation budget");
+    }
+  }
+
+  std::vector<BigInt> signatures;
+  signatures.reserve(blinded.size());
+  for (const BigInt& b : blinded) {
+    signatures.push_back(server_.Sign(b));
+  }
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.batches;
+    stats_.signatures += signatures.size();
+  }
+  return signatures;
+}
+
+KeyManager::Stats KeyManager::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+Bytes KeyManager::EncodeRequest(const std::string& client_id,
+                                const std::vector<BigInt>& blinded,
+                                std::size_t modulus_bytes) {
+  net::Writer w;
+  w.Str(client_id);
+  w.U32(static_cast<std::uint32_t>(blinded.size()));
+  for (const BigInt& b : blinded) {
+    w.Raw(b.ToBytesPadded(modulus_bytes));
+  }
+  return w.Take();
+}
+
+Bytes KeyManager::HandleRequest(ByteSpan request) {
+  std::size_t nbytes = server_.public_key().ByteLength();
+  net::Writer resp;
+  try {
+    net::Reader r(request);
+    std::string client_id = r.Str();
+    std::uint32_t count = r.U32();
+    if (static_cast<std::uint64_t>(count) * nbytes > r.remaining()) {
+      throw Error("batch count exceeds payload");
+    }
+    std::vector<BigInt> blinded;
+    blinded.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      blinded.push_back(BigInt::FromBytes(r.Raw(nbytes)));
+    }
+    r.ExpectEnd();
+
+    std::vector<BigInt> sigs = SignBatch(client_id, blinded);
+    resp.U8(0);
+    for (const BigInt& s : sigs) resp.Raw(s.ToBytesPadded(nbytes));
+    return resp.Take();
+  } catch (const RateLimitedError&) {
+    resp.U8(1);
+    return resp.Take();
+  } catch (const Error&) {
+    resp.U8(2);
+    return resp.Take();
+  }
+}
+
+std::vector<BigInt> KeyManager::DecodeResponse(ByteSpan response,
+                                               std::size_t modulus_bytes,
+                                               std::size_t expected_count) {
+  net::Reader r(response);
+  std::uint8_t status = r.U8();
+  if (status == 1) throw RateLimitedError("KeyManager: rate limited");
+  if (status != 0) throw Error("KeyManager: malformed request rejected");
+  std::vector<BigInt> sigs;
+  sigs.reserve(expected_count);
+  for (std::size_t i = 0; i < expected_count; ++i) {
+    sigs.push_back(BigInt::FromBytes(r.Raw(modulus_bytes)));
+  }
+  r.ExpectEnd();
+  return sigs;
+}
+
+}  // namespace reed::keymanager

@@ -1,0 +1,108 @@
+#include "keymanager/mle_key_client.h"
+
+namespace reed::keymanager {
+
+namespace {
+// LRU accounting charge per cached key: fingerprint + key + node overhead.
+constexpr std::size_t kCacheEntryCost = 32 + 32 + 64;
+}  // namespace
+
+MleKeyClient::MleKeyClient(std::string client_id,
+                           rsa::RsaPublicKey manager_key,
+                           std::shared_ptr<net::RpcChannel> channel,
+                           const Options& options)
+    : MleKeyClient(std::move(client_id), std::move(manager_key),
+                   std::vector<std::shared_ptr<net::RpcChannel>>{
+                       std::move(channel)},
+                   options) {}
+
+MleKeyClient::MleKeyClient(
+    std::string client_id, rsa::RsaPublicKey manager_key,
+    std::vector<std::shared_ptr<net::RpcChannel>> replicas,
+    const Options& options)
+    : client_id_(std::move(client_id)),
+      blind_client_(std::move(manager_key)),
+      replicas_(std::move(replicas)),
+      options_(options),
+      cache_(options.enable_cache ? options.key_cache_bytes : 0,
+             kCacheEntryCost) {
+  if (options_.batch_size == 0) {
+    throw Error("MleKeyClient: batch size must be positive");
+  }
+  if (replicas_.empty()) {
+    throw Error("MleKeyClient: need at least one key-manager replica");
+  }
+}
+
+Bytes MleKeyClient::CallWithFailover(ByteSpan request) {
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    try {
+      return replicas_[i]->Call(request);
+    } catch (const Error&) {
+      // Transport-level failure: the next replica holds the same keys.
+      // (Application-level rejections arrive as status frames, not
+      // exceptions, so they are never retried here.)
+      if (i + 1 == replicas_.size()) throw;
+      ++stats_.failovers;
+    }
+  }
+  throw Error("MleKeyClient: unreachable");
+}
+
+std::vector<Bytes> MleKeyClient::GetKeys(
+    const std::vector<chunk::Fingerprint>& fps, crypto::Rng& rng) {
+  std::vector<Bytes> keys(fps.size());
+  std::vector<std::size_t> missing;
+  missing.reserve(fps.size());
+
+  if (options_.enable_cache) {
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+      if (auto hit = cache_.Get(fps[i])) {
+        keys[i] = std::move(*hit);
+        ++stats_.cache_hits;
+      } else {
+        missing.push_back(i);
+        ++stats_.cache_misses;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < fps.size(); ++i) missing.push_back(i);
+    stats_.cache_misses += missing.size();
+  }
+
+  std::size_t modulus_bytes = blind_client_.manager_key().ByteLength();
+  for (std::size_t start = 0; start < missing.size();
+       start += options_.batch_size) {
+    std::size_t end = std::min(missing.size(), start + options_.batch_size);
+
+    std::vector<rsa::BlindedRequest> requests;
+    std::vector<BigInt> blinded;
+    requests.reserve(end - start);
+    blinded.reserve(end - start);
+    for (std::size_t i = start; i < end; ++i) {
+      requests.push_back(blind_client_.Blind(fps[missing[i]].AsSpan(), rng));
+      blinded.push_back(requests.back().blinded);
+    }
+
+    Bytes request = KeyManager::EncodeRequest(client_id_, blinded, modulus_bytes);
+    Bytes response = CallWithFailover(request);
+    std::vector<BigInt> sigs =
+        KeyManager::DecodeResponse(response, modulus_bytes, blinded.size());
+    ++stats_.batches_sent;
+
+    for (std::size_t i = start; i < end; ++i) {
+      Bytes key = blind_client_.Unblind(requests[i - start], sigs[i - start]);
+      if (options_.enable_cache) cache_.Put(fps[missing[i]], key);
+      keys[missing[i]] = std::move(key);
+    }
+  }
+  return keys;
+}
+
+Bytes MleKeyClient::GetKey(const chunk::Fingerprint& fp, crypto::Rng& rng) {
+  return GetKeys({fp}, rng).front();
+}
+
+void MleKeyClient::ClearCache() { cache_.Clear(); }
+
+}  // namespace reed::keymanager

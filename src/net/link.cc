@@ -1,0 +1,33 @@
+#include "net/link.h"
+
+#include <thread>
+
+namespace reed::net {
+
+void SimulatedLink::Transfer(std::uint64_t bytes) {
+  {
+    std::lock_guard lock(mu_);
+    total_bytes_ += bytes;
+  }
+  if (bandwidth_bps_ <= 0) return;
+
+  auto serialization = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(static_cast<double>(bytes) * 8.0 /
+                                    bandwidth_bps_));
+  Clock::time_point done;
+  {
+    std::lock_guard lock(mu_);
+    Clock::time_point now = Clock::now();
+    // Bandwidth is a shared resource: this transfer occupies the medium
+    // after any in-flight one finishes.
+    Clock::time_point start = std::max(now, link_free_);
+    link_free_ = start + serialization;
+    done = link_free_;
+  }
+  // Propagation latency overlaps between senders.
+  done += std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(rtt_ / 2.0));
+  std::this_thread::sleep_until(done);
+}
+
+}  // namespace reed::net

@@ -1,0 +1,18 @@
+#include "net/rpc.h"
+
+namespace reed::net {
+
+void ServeTransport(TcpTransport transport,
+                    const LocalChannel::Handler& handler) {
+  for (;;) {
+    Bytes request;
+    try {
+      request = transport.Receive();
+    } catch (const NetError&) {
+      return;  // peer closed
+    }
+    transport.Send(handler(request));
+  }
+}
+
+}  // namespace reed::net

@@ -1,0 +1,80 @@
+// Minimal request/response channel abstraction.
+//
+// Every REED service (key manager, storage servers) exposes a
+// HandleRequest(bytes) -> bytes entry point; clients reach it through an
+// RpcChannel. Three implementations cover the deployment spectrum:
+//   * LocalChannel      — direct call, zero cost (unit tests)
+//   * SimulatedChannel  — direct call + SimulatedLink costs both ways
+//                         (testbed-shaped benchmarks)
+//   * TcpChannel        — frames over a real socket (deployment/example)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "net/link.h"
+#include "net/tcp.h"
+#include "util/bytes.h"
+
+namespace reed::net {
+
+class RpcChannel {
+ public:
+  virtual ~RpcChannel() = default;
+  virtual Bytes Call(ByteSpan request) = 0;
+};
+
+// Wraps any handler function as a channel.
+class LocalChannel : public RpcChannel {
+ public:
+  using Handler = std::function<Bytes(ByteSpan)>;
+  explicit LocalChannel(Handler handler) : handler_(std::move(handler)) {}
+
+  Bytes Call(ByteSpan request) override { return handler_(request); }
+
+ private:
+  Handler handler_;
+};
+
+// Pays simulated network costs for the request and the response around a
+// direct handler call.
+class SimulatedChannel : public RpcChannel {
+ public:
+  SimulatedChannel(LocalChannel::Handler handler,
+                   std::shared_ptr<SimulatedLink> link)
+      : handler_(std::move(handler)), link_(std::move(link)) {}
+
+  Bytes Call(ByteSpan request) override {
+    link_->Transfer(request.size());
+    Bytes response = handler_(request);
+    link_->Transfer(response.size());
+    return response;
+  }
+
+ private:
+  LocalChannel::Handler handler_;
+  std::shared_ptr<SimulatedLink> link_;
+};
+
+// One frame out, one frame back, serialized per channel.
+class TcpChannel : public RpcChannel {
+ public:
+  explicit TcpChannel(TcpTransport transport) : transport_(std::move(transport)) {}
+
+  Bytes Call(ByteSpan request) override {
+    std::lock_guard lock(mu_);
+    transport_.Send(request);
+    return transport_.Receive();
+  }
+
+ private:
+  std::mutex mu_;
+  TcpTransport transport_;
+};
+
+// Serves a handler over an accepted TCP transport until the peer closes.
+void ServeTransport(TcpTransport transport,
+                    const LocalChannel::Handler& handler);
+
+}  // namespace reed::net

@@ -1,0 +1,48 @@
+#include "net/tcp_server.h"
+
+namespace reed::net {
+
+TcpServer::TcpServer(std::uint16_t port, LocalChannel::Handler handler)
+    : handler_(std::move(handler)),
+      listener_(std::make_unique<TcpListener>(port)),
+      port_(listener_->port()) {
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+}
+
+void TcpServer::AcceptLoop() {
+  for (;;) {
+    TcpTransport conn(-1);
+    try {
+      conn = listener_->Accept();
+    } catch (const Error&) {
+      return;  // listener closed
+    }
+    if (stopping_.load()) return;
+    std::lock_guard lock(mu_);
+    connections_.emplace_back(
+        [this, c = std::move(conn)]() mutable {
+          ServeTransport(std::move(c), handler_);
+        });
+  }
+}
+
+void TcpServer::Wait() {
+  if (acceptor_.joinable()) acceptor_.join();
+}
+
+TcpServer::~TcpServer() {
+  stopping_.store(true);
+  // Poke the acceptor out of its blocking Accept with a dummy connection.
+  try {
+    TcpTransport wake = TcpTransport::Connect("127.0.0.1", port_);
+  } catch (const Error&) {
+    // Listener already gone.
+  }
+  Wait();
+  std::lock_guard lock(mu_);
+  for (auto& t : connections_) {
+    if (t.joinable()) t.detach();  // exits when the peer disconnects
+  }
+}
+
+}  // namespace reed::net

@@ -1,0 +1,46 @@
+// Multi-connection TCP RPC server: accept loop + one service thread per
+// connection, each running ServeTransport over a shared handler. Used by
+// the reed_serverd / reed_keymanagerd daemons and the TCP examples.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/rpc.h"
+#include "net/tcp.h"
+
+namespace reed::net {
+
+class TcpServer {
+ public:
+  // Binds 127.0.0.1:port (0 = ephemeral) and starts accepting immediately.
+  TcpServer(std::uint16_t port, LocalChannel::Handler handler);
+
+  // Stops accepting and joins the acceptor; connection threads are joined
+  // as their peers disconnect.
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  // Blocks until the acceptor exits (daemons call this from main()).
+  void Wait();
+
+ private:
+  void AcceptLoop();
+
+  LocalChannel::Handler handler_;
+  std::unique_ptr<TcpListener> listener_;
+  std::uint16_t port_;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex mu_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace reed::net

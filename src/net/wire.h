@@ -1,0 +1,101 @@
+// Wire-format helpers: a Writer/Reader pair over length-delimited fields,
+// used by every REED protocol message (key-manager batches, storage RPCs,
+// recipes, key-state metadata).
+//
+// Format primitives: fixed-width big-endian integers and u32-length-
+// prefixed byte strings. Readers validate every length against the
+// remaining buffer, so malformed frames fail loudly instead of reading out
+// of bounds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace reed::net {
+
+class Writer {
+ public:
+  void U8(std::uint8_t v) { buf_.push_back(v); }
+  void U32(std::uint32_t v) { AppendU32(buf_, v); }
+  void U64(std::uint64_t v) { AppendU64(buf_, v); }
+
+  void Blob(ByteSpan data) {
+    U32(static_cast<std::uint32_t>(data.size()));
+    Append(buf_, data);
+  }
+
+  void Str(std::string_view s) { Blob(ToBytes(s)); }
+
+  // Raw bytes without a length prefix (for fixed-width fields).
+  void Raw(ByteSpan data) { Append(buf_, data); }
+
+  Bytes Take() { return std::move(buf_); }
+  const Bytes& bytes() const { return buf_; }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(ByteSpan data) : data_(data) {}
+
+  std::uint8_t U8() {
+    Need(1);
+    return data_[off_++];
+  }
+
+  std::uint32_t U32() {
+    Need(4);
+    std::uint32_t v = GetU32(data_.subspan(off_));
+    off_ += 4;
+    return v;
+  }
+
+  std::uint64_t U64() {
+    Need(8);
+    std::uint64_t v = GetU64(data_.subspan(off_));
+    off_ += 8;
+    return v;
+  }
+
+  Bytes Blob() {
+    std::uint32_t len = U32();
+    Need(len);
+    Bytes out(data_.begin() + off_, data_.begin() + off_ + len);
+    off_ += len;
+    return out;
+  }
+
+  std::string Str() {
+    Bytes b = Blob();
+    return ToString(b);
+  }
+
+  Bytes Raw(std::size_t n) {
+    Need(n);
+    Bytes out(data_.begin() + off_, data_.begin() + off_ + n);
+    off_ += n;
+    return out;
+  }
+
+  bool AtEnd() const { return off_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - off_; }
+
+  // Call when a message should have been fully consumed.
+  void ExpectEnd() const {
+    if (!AtEnd()) throw Error("Reader: trailing bytes in message");
+  }
+
+ private:
+  void Need(std::size_t n) const {
+    if (off_ + n > data_.size()) throw Error("Reader: truncated message");
+  }
+
+  ByteSpan data_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace reed::net

@@ -1,0 +1,62 @@
+#include "pairing/bls.h"
+
+#include "crypto/sha256.h"
+
+namespace reed::pairing {
+
+BlsKeyPair BlsGenerateKeyPair(const TypeAPairing& pairing, crypto::Rng& rng) {
+  BlsKeyPair kp;
+  kp.secret = pairing.RandomScalar(rng);
+  kp.public_key = pairing.generator().ScalarMul(kp.secret);
+  return kp;
+}
+
+BlsBlindSigner::BlsBlindSigner(std::shared_ptr<const TypeAPairing> pairing,
+                               BigInt secret)
+    : pairing_(std::move(pairing)), secret_(std::move(secret)) {
+  if (!pairing_) throw Error("BlsBlindSigner: null pairing");
+  if (secret_.IsZero() || secret_ >= pairing_->group_order()) {
+    throw Error("BlsBlindSigner: secret out of range");
+  }
+  public_key_ = pairing_->generator().ScalarMul(secret_);
+}
+
+G1Point BlsBlindSigner::Sign(const G1Point& blinded) const {
+  if (blinded.is_infinity()) {
+    throw Error("BlsBlindSigner: refusing to sign the identity");
+  }
+  if (!blinded.IsOnCurve()) {
+    throw Error("BlsBlindSigner: point not on curve");
+  }
+  return blinded.ScalarMul(secret_);
+}
+
+BlsBlindClient::BlsBlindClient(std::shared_ptr<const TypeAPairing> pairing,
+                               G1Point manager_public_key)
+    : pairing_(std::move(pairing)), pk_(std::move(manager_public_key)) {
+  if (!pairing_) throw Error("BlsBlindClient: null pairing");
+}
+
+BlsBlindClient::BlindedRequest BlsBlindClient::Blind(ByteSpan message,
+                                                     crypto::Rng& rng) const {
+  BlindedRequest req;
+  req.h = pairing_->HashToGroup(message);
+  req.r = pairing_->RandomScalar(rng);
+  req.blinded = req.h.Add(pairing_->generator().ScalarMul(req.r));
+  return req;
+}
+
+Bytes BlsBlindClient::Unblind(const BlindedRequest& request,
+                              const G1Point& signature) const {
+  // s = s' − r·pk = x·h
+  G1Point s = signature.Add(pk_.ScalarMul(request.r).Neg());
+  // Verify e(s, g) == e(h, pk): bilinearity gives e(x·h, g) = e(h, g)^x =
+  // e(h, x·g).
+  if (!(pairing_->Pair(s, pairing_->generator()) ==
+        pairing_->Pair(request.h, pk_))) {
+    throw Error("BlsBlindClient: signature verification failed");
+  }
+  return crypto::Sha256::HashToBytes(s.ToBytes(pairing_->field()));
+}
+
+}  // namespace reed::pairing

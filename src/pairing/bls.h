@@ -1,0 +1,65 @@
+// Blinded BLS signatures — the alternative MLE key-generation instantiation
+// the paper names (§V "Key manager": "Other approaches, such as blinded BLS
+// signatures [23], can be used to implement blinded MLE key generation").
+//
+// Over our Type-A pairing: the manager holds x with pk = g^x; the BLS
+// signature on message m is H(m)^x ∈ G1. Blinding:
+//   client:  h = HashToGroup(m); picks r; sends  b = h + r·g   (additive)
+//   manager: s' = x·b = x·h + r·(x·g)
+//   client:  s  = s' − r·pk = x·h;  verifies e(s, g) == e(h, pk)
+// The MLE key is H(serialize(s)) — deterministic in m, blind to the
+// manager, and unforgeable without x.
+#pragma once
+
+#include <memory>
+
+#include "pairing/pairing.h"
+
+namespace reed::pairing {
+
+struct BlsKeyPair {
+  BigInt secret;   // x
+  G1Point public_key;  // g^x
+};
+
+BlsKeyPair BlsGenerateKeyPair(const TypeAPairing& pairing, crypto::Rng& rng);
+
+// Manager side: signs blinded group elements; never sees the message.
+class BlsBlindSigner {
+ public:
+  BlsBlindSigner(std::shared_ptr<const TypeAPairing> pairing, BigInt secret);
+
+  const G1Point& public_key() const { return public_key_; }
+
+  G1Point Sign(const G1Point& blinded) const;
+
+ private:
+  std::shared_ptr<const TypeAPairing> pairing_;
+  BigInt secret_;
+  G1Point public_key_;
+};
+
+// Client side: blind / unblind+verify, yielding 32-byte MLE keys.
+class BlsBlindClient {
+ public:
+  BlsBlindClient(std::shared_ptr<const TypeAPairing> pairing,
+                 G1Point manager_public_key);
+
+  struct BlindedRequest {
+    G1Point blinded;  // h + r·g, sent to the manager
+    BigInt r;         // kept locally
+    G1Point h;        // HashToGroup(message), kept locally
+  };
+
+  BlindedRequest Blind(ByteSpan message, crypto::Rng& rng) const;
+
+  // Unblinds and verifies via the pairing equation; returns H(signature).
+  // Throws Error when verification fails.
+  Bytes Unblind(const BlindedRequest& request, const G1Point& signature) const;
+
+ private:
+  std::shared_ptr<const TypeAPairing> pairing_;
+  G1Point pk_;
+};
+
+}  // namespace reed::pairing

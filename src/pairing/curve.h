@@ -1,0 +1,47 @@
+// The supersingular curve E: y² = x³ + x over F_p and its order-r subgroup
+// G1, plus hash-to-point. With p ≡ 3 mod 4, #E(F_p) = p + 1 = cofactor · r.
+#pragma once
+
+#include "pairing/field.h"
+
+namespace reed::pairing {
+
+// Affine point on E (with a distinguished point at infinity).
+class G1Point {
+ public:
+  G1Point() : infinity_(true) {}  // point at infinity
+  G1Point(Fp x, Fp y) : x_(std::move(x)), y_(std::move(y)), infinity_(false) {}
+
+  static G1Point Infinity() { return G1Point(); }
+
+  bool is_infinity() const { return infinity_; }
+  const Fp& x() const { return x_; }
+  const Fp& y() const { return y_; }
+
+  bool operator==(const G1Point& o) const;
+
+  bool IsOnCurve() const;
+
+  G1Point Neg() const;
+  G1Point Add(const G1Point& o) const;
+  G1Point Double() const;
+  G1Point ScalarMul(const BigInt& k) const;
+
+  // Fixed-width serialization: flag byte || x || y (flag 0 = infinity).
+  Bytes ToBytes(const FpField* f) const;
+  static G1Point FromBytes(const FpField* f, ByteSpan bytes);
+  static std::size_t SerializedSize(const FpField* f) {
+    return 1 + 2 * f->element_bytes();
+  }
+
+ private:
+  Fp x_, y_;
+  bool infinity_;
+};
+
+// Deterministically hashes arbitrary bytes onto the order-r subgroup:
+// try-and-increment x candidates, then clear the cofactor.
+G1Point HashToG1(const FpField* field, const BigInt& cofactor,
+                 ByteSpan data);
+
+}  // namespace reed::pairing

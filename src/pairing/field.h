@@ -1,0 +1,104 @@
+// Finite-field tower for the Type-A pairing: F_p and F_p² = F_p[i]/(i²+1).
+//
+// The CP-ABE layer (paper §IV-C) needs a symmetric bilinear pairing; we
+// build the same construction the cpabe toolkit's PBC "type A" parameters
+// use: a supersingular curve y² = x³ + x over F_p with p ≡ 3 mod 4, whose
+// pairing lands in F_p². Elements are kept in Montgomery form internally;
+// a field context is shared by all elements of the same field.
+#pragma once
+
+#include <memory>
+
+#include "bigint/bigint.h"
+
+namespace reed::pairing {
+
+using bigint::BigInt;
+using bigint::Montgomery;
+
+// Shared context for arithmetic mod a fixed prime p (p ≡ 3 mod 4).
+class FpField {
+ public:
+  explicit FpField(BigInt p);
+
+  const BigInt& p() const { return p_; }
+  const Montgomery& mont() const { return mont_; }
+  std::size_t element_bytes() const { return ebytes_; }
+  // (p+1)/4 — the square-root exponent for p ≡ 3 mod 4.
+  const BigInt& sqrt_exp() const { return sqrt_exp_; }
+
+ private:
+  BigInt p_;
+  Montgomery mont_;
+  BigInt sqrt_exp_;
+  std::size_t ebytes_;
+};
+
+// An element of F_p (Montgomery form internally).
+class Fp {
+ public:
+  Fp() : field_(nullptr) {}
+  Fp(const FpField* field, BigInt mont_value)
+      : field_(field), v_(std::move(mont_value)) {}
+
+  static Fp Zero(const FpField* f) { return Fp(f, BigInt()); }
+  static Fp One(const FpField* f);
+  static Fp FromBigInt(const FpField* f, const BigInt& plain);
+  static Fp FromU64(const FpField* f, std::uint64_t v);
+  static Fp Random(const FpField* f, crypto::Rng& rng);
+
+  BigInt ToBigInt() const;             // plain (non-Montgomery) value
+  Bytes ToBytes() const;               // fixed-width big-endian
+  static Fp FromBytes(const FpField* f, ByteSpan b);
+
+  bool IsZero() const { return v_.IsZero(); }
+  bool operator==(const Fp& o) const { return v_ == o.v_; }
+
+  Fp operator+(const Fp& o) const;
+  Fp operator-(const Fp& o) const;
+  Fp operator*(const Fp& o) const;
+  Fp Neg() const;
+  Fp Square() const { return *this * *this; }
+  Fp Inverse() const;
+  Fp Pow(const BigInt& e) const;
+
+  // Square root for p ≡ 3 mod 4; returns false if not a QR.
+  bool Sqrt(Fp* out) const;
+
+  const FpField* field() const { return field_; }
+
+ private:
+  const FpField* field_;
+  BigInt v_;  // Montgomery form
+};
+
+// An element a + b·i of F_p², i² = -1 (valid because p ≡ 3 mod 4).
+class Fp2 {
+ public:
+  Fp2() = default;
+  Fp2(Fp a, Fp b) : a_(std::move(a)), b_(std::move(b)) {}
+
+  static Fp2 One(const FpField* f) { return Fp2(Fp::One(f), Fp::Zero(f)); }
+
+  const Fp& a() const { return a_; }
+  const Fp& b() const { return b_; }
+
+  bool IsOne() const;
+  bool operator==(const Fp2& o) const { return a_ == o.a_ && b_ == o.b_; }
+
+  Fp2 operator+(const Fp2& o) const { return Fp2(a_ + o.a_, b_ + o.b_); }
+  Fp2 operator-(const Fp2& o) const { return Fp2(a_ - o.a_, b_ - o.b_); }
+  Fp2 operator*(const Fp2& o) const;
+  Fp2 Square() const;
+  Fp2 Conjugate() const { return Fp2(a_, b_.Neg()); }
+  Fp2 Inverse() const;
+  Fp2 Pow(const BigInt& e) const;
+
+  Bytes ToBytes() const;
+  static Fp2 FromBytes(const FpField* f, ByteSpan bytes);
+
+ private:
+  Fp a_, b_;
+};
+
+}  // namespace reed::pairing

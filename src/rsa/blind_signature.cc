@@ -1,0 +1,43 @@
+#include "rsa/blind_signature.h"
+
+#include "crypto/sha256.h"
+
+namespace reed::rsa {
+
+BlindedRequest BlindSignatureClient::Blind(ByteSpan fingerprint,
+                                           crypto::Rng& rng) const {
+  BigInt h = FullDomainHash(fingerprint, key_.n);
+  // r must be invertible mod N; a random r < N fails only with negligible
+  // probability (it would factor N), but we loop for correctness.
+  for (;;) {
+    BigInt r = BigInt::Random(rng, key_.n);
+    if (r.IsZero()) continue;
+    if (!BigInt::Gcd(r, key_.n).IsOne()) continue;
+    BigInt r_e = BigInt::PowMod(r, key_.e, key_.n);
+    BlindedRequest req;
+    req.blinded = BigInt::MulMod(h, r_e, key_.n);
+    req.r_inv = BigInt::InverseMod(r, key_.n);
+    req.h = h;
+    return req;
+  }
+}
+
+Bytes BlindSignatureClient::Unblind(const BlindedRequest& request,
+                                    const BigInt& signature) const {
+  BigInt s = BigInt::MulMod(signature, request.r_inv, key_.n);
+  // Verify s^e == h before trusting the key manager's answer.
+  if (BigInt::PowMod(s, key_.e, key_.n) != request.h) {
+    throw Error("BlindSignatureClient: signature verification failed");
+  }
+  // MLE key = H(h^d): a fixed-width encoding keeps hashing canonical.
+  return crypto::Sha256::HashToBytes(s.ToBytesPadded(key_.ByteLength()));
+}
+
+BigInt BlindSignatureServer::Sign(const BigInt& blinded) const {
+  if (blinded.IsZero() || blinded >= key_.pub.n) {
+    throw Error("BlindSignatureServer: blinded value out of range");
+  }
+  return PrivateApply(key_, blinded);
+}
+
+}  // namespace reed::rsa

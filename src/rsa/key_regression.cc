@@ -1,0 +1,72 @@
+#include "rsa/key_regression.h"
+
+#include "crypto/sha256.h"
+
+namespace reed::rsa {
+
+Bytes KeyState::Serialize(const RsaPublicKey& derivation_key) const {
+  Bytes out;
+  AppendU64(out, version);
+  Append(out, value.ToBytesPadded(derivation_key.ByteLength()));
+  return out;
+}
+
+KeyState KeyState::Deserialize(ByteSpan blob, const RsaPublicKey& derivation_key) {
+  std::size_t want = 8 + derivation_key.ByteLength();
+  if (blob.size() != want) {
+    throw Error("KeyState::Deserialize: bad blob length");
+  }
+  KeyState st;
+  st.version = GetU64(blob);
+  st.value = BigInt::FromBytes(blob.subspan(8));
+  if (st.value >= derivation_key.n) {
+    throw Error("KeyState::Deserialize: state out of range");
+  }
+  return st;
+}
+
+Bytes KeyState::DeriveFileKey() const {
+  Bytes input = ToBytes("reed/file-key");
+  AppendU64(input, version);
+  Append(input, value.ToBytes());
+  return crypto::Sha256::HashToBytes(input);
+}
+
+KeyState KeyRegressionOwner::GenesisState(crypto::Rng& rng) const {
+  KeyState st;
+  st.version = 0;
+  // Avoid the trivial fixed points 0 and 1 of x -> x^d.
+  do {
+    st.value = BigInt::Random(rng, keys_.pub.n);
+  } while (st.value.IsZero() || st.value.IsOne());
+  return st;
+}
+
+KeyState KeyRegressionOwner::Wind(const KeyState& state) const {
+  KeyState next;
+  next.version = state.version + 1;
+  next.value = PrivateApply(keys_.priv, state.value);
+  return next;
+}
+
+KeyState KeyRegressionMember::Unwind(const KeyState& state) const {
+  if (state.version == 0) {
+    throw Error("KeyRegressionMember: cannot unwind below version 0");
+  }
+  KeyState prev;
+  prev.version = state.version - 1;
+  prev.value = PublicApply(key_, state.value);
+  return prev;
+}
+
+KeyState KeyRegressionMember::UnwindTo(const KeyState& state,
+                                       std::uint64_t target_version) const {
+  if (target_version > state.version) {
+    throw Error("KeyRegressionMember: target version is in the future");
+  }
+  KeyState cur = state;
+  while (cur.version > target_version) cur = Unwind(cur);
+  return cur;
+}
+
+}  // namespace reed::rsa

@@ -1,0 +1,63 @@
+// RSA key generation and raw RSA operations (textbook RSA over our bigint),
+// with CRT acceleration for the private operation.
+//
+// REED uses RSA in two places, both as the paper prescribes:
+//  * the key manager's system-wide key pair for the blind-signature OPRF
+//    (DupLESS-style MLE key generation; 1024-bit default, as in §V), and
+//  * per-user derivation key pairs for RSA key regression (§IV-C).
+// Raw (unpadded) RSA is correct in both constructions: the OPRF applies a
+// full-domain hash before signing, and key regression winds full-domain
+// states.
+#pragma once
+
+#include "bigint/bigint.h"
+#include "crypto/random.h"
+
+namespace reed::rsa {
+
+using bigint::BigInt;
+
+struct RsaPublicKey {
+  BigInt n;
+  BigInt e;
+
+  std::size_t ByteLength() const { return (n.BitLength() + 7) / 8; }
+};
+
+struct RsaPrivateKey {
+  RsaPublicKey pub;
+  BigInt d;
+  // CRT components: private ops run ~4x faster via the two half-size
+  // exponentiations.
+  BigInt p, q, dp, dq, qinv;
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+};
+
+// Generates an RSA key pair with an n of exactly `bits` bits, e = 65537.
+RsaKeyPair GenerateKeyPair(std::size_t bits, crypto::Rng& rng);
+
+// m^e mod n; m must be < n.
+BigInt PublicApply(const RsaPublicKey& key, const BigInt& m);
+
+// m^d mod n via CRT; m must be < n.
+BigInt PrivateApply(const RsaPrivateKey& key, const BigInt& m);
+
+// Full-domain hash of `data` into [0, n): SHA-256 expanded with a counter to
+// the modulus width, then reduced. Used by the OPRF and key regression.
+BigInt FullDomainHash(ByteSpan data, const BigInt& n);
+
+// Public-key serialization (length-prefixed n ‖ e); key-state records carry
+// the owner's public derivation key in this form.
+Bytes SerializePublicKey(const RsaPublicKey& key);
+RsaPublicKey DeserializePublicKey(ByteSpan blob);
+
+// Full key-pair serialization (all CRT components) — identity bundles and
+// key-manager state files use this. Treat the blob as secret material.
+Bytes SerializeKeyPair(const RsaKeyPair& keys);
+RsaKeyPair DeserializeKeyPair(ByteSpan blob);
+
+}  // namespace reed::rsa

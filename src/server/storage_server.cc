@@ -1,0 +1,173 @@
+#include "server/storage_server.h"
+
+#include <set>
+#include <thread>
+
+namespace reed::server {
+
+StorageServer::StorageServer(std::string name)
+    : StorageServer(std::move(name), Options()) {}
+
+StorageServer::StorageServer(std::string name, Options options)
+    : name_(std::move(name)),
+      options_(options),
+      containers_(options.container_capacity) {}
+
+StorageServer::PutChunksResult StorageServer::PutChunks(
+    const std::vector<std::pair<chunk::Fingerprint, Bytes>>& chunks) {
+  PutChunksResult result;
+  for (const auto& [fp, data] : chunks) {
+    {
+      std::lock_guard lock(stats_mu_);
+      ++logical_chunks_;
+      logical_bytes_ += data.size();
+    }
+    if (index_.Lookup(fp).has_value()) {
+      ++result.duplicates;
+      continue;
+    }
+    store::ChunkLocation loc = containers_.Append(data);
+    // A concurrent writer may have raced us; treat a lost race as a dup.
+    if (index_.Insert(fp, loc)) {
+      ++result.stored;
+      result.stored_bytes += data.size();
+    } else {
+      ++result.duplicates;
+    }
+  }
+  return result;
+}
+
+std::vector<Bytes> StorageServer::GetChunks(
+    const std::vector<chunk::Fingerprint>& fps) {
+  std::vector<Bytes> out;
+  out.reserve(fps.size());
+  std::set<std::uint32_t> containers_touched;
+  for (const auto& fp : fps) {
+    auto loc = index_.Lookup(fp);
+    if (!loc.has_value()) {
+      throw Error("StorageServer: unknown fingerprint " + fp.ToHex());
+    }
+    containers_touched.insert(loc->container_id);
+    out.push_back(containers_.Read(*loc));
+  }
+  if (options_.read_seek_seconds > 0 && !containers_touched.empty()) {
+    // Disk model: a restore batch is served with reads sorted by container
+    // (standard practice), so it pays one seek per *distinct* container.
+    // Fragmentation across daily backups grows that count, degrading
+    // restore speed over days.
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        options_.read_seek_seconds *
+        static_cast<double>(containers_touched.size())));
+  }
+  return out;
+}
+
+void StorageServer::PutObject(StoreId store, const std::string& name,
+                              Bytes value) {
+  StoreFor(store).Put(name, std::move(value));
+}
+
+Bytes StorageServer::GetObject(StoreId store, const std::string& name) const {
+  return StoreFor(store).Get(name);
+}
+
+bool StorageServer::HasObject(StoreId store, const std::string& name) const {
+  return StoreFor(store).Contains(name);
+}
+
+StorageServer::Stats StorageServer::stats() const {
+  Stats s;
+  {
+    std::lock_guard lock(stats_mu_);
+    s.logical_chunks = logical_chunks_;
+    s.logical_bytes = logical_bytes_;
+  }
+  auto cs = containers_.stats();
+  s.unique_chunks = cs.chunks;
+  s.physical_bytes = cs.bytes;
+  s.data_object_bytes = data_objects_.total_bytes();
+  s.key_object_bytes = key_objects_.total_bytes();
+  return s;
+}
+
+Bytes StorageServer::HandleRequest(ByteSpan request) {
+  net::Writer resp;
+  try {
+    net::Reader r(request);
+    auto opcode = static_cast<Opcode>(r.U8());
+    switch (opcode) {
+      case Opcode::kPutChunks: {
+        std::uint32_t count = r.U32();
+        // Each entry carries a 32-byte fingerprint + 4-byte length prefix;
+        // reject forged counts before reserving.
+        if (static_cast<std::uint64_t>(count) * 36 > r.remaining()) {
+          throw Error("StorageServer: chunk count exceeds payload");
+        }
+        std::vector<std::pair<chunk::Fingerprint, Bytes>> chunks;
+        chunks.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          chunk::Fingerprint fp = chunk::Fingerprint::FromBytes(r.Raw(32));
+          chunks.emplace_back(fp, r.Blob());
+        }
+        r.ExpectEnd();
+        PutChunksResult res = PutChunks(chunks);
+        resp.U8(0);
+        resp.U32(static_cast<std::uint32_t>(res.duplicates));
+        resp.U32(static_cast<std::uint32_t>(res.stored));
+        resp.U64(res.stored_bytes);
+        return resp.Take();
+      }
+      case Opcode::kGetChunks: {
+        std::uint32_t count = r.U32();
+        if (static_cast<std::uint64_t>(count) * 32 > r.remaining()) {
+          throw Error("StorageServer: fingerprint count exceeds payload");
+        }
+        std::vector<chunk::Fingerprint> fps;
+        fps.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          fps.push_back(chunk::Fingerprint::FromBytes(r.Raw(32)));
+        }
+        r.ExpectEnd();
+        std::vector<Bytes> chunks = GetChunks(fps);
+        resp.U8(0);
+        for (const Bytes& c : chunks) resp.Blob(c);
+        return resp.Take();
+      }
+      case Opcode::kPutObject: {
+        auto store = static_cast<StoreId>(r.U8());
+        std::string name = r.Str();
+        Bytes value = r.Blob();
+        r.ExpectEnd();
+        PutObject(store, name, std::move(value));
+        resp.U8(0);
+        return resp.Take();
+      }
+      case Opcode::kGetObject: {
+        auto store = static_cast<StoreId>(r.U8());
+        std::string name = r.Str();
+        r.ExpectEnd();
+        Bytes value = GetObject(store, name);
+        resp.U8(0);
+        resp.Blob(value);
+        return resp.Take();
+      }
+      case Opcode::kHasObject: {
+        auto store = static_cast<StoreId>(r.U8());
+        std::string name = r.Str();
+        r.ExpectEnd();
+        resp.U8(0);
+        resp.U8(HasObject(store, name) ? 1 : 0);
+        return resp.Take();
+      }
+    }
+    throw Error("StorageServer: unknown opcode");
+  } catch (const Error& e) {
+    net::Writer err;
+    err.U8(1);
+    err.Str(e.what());
+    return err.Take();
+  }
+}
+
+}  // namespace reed::server

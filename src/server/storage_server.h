@@ -1,0 +1,109 @@
+// The REED server (paper §III-A, §V "Server"): server-side deduplication
+// over trimmed packages plus blob storage for recipes, stub files, and —
+// when acting as the key-store server — encrypted key states.
+//
+// Wire protocol (opcode byte + fields; see Handle* methods):
+//   kPutChunks: upload a batch of (fingerprint, trimmed package); the server
+//               stores only fingerprints it has never seen (dedup) and
+//               reports which were duplicates.
+//   kGetChunks: fetch trimmed packages by fingerprint.
+//   kPutObject / kGetObject / kHasObject: named blobs in the data or key
+//               store.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "net/wire.h"
+#include "store/container_store.h"
+#include "store/index.h"
+
+namespace reed::server {
+
+enum class Opcode : std::uint8_t {
+  kPutChunks = 1,
+  kGetChunks = 2,
+  kPutObject = 3,
+  kGetObject = 4,
+  kHasObject = 5,
+};
+
+enum class StoreId : std::uint8_t {
+  kData = 0,  // recipes, stub files, file metadata
+  kKey = 1,   // encrypted key states (paper's separate key store)
+};
+
+class StorageServer {
+ public:
+  struct Options {
+    std::size_t container_capacity =
+        store::ContainerStore::kDefaultContainerSize;
+    // Disk model for reads: seek cost charged whenever consecutive chunk
+    // reads switch containers. Backups fragment over days (new chunks land
+    // in new containers interleaved with old ones), which is what degrades
+    // restore speed in the paper's Fig. 10 / [Lillibridge FAST'13]. 0 = off.
+    double read_seek_seconds = 0;
+  };
+
+  explicit StorageServer(std::string name = "server");
+  StorageServer(std::string name, Options options);
+
+  const std::string& name() const { return name_; }
+
+  // --- direct API (also reachable via HandleRequest) ---
+
+  struct PutChunksResult {
+    std::size_t duplicates = 0;
+    std::size_t stored = 0;
+    std::uint64_t stored_bytes = 0;
+  };
+  PutChunksResult PutChunks(
+      const std::vector<std::pair<chunk::Fingerprint, Bytes>>& chunks);
+
+  // Throws Error if any fingerprint is unknown.
+  std::vector<Bytes> GetChunks(const std::vector<chunk::Fingerprint>& fps);
+
+  void PutObject(StoreId store, const std::string& name, Bytes value);
+  Bytes GetObject(StoreId store, const std::string& name) const;
+  bool HasObject(StoreId store, const std::string& name) const;
+
+  struct Stats {
+    std::uint64_t logical_chunks = 0;   // chunks received (pre-dedup)
+    std::uint64_t logical_bytes = 0;
+    std::uint64_t unique_chunks = 0;    // chunks stored (post-dedup)
+    std::uint64_t physical_bytes = 0;   // trimmed-package bytes stored
+    std::uint64_t data_object_bytes = 0;
+    std::uint64_t key_object_bytes = 0;
+  };
+  Stats stats() const;
+
+  // Storage-accounting helper: object bytes under a name prefix.
+  std::uint64_t ObjectBytesWithPrefix(StoreId store,
+                                      std::string_view prefix) const {
+    return StoreFor(store).TotalBytesWithPrefix(prefix);
+  }
+
+  // Wire entry point: status byte 0 = OK, 1 = error (+ message).
+  Bytes HandleRequest(ByteSpan request);
+
+ private:
+  const store::ObjectStore& StoreFor(StoreId id) const {
+    return id == StoreId::kData ? data_objects_ : key_objects_;
+  }
+  store::ObjectStore& StoreFor(StoreId id) {
+    return id == StoreId::kData ? data_objects_ : key_objects_;
+  }
+
+  std::string name_;
+  Options options_;
+  store::ContainerStore containers_;
+  store::FingerprintIndex index_;
+  store::ObjectStore data_objects_;
+  store::ObjectStore key_objects_;
+
+  mutable std::mutex stats_mu_;
+  std::uint64_t logical_chunks_ = 0;
+  std::uint64_t logical_bytes_ = 0;
+};
+
+}  // namespace reed::server

@@ -1,0 +1,51 @@
+#include "store/container_store.h"
+
+namespace reed::store {
+
+ContainerStore::ContainerStore(std::size_t container_capacity)
+    : capacity_(container_capacity) {
+  if (capacity_ == 0) throw Error("ContainerStore: zero capacity");
+  containers_.emplace_back();
+  containers_.back().reserve(capacity_);
+  stats_.containers = 1;
+}
+
+ChunkLocation ContainerStore::Append(ByteSpan data) {
+  if (data.empty()) throw Error("ContainerStore: empty chunk");
+  std::lock_guard lock(mu_);
+  Bytes* current = &containers_.back();
+  if (current->size() + data.size() > capacity_ && !current->empty()) {
+    containers_.emplace_back();
+    containers_.back().reserve(capacity_);
+    ++stats_.containers;
+    current = &containers_.back();
+  }
+  ChunkLocation loc;
+  loc.container_id = static_cast<std::uint32_t>(containers_.size() - 1);
+  loc.offset = static_cast<std::uint32_t>(current->size());
+  loc.length = static_cast<std::uint32_t>(data.size());
+  reed::Append(*current, data);
+  ++stats_.chunks;
+  stats_.bytes += data.size();
+  return loc;
+}
+
+Bytes ContainerStore::Read(const ChunkLocation& loc) const {
+  std::lock_guard lock(mu_);
+  if (loc.container_id >= containers_.size()) {
+    throw Error("ContainerStore: bad container id");
+  }
+  const Bytes& container = containers_[loc.container_id];
+  if (static_cast<std::size_t>(loc.offset) + loc.length > container.size()) {
+    throw Error("ContainerStore: location out of bounds");
+  }
+  return Bytes(container.begin() + loc.offset,
+               container.begin() + loc.offset + loc.length);
+}
+
+ContainerStore::Stats ContainerStore::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace reed::store

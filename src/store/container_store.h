@@ -1,0 +1,48 @@
+// Container store: unique trimmed packages are batched into fixed-capacity
+// (4 MB, §V-B) containers before hitting the storage backend, amortizing
+// backend I/O. Locations are stable (container id, offset, length) triples
+// recorded by the fingerprint index and file recipes.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace reed::store {
+
+struct ChunkLocation {
+  std::uint32_t container_id = 0;
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+
+  bool operator==(const ChunkLocation&) const = default;
+};
+
+class ContainerStore {
+ public:
+  static constexpr std::size_t kDefaultContainerSize = 4u << 20;  // 4 MB
+
+  explicit ContainerStore(std::size_t container_capacity = kDefaultContainerSize);
+
+  // Appends one chunk; opens a new container when the current one cannot
+  // fit it. Chunks never span containers.
+  ChunkLocation Append(ByteSpan data);
+
+  Bytes Read(const ChunkLocation& loc) const;
+
+  struct Stats {
+    std::uint64_t chunks = 0;
+    std::uint64_t bytes = 0;        // payload bytes stored
+    std::uint64_t containers = 0;   // containers opened (incl. current)
+  };
+  Stats stats() const;
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Bytes> containers_;
+  Stats stats_;
+};
+
+}  // namespace reed::store

@@ -1,0 +1,56 @@
+// Fingerprint index and named-object store.
+//
+// FingerprintIndex: the server-side dedup index over *trimmed package*
+// fingerprints (paper §III-A) — maps fingerprint -> container location.
+// ObjectStore: named blobs (file recipes, encrypted stub files, encrypted
+// key states, metadata); the data store and the key store are two
+// ObjectStore instances (paper §V "Storage backend" separates them).
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "chunk/fingerprint.h"
+#include "store/container_store.h"
+
+namespace reed::store {
+
+class FingerprintIndex {
+ public:
+  // Returns the existing location, or nullopt if the fingerprint is new.
+  std::optional<ChunkLocation> Lookup(const chunk::Fingerprint& fp) const;
+
+  // Inserts a new mapping; returns false if already present.
+  bool Insert(const chunk::Fingerprint& fp, const ChunkLocation& loc);
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<chunk::Fingerprint, ChunkLocation, chunk::FingerprintHash>
+      index_;
+};
+
+class ObjectStore {
+ public:
+  void Put(const std::string& name, Bytes value);
+  // Throws Error if absent.
+  Bytes Get(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  bool Erase(const std::string& name);
+
+  std::size_t count() const;
+  std::uint64_t total_bytes() const;
+  // Total value bytes of objects whose name starts with `prefix` (used for
+  // storage accounting: "stub/", "recipe/", "keystate/").
+  std::uint64_t TotalBytesWithPrefix(std::string_view prefix) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Bytes> objects_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace reed::store

@@ -1,0 +1,53 @@
+// File recipes and key-state records — the metadata objects REED stores.
+//
+// A file recipe (paper §IV-D) lists the file's chunks in order by trimmed-
+// package fingerprint so the file can be reassembled after dedup. A key
+// state record holds the CP-ABE-wrapped key state plus the policy and
+// version metadata that drive access control and rekeying.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chunk/fingerprint.h"
+#include "net/wire.h"
+#include "util/bytes.h"
+
+namespace reed::store {
+
+struct FileRecipe {
+  std::string file_id;         // obfuscated pathname (salted hash, §IV-D)
+  std::uint64_t file_size = 0;
+  std::uint8_t scheme = 0;     // aont::Scheme
+  std::uint32_t stub_size = 0;
+  // Per chunk, in file order.
+  std::vector<chunk::Fingerprint> fingerprints;  // of trimmed packages
+  std::vector<std::uint32_t> chunk_sizes;        // original plaintext sizes
+
+  std::size_t chunk_count() const { return fingerprints.size(); }
+
+  Bytes Serialize() const;
+  static FileRecipe Deserialize(ByteSpan blob);
+};
+
+// The key-store record for one file (paper Fig. 4 + §IV-D).
+struct KeyStateRecord {
+  std::string owner_id;
+  std::uint64_t key_version = 0;      // key-regression version of the state
+  std::uint64_t stub_key_version = 0; // version the stub file is encrypted under
+  Bytes policy;                       // serialized PolicyNode
+  // CP-ABE ciphertext of the key state — or, when `group_wrap_id` is
+  // non-empty, a symmetric wrap under that group's wrap key (the group
+  // rekeying extension: one CP-ABE encryption amortized over many files).
+  Bytes wrapped_state;
+  std::string group_wrap_id;          // key-store object holding the wrap key
+  Bytes derivation_public_key;        // owner's public derivation key (n‖e)
+
+  Bytes Serialize() const;
+  static KeyStateRecord Deserialize(ByteSpan blob);
+};
+
+// Obfuscates a file pathname with a salted hash (paper §IV-D "Discussion").
+std::string ObfuscateFileId(std::string_view pathname, ByteSpan salt);
+
+}  // namespace reed::store

@@ -1,0 +1,200 @@
+#include "trace/trace.h"
+
+#include <cmath>
+
+#include "crypto/sha256.h"
+
+namespace reed::trace {
+
+namespace {
+constexpr std::uint64_t kFp48Mask = (std::uint64_t(1) << 48) - 1;
+
+// Stable 64-bit hash of a labeled tuple (drives all trace determinism).
+std::uint64_t TupleHash(std::uint64_t seed, std::string_view label,
+                        std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  Bytes input;
+  AppendU64(input, seed);
+  Append(input, ToBytes(label));
+  AppendU64(input, a);
+  AppendU64(input, b);
+  AppendU64(input, c);
+  crypto::Sha256Digest d = crypto::Sha256::Hash(input);
+  return GetU64(ByteSpan(d.data(), 8));
+}
+
+double UnitHash(std::uint64_t seed, std::string_view label, std::uint64_t a,
+                std::uint64_t b, std::uint64_t c) {
+  return static_cast<double>(TupleHash(seed, label, a, b, c) >> 11) *
+         (1.0 / 9007199254740992.0);
+}
+}  // namespace
+
+TraceGenerator::TraceGenerator(const TraceOptions& options)
+    : options_(options), users_(options.num_users) {
+  if (options_.num_users == 0 || options_.num_days == 0) {
+    throw Error("TraceGenerator: need at least one user and one day");
+  }
+  if (options_.avg_chunk < options_.min_chunk ||
+      options_.avg_chunk > options_.max_chunk) {
+    throw Error("TraceGenerator: avg chunk size out of [min, max]");
+  }
+  // Seed each user's day-0 working set.
+  for (std::size_t u = 0; u < options_.num_users; ++u) {
+    crypto::DeterministicRng rng(options_.seed * 1000003 + u);
+    UserState& state = users_[u];
+    std::uint64_t bytes = 0;
+    std::size_t slot = 0;
+    while (bytes < options_.user_snapshot_bytes) {
+      SlotState s;
+      s.version = 0;
+      // Shared/private is a property of the slot alone (user-independent).
+      s.shared = UnitHash(options_.seed, "shared?", 0, slot, 0) <
+                 options_.cross_user_share;
+      // Shared slots must have identical sizes across users: derive the
+      // size from the slot id, not the per-user RNG.
+      if (s.shared) {
+        crypto::DeterministicRng srng(options_.seed * 7777777 + slot);
+        s.size = DrawChunkSize(srng);
+      } else {
+        s.size = DrawChunkSize(rng);
+      }
+      bytes += s.size;
+      state.slots.push_back(s);
+      ++slot;
+    }
+  }
+}
+
+std::uint32_t TraceGenerator::DrawChunkSize(crypto::Rng& rng) const {
+  // Exponential around the average, clamped to [min, max] — roughly the
+  // size distribution Rabin chunking produces.
+  double u = rng.UniformDouble();
+  double mean = static_cast<double>(options_.avg_chunk - options_.min_chunk);
+  double draw = -mean * std::log(1.0 - u);
+  double size = static_cast<double>(options_.min_chunk) + draw;
+  if (size > static_cast<double>(options_.max_chunk)) {
+    size = static_cast<double>(options_.max_chunk);
+  }
+  return static_cast<std::uint32_t>(size);
+}
+
+std::uint64_t TraceGenerator::SlotFingerprint(std::size_t user,
+                                              std::size_t slot,
+                                              const SlotState& state) const {
+  // Shared slots hash without the user id, so every user's copy of slot s
+  // at version v is the *same* chunk — cross-user dedup.
+  std::uint64_t ns = state.shared ? 0xFFFFFFFFull : user;
+  return TupleHash(options_.seed, "chunk-id", ns, slot, state.version) &
+         kFp48Mask;
+}
+
+void TraceGenerator::EvolveOneDay(std::size_t user, std::size_t day) {
+  UserState& state = users_[user];
+  // Modify: each slot rewrites with the daily modification rate. Shared
+  // slots use a user-independent coin so all users see the same evolution.
+  for (std::size_t slot = 0; slot < state.slots.size(); ++slot) {
+    SlotState& s = state.slots[slot];
+    double coin = s.shared
+                      ? UnitHash(options_.seed, "mod-shared", slot, day, 0)
+                      : UnitHash(options_.seed, "mod", user, slot, day);
+    if (coin < options_.daily_mod_rate) {
+      ++s.version;
+    }
+  }
+  // Grow: append new private slots.
+  std::uint64_t grow_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(options_.user_snapshot_bytes) *
+      options_.daily_growth_rate);
+  crypto::DeterministicRng rng(options_.seed * 37 + user * 1009 + day);
+  std::uint64_t added = 0;
+  while (added < grow_bytes) {
+    SlotState s;
+    s.shared = false;
+    s.version = 0;
+    s.size = DrawChunkSize(rng);
+    added += s.size;
+    state.slots.push_back(s);
+  }
+}
+
+Snapshot TraceGenerator::GetSnapshot(std::size_t user, std::size_t day) {
+  if (user >= users_.size()) throw Error("TraceGenerator: bad user");
+  if (day >= options_.num_days) throw Error("TraceGenerator: bad day");
+  UserState& state = users_[user];
+  if (day < state.next_day && day != state.next_day - 1) {
+    throw Error("TraceGenerator: snapshots must be requested in day order");
+  }
+  while (state.next_day <= day) {
+    if (state.next_day > 0) EvolveOneDay(user, state.next_day);
+    ++state.next_day;
+  }
+  Snapshot snap;
+  snap.reserve(state.slots.size());
+  for (std::size_t slot = 0; slot < state.slots.size(); ++slot) {
+    const SlotState& s = state.slots[slot];
+    snap.push_back(ChunkRecord{SlotFingerprint(user, slot, s), s.size});
+  }
+  return snap;
+}
+
+std::uint64_t SnapshotBytes(const Snapshot& snapshot) {
+  std::uint64_t total = 0;
+  for (const auto& rec : snapshot) total += rec.size;
+  return total;
+}
+
+Bytes ReconstructChunk(const ChunkRecord& record) {
+  if (record.size == 0) throw Error("ReconstructChunk: zero-size record");
+  std::uint8_t fp[6];
+  for (int i = 0; i < 6; ++i) {
+    fp[i] = static_cast<std::uint8_t>(record.fingerprint48 >> (40 - 8 * i));
+  }
+  Bytes out(record.size);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = fp[i % 6];
+  return out;
+}
+
+MaterializedSnapshot MaterializeSnapshot(const Snapshot& snapshot) {
+  MaterializedSnapshot out;
+  out.data.reserve(SnapshotBytes(snapshot));
+  out.refs.reserve(snapshot.size());
+  for (const auto& rec : snapshot) {
+    Bytes chunk = ReconstructChunk(rec);
+    out.refs.push_back({out.data.size(), chunk.size()});
+    Append(out.data, chunk);
+  }
+  return out;
+}
+
+Bytes SerializeSnapshot(const Snapshot& snapshot) {
+  Bytes out;
+  out.reserve(snapshot.size() * 10);
+  for (const auto& rec : snapshot) {
+    for (int i = 0; i < 6; ++i) {
+      out.push_back(
+          static_cast<std::uint8_t>(rec.fingerprint48 >> (40 - 8 * i)));
+    }
+    AppendU32(out, rec.size);
+  }
+  return out;
+}
+
+Snapshot DeserializeSnapshot(ByteSpan blob) {
+  if (blob.size() % 10 != 0) {
+    throw Error("DeserializeSnapshot: blob not a multiple of record size");
+  }
+  Snapshot snap;
+  snap.reserve(blob.size() / 10);
+  for (std::size_t off = 0; off < blob.size(); off += 10) {
+    ChunkRecord rec;
+    rec.fingerprint48 = 0;
+    for (int i = 0; i < 6; ++i) {
+      rec.fingerprint48 = (rec.fingerprint48 << 8) | blob[off + i];
+    }
+    rec.size = GetU32(blob.subspan(off + 6));
+    snap.push_back(rec);
+  }
+  return snap;
+}
+
+}  // namespace reed::trace

@@ -1,0 +1,102 @@
+// FSL-Homes-style backup-trace substrate (paper §VI-B).
+//
+// The paper's real-world evaluation replays the 2013 FSL-Homes dataset:
+// 147 daily snapshots of nine users' home directories, each snapshot a
+// sequence of (48-bit fingerprint, chunk size) records, 56.2 TB logical in
+// total with ~98.6% dedup savings. That dataset cannot ship with this
+// repository, so we build the closest synthetic equivalent: a deterministic
+// generator of per-user daily snapshots with controllable
+//   * intra-user day-over-day modification rate (backup churn),
+//   * daily working-set growth, and
+//   * cross-user sharing (users share a slice of a common file system),
+// which are the three quantities the paper's storage/throughput results
+// actually depend on. Chunk *content* is reconstructed from a record
+// exactly as the paper does: "repeatedly writing its fingerprint to a
+// spare chunk until reaching the specified chunk size", so identical
+// fingerprints yield identical chunks.
+#pragma once
+
+#include <vector>
+
+#include "chunk/chunker.h"
+#include "crypto/random.h"
+#include "util/bytes.h"
+
+namespace reed::trace {
+
+struct ChunkRecord {
+  std::uint64_t fingerprint48 = 0;  // 48-bit chunk fingerprint
+  std::uint32_t size = 0;           // chunk size in bytes
+};
+
+using Snapshot = std::vector<ChunkRecord>;
+
+struct TraceOptions {
+  std::size_t num_users = 9;   // FSL-Homes 2013: nine users
+  std::size_t num_days = 147;  // Jan 22 – Jun 17, 2013
+  // Logical bytes per user-day snapshot at day 0 (scaled from the paper's
+  // 290-680 GB/day aggregate to laptop scale).
+  std::uint64_t user_snapshot_bytes = 64ull << 20;  // 64 MB default
+  double daily_mod_rate = 0.010;    // chunks rewritten per day
+  double daily_growth_rate = 0.002; // working-set growth per day
+  double cross_user_share = 0.30;   // fraction of slots shared between users
+  std::size_t min_chunk = 2 * 1024;
+  std::size_t max_chunk = 16 * 1024;
+  std::size_t avg_chunk = 8 * 1024;
+  std::uint64_t seed = 2016;
+};
+
+// Stateful day-by-day generator. Snapshots must be requested in
+// non-decreasing day order (internally it evolves per-slot version state,
+// like a real file system evolves).
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(const TraceOptions& options);
+
+  const TraceOptions& options() const { return options_; }
+
+  // Snapshot of `user` on `day` (0-based). Deterministic in (options.seed,
+  // user, day). Days must be requested in non-decreasing order per user.
+  Snapshot GetSnapshot(std::size_t user, std::size_t day);
+
+ private:
+  struct SlotState {
+    std::uint64_t version = 0;
+    std::uint32_t size = 0;
+    bool shared = false;
+  };
+  struct UserState {
+    std::size_t next_day = 0;
+    std::vector<SlotState> slots;
+  };
+
+  std::uint32_t DrawChunkSize(crypto::Rng& rng) const;
+  void EvolveOneDay(std::size_t user, std::size_t day);
+  std::uint64_t SlotFingerprint(std::size_t user, std::size_t slot,
+                                const SlotState& state) const;
+
+  TraceOptions options_;
+  std::vector<UserState> users_;
+};
+
+// Logical bytes in a snapshot.
+std::uint64_t SnapshotBytes(const Snapshot& snapshot);
+
+// Paper §VI-B chunk reconstruction: repeat the 6-byte fingerprint until the
+// chunk size is reached.
+Bytes ReconstructChunk(const ChunkRecord& record);
+
+// Materializes a whole snapshot into one buffer plus chunk boundaries —
+// the form ReedClient::UploadChunked consumes.
+struct MaterializedSnapshot {
+  Bytes data;
+  std::vector<chunk::ChunkRef> refs;
+};
+MaterializedSnapshot MaterializeSnapshot(const Snapshot& snapshot);
+
+// Binary snapshot (de)serialization — the on-disk trace format (10 bytes
+// per record: 6-byte fingerprint + 4-byte size).
+Bytes SerializeSnapshot(const Snapshot& snapshot);
+Snapshot DeserializeSnapshot(ByteSpan blob);
+
+}  // namespace reed::trace

@@ -1,0 +1,76 @@
+#include "util/bytes.h"
+
+#include <atomic>
+
+namespace reed {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string HexEncode(ByteSpan data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Bytes HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw Error("HexDecode: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw Error("HexDecode: non-hex character");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void XorInto(MutableByteSpan out, ByteSpan in) {
+  if (out.size() != in.size()) {
+    throw Error("XorInto: size mismatch");
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] ^= in[i];
+  }
+}
+
+Bytes Slice(ByteSpan src, std::size_t offset, std::size_t len) {
+  if (offset + len > src.size() || offset + len < offset) {
+    throw Error("Slice: range out of bounds");
+  }
+  return Bytes(src.begin() + offset, src.begin() + offset + len);
+}
+
+void SecureWipe(MutableByteSpan data) {
+  // Volatile pointer write defeats dead-store elimination well enough for a
+  // research prototype; a hardened build would use memset_s/explicit_bzero.
+  volatile std::uint8_t* p = data.data();
+  for (std::size_t i = 0; i < data.size(); ++i) p[i] = 0;
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+}
+
+bool ConstantTimeEqual(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace reed

@@ -1,0 +1,111 @@
+// Byte-buffer helpers shared across all REED modules.
+//
+// A `Bytes` is the universal currency for chunk payloads, packages, keys and
+// wire messages. Helpers here are deliberately small and allocation-explicit:
+// performance-sensitive code (AONT transforms, container packing) works on
+// spans and writes in place.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reed {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+
+// Base class for all REED errors; modules derive topic-specific errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Converts a string literal/body to bytes (no encoding assumptions).
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string ToString(ByteSpan b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+// Lowercase hex encoding, used for fingerprint pretty-printing and logs.
+std::string HexEncode(ByteSpan data);
+
+// Strict decoder: throws Error on odd length or non-hex characters.
+Bytes HexDecode(std::string_view hex);
+
+// out[i] ^= in[i] for the whole span; sizes must match.
+void XorInto(MutableByteSpan out, ByteSpan in);
+
+// Appends `src` to `dst`.
+inline void Append(Bytes& dst, ByteSpan src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+// Concatenates any number of byte spans.
+template <typename... Spans>
+Bytes Concat(const Spans&... spans) {
+  Bytes out;
+  std::size_t total = (static_cast<std::size_t>(0) + ... + spans.size());
+  out.reserve(total);
+  (Append(out, ByteSpan(spans)), ...);
+  return out;
+}
+
+// Copies a sub-range [offset, offset+len) of `src`; throws if out of range.
+Bytes Slice(ByteSpan src, std::size_t offset, std::size_t len);
+
+// Best-effort secure wipe that the optimizer may not elide.
+void SecureWipe(MutableByteSpan data);
+
+// Constant-time equality for secrets (keys, MACs, canaries).
+bool ConstantTimeEqual(ByteSpan a, ByteSpan b);
+
+// Big-endian fixed-width integer codecs used by the wire format and
+// container layouts.
+inline void PutU32(MutableByteSpan out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
+}
+
+inline std::uint32_t GetU32(ByteSpan in) {
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) |
+         static_cast<std::uint32_t>(in[3]);
+}
+
+inline void PutU64(MutableByteSpan out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+  }
+}
+
+inline std::uint64_t GetU64(ByteSpan in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | in[i];
+  return v;
+}
+
+inline void AppendU32(Bytes& out, std::uint32_t v) {
+  std::uint8_t buf[4];
+  PutU32(buf, v);
+  Append(out, buf);
+}
+
+inline void AppendU64(Bytes& out, std::uint64_t v) {
+  std::uint8_t buf[8];
+  PutU64(buf, v);
+  Append(out, buf);
+}
+
+}  // namespace reed

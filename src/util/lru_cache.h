@@ -1,0 +1,99 @@
+// Byte-budgeted LRU cache.
+//
+// The REED client keeps a 512 MB (default) cache of recently generated MLE
+// keys (paper §V-B "Caching"): adjacent backup uploads share most chunks, so
+// cached keys turn the key manager from the bottleneck into a cold-start
+// cost only. The cache is budgeted in *bytes* rather than entries because
+// key-cache sizing in the paper is expressed in MB.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace reed {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  // `byte_budget` caps total charged size; `entry_cost` is the fixed
+  // accounting charge per entry (key + value + bookkeeping).
+  LruCache(std::size_t byte_budget, std::size_t entry_cost)
+      : byte_budget_(byte_budget), entry_cost_(entry_cost) {}
+
+  // Returns the cached value and refreshes its recency, or nullopt.
+  std::optional<V> Get(const K& key) {
+    std::lock_guard lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  void Put(const K& key, V value) {
+    std::lock_guard lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    used_ += entry_cost_;
+    while (used_ > byte_budget_ && !order_.empty()) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      used_ -= entry_cost_;
+      ++evictions_;
+    }
+  }
+
+  void Clear() {
+    std::lock_guard lock(mu_);
+    order_.clear();
+    index_.clear();
+    used_ = 0;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return index_.size();
+  }
+
+  std::size_t used_bytes() const {
+    std::lock_guard lock(mu_);
+    return used_;
+  }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Stats stats() const {
+    std::lock_guard lock(mu_);
+    return Stats{hits_, misses_, evictions_};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t byte_budget_;
+  std::size_t entry_cost_;
+  std::size_t used_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::list<std::pair<K, V>> order_;
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash>
+      index_;
+};
+
+}  // namespace reed

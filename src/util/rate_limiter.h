@@ -1,0 +1,64 @@
+// Token-bucket rate limiter.
+//
+// DupLESS-style key managers rate-limit per-client key-generation requests
+// to blunt online brute-force attacks (paper §II-A, §III-B). The key manager
+// keeps one bucket per client identity. The limiter is purely logical — it
+// answers admit/deny against a supplied clock so tests and the simulated
+// network can drive it deterministically.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+
+namespace reed {
+
+class TokenBucket {
+ public:
+  // `rate_per_sec` tokens refill per second up to `burst` capacity.
+  // The bucket starts full.
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  // Tries to take `cost` tokens at time `now_seconds` (monotonic, in
+  // seconds). Returns true if admitted.
+  bool TryAcquire(double now_seconds, double cost = 1.0) {
+    std::lock_guard lock(mu_);
+    Refill(now_seconds);
+    if (tokens_ + 1e-9 >= cost) {
+      tokens_ -= cost;
+      return true;
+    }
+    return false;
+  }
+
+  // Seconds the caller must wait (from `now_seconds`) until `cost` tokens
+  // are available; 0 if available now. Does not consume tokens.
+  double DelayUntilAvailable(double now_seconds, double cost = 1.0) {
+    std::lock_guard lock(mu_);
+    Refill(now_seconds);
+    if (tokens_ + 1e-9 >= cost) return 0.0;
+    return (cost - tokens_) / rate_;
+  }
+
+  double tokens() const {
+    std::lock_guard lock(mu_);
+    return tokens_;
+  }
+
+ private:
+  void Refill(double now_seconds) {
+    if (now_seconds > last_) {
+      tokens_ = std::min(burst_, tokens_ + (now_seconds - last_) * rate_);
+      last_ = now_seconds;
+    }
+  }
+
+  mutable std::mutex mu_;
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_ = 0.0;
+};
+
+}  // namespace reed

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch and throughput helpers used by the bench harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace reed {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// MB/s over a byte count, as the paper reports (MB = 2^20 bytes).
+inline double MbPerSec(std::uint64_t bytes, double seconds) {
+  if (seconds <= 0) return 0.0;
+  return static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds;
+}
+
+}  // namespace reed

@@ -1,0 +1,112 @@
+// Fixed-size thread pool with a parallel-for helper.
+//
+// The REED client parallelizes chunk encryption/decryption across threads
+// (paper §V-B "Parallelization"; the prototype used 2 threads on a 4-core
+// box). ParallelFor partitions the index space statically — chunk work items
+// are uniform enough that static partitioning beats a work queue here.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace reed {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a task; the returned future rethrows any task exception.
+  template <typename F>
+  std::future<void> Submit(F&& f) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  // Runs body(i) for i in [0, count) across the pool, blocking until done.
+  // The first exception thrown by any partition is rethrown to the caller.
+  template <typename F>
+  void ParallelFor(std::size_t count, F&& body) {
+    if (count == 0) return;
+    std::size_t parts = std::min(count, num_threads());
+    if (parts <= 1) {
+      for (std::size_t i = 0; i < count; ++i) body(i);
+      return;
+    }
+    std::vector<std::future<void>> futures;
+    futures.reserve(parts);
+    std::size_t chunk = (count + parts - 1) / parts;
+    for (std::size_t p = 0; p < parts; ++p) {
+      std::size_t begin = p * chunk;
+      std::size_t end = std::min(count, begin + chunk);
+      if (begin >= end) break;
+      futures.push_back(Submit([&body, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      }));
+    }
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace reed

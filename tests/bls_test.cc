@@ -1,0 +1,108 @@
+// Blinded BLS signature tests — the alternative MLE keygen instantiation
+// (paper §V): determinism, blindness, unforgeability, input validation.
+#include <gtest/gtest.h>
+
+#include "crypto/random.h"
+#include "crypto/sha256.h"
+#include "pairing/bls.h"
+
+namespace reed::pairing {
+namespace {
+
+using crypto::DeterministicRng;
+
+class BlsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pairing_ = std::make_shared<const TypeAPairing>(TypeAParams::Default());
+    DeterministicRng rng(1);
+    BlsKeyPair kp = BlsGenerateKeyPair(*pairing_, rng);
+    signer_ = new BlsBlindSigner(pairing_, kp.secret);
+    client_ = new BlsBlindClient(pairing_, kp.public_key);
+  }
+
+  static std::shared_ptr<const TypeAPairing> pairing_;
+  static BlsBlindSigner* signer_;
+  static BlsBlindClient* client_;
+};
+
+std::shared_ptr<const TypeAPairing> BlsTest::pairing_;
+BlsBlindSigner* BlsTest::signer_ = nullptr;
+BlsBlindClient* BlsTest::client_ = nullptr;
+
+TEST_F(BlsTest, KeyPairIsConsistent) {
+  DeterministicRng rng(2);
+  BlsKeyPair kp = BlsGenerateKeyPair(*pairing_, rng);
+  EXPECT_EQ(kp.public_key, pairing_->generator().ScalarMul(kp.secret));
+  EXPECT_TRUE(kp.public_key.IsOnCurve());
+}
+
+TEST_F(BlsTest, DeterministicKeysAcrossBlindings) {
+  DeterministicRng rng(3);
+  Bytes msg = ToBytes("chunk-fingerprint-A");
+  auto r1 = client_->Blind(msg, rng);
+  auto r2 = client_->Blind(msg, rng);
+  EXPECT_FALSE(r1.blinded == r2.blinded);  // different blinding factors
+  Bytes k1 = client_->Unblind(r1, signer_->Sign(r1.blinded));
+  Bytes k2 = client_->Unblind(r2, signer_->Sign(r2.blinded));
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(k1.size(), 32u);
+}
+
+TEST_F(BlsTest, DistinctMessagesDistinctKeys) {
+  DeterministicRng rng(4);
+  auto ra = client_->Blind(ToBytes("chunk-A"), rng);
+  auto rb = client_->Blind(ToBytes("chunk-B"), rng);
+  EXPECT_NE(client_->Unblind(ra, signer_->Sign(ra.blinded)),
+            client_->Unblind(rb, signer_->Sign(rb.blinded)));
+}
+
+TEST_F(BlsTest, BlindingHidesTheMessagePoint) {
+  DeterministicRng rng(5);
+  auto req = client_->Blind(ToBytes("secret-chunk"), rng);
+  EXPECT_FALSE(req.blinded == req.h);
+  // The blinded point is h + r·g; without r it is a uniformly random
+  // group element from the signer's perspective.
+  EXPECT_TRUE(req.blinded.IsOnCurve());
+}
+
+TEST_F(BlsTest, ForgedSignatureRejected) {
+  DeterministicRng rng(6);
+  auto req = client_->Blind(ToBytes("chunk"), rng);
+  G1Point forged = pairing_->HashToGroup(ToBytes("not-a-signature"));
+  EXPECT_THROW(client_->Unblind(req, forged), Error);
+}
+
+TEST_F(BlsTest, SignatureFromWrongKeyRejected) {
+  DeterministicRng rng(7);
+  BlsKeyPair other = BlsGenerateKeyPair(*pairing_, rng);
+  BlsBlindSigner rogue(pairing_, other.secret);
+  auto req = client_->Blind(ToBytes("chunk"), rng);
+  EXPECT_THROW(client_->Unblind(req, rogue.Sign(req.blinded)), Error);
+}
+
+TEST_F(BlsTest, SignerInputValidation) {
+  EXPECT_THROW(signer_->Sign(G1Point::Infinity()), Error);
+  EXPECT_THROW(BlsBlindSigner(pairing_, bigint::BigInt(0)), Error);
+  EXPECT_THROW(BlsBlindSigner(pairing_, pairing_->group_order()), Error);
+}
+
+TEST_F(BlsTest, MatchesDirectSignature) {
+  // The unblinded signature must equal x·H(m) computed directly.
+  DeterministicRng rng(8);
+  BlsKeyPair kp = BlsGenerateKeyPair(*pairing_, rng);
+  BlsBlindSigner signer(pairing_, kp.secret);
+  BlsBlindClient client(pairing_, kp.public_key);
+
+  Bytes msg = ToBytes("some-fp");
+  auto req = client.Blind(msg, rng);
+  Bytes via_blind = client.Unblind(req, signer.Sign(req.blinded));
+
+  G1Point direct = pairing_->HashToGroup(msg).ScalarMul(kp.secret);
+  Bytes via_direct =
+      crypto::Sha256::HashToBytes(direct.ToBytes(pairing_->field()));
+  EXPECT_EQ(via_blind, via_direct);
+}
+
+}  // namespace
+}  // namespace reed::pairing

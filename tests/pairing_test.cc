@@ -1,0 +1,236 @@
+// Pairing substrate tests: field tower algebra, curve group laws,
+// hash-to-group, and the bilinearity/non-degeneracy of the Tate pairing.
+#include <gtest/gtest.h>
+
+#include "bigint/prime.h"
+#include "crypto/random.h"
+#include "pairing/pairing.h"
+
+namespace reed::pairing {
+namespace {
+
+using crypto::DeterministicRng;
+
+const TypeAPairing& SharedPairing() {
+  static TypeAPairing pairing(TypeAParams::Default());
+  return pairing;
+}
+
+TEST(TypeAParamsTest, DefaultParametersAreConsistent) {
+  TypeAParams params = TypeAParams::Default();
+  EXPECT_EQ(params.p.BitLength(), 512u);
+  EXPECT_EQ(params.r.BitLength(), 160u);
+  EXPECT_EQ(params.p.ModLimb(4), 3u);
+  EXPECT_EQ(params.cofactor * params.r, params.p + BigInt(1));
+  DeterministicRng rng(1);
+  EXPECT_TRUE(bigint::IsProbablePrime(params.p, rng));
+  EXPECT_TRUE(bigint::IsProbablePrime(params.r, rng));
+}
+
+TEST(TypeAParamsTest, GenerateProducesValidSmallParams) {
+  DeterministicRng rng(2);
+  TypeAParams params = TypeAParams::Generate(80, 256, rng);
+  EXPECT_EQ(params.p.BitLength(), 256u);
+  EXPECT_EQ(params.r.BitLength(), 80u);
+  EXPECT_EQ(params.p.ModLimb(4), 3u);
+  EXPECT_EQ(params.cofactor * params.r, params.p + BigInt(1));
+}
+
+// --------------------------- Fp / Fp2 ---------------------------
+
+TEST(FpTest, FieldAxiomsRandomized) {
+  const FpField* f = SharedPairing().field();
+  DeterministicRng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    Fp a = Fp::Random(f, rng);
+    Fp b = Fp::Random(f, rng);
+    Fp c = Fp::Random(f, rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Fp::Zero(f));
+    EXPECT_EQ(a + a.Neg(), Fp::Zero(f));
+    if (!a.IsZero()) {
+      EXPECT_EQ(a * a.Inverse(), Fp::One(f));
+    }
+  }
+}
+
+TEST(FpTest, BytesRoundTrip) {
+  const FpField* f = SharedPairing().field();
+  DeterministicRng rng(4);
+  Fp a = Fp::Random(f, rng);
+  EXPECT_EQ(Fp::FromBytes(f, a.ToBytes()), a);
+  EXPECT_EQ(a.ToBytes().size(), f->element_bytes());
+  Bytes bad(f->element_bytes() - 1, 0);
+  EXPECT_THROW(Fp::FromBytes(f, bad), Error);
+}
+
+TEST(FpTest, SqrtOfSquareRecoversRoot) {
+  const FpField* f = SharedPairing().field();
+  DeterministicRng rng(5);
+  int qr_count = 0;
+  for (int i = 0; i < 20; ++i) {
+    Fp a = Fp::Random(f, rng);
+    Fp sq = a.Square();
+    Fp root;
+    ASSERT_TRUE(sq.Sqrt(&root));
+    EXPECT_EQ(root.Square(), sq);
+    Fp maybe;
+    if (Fp::Random(f, rng).Sqrt(&maybe)) ++qr_count;
+  }
+  // About half of random elements are quadratic residues.
+  EXPECT_GT(qr_count, 2);
+  EXPECT_LT(qr_count, 18);
+}
+
+TEST(FpTest, PowMatchesRepeatedMultiplication) {
+  const FpField* f = SharedPairing().field();
+  DeterministicRng rng(6);
+  Fp a = Fp::Random(f, rng);
+  Fp acc = Fp::One(f);
+  for (int i = 0; i < 13; ++i) acc = acc * a;
+  EXPECT_EQ(a.Pow(BigInt(13)), acc);
+  EXPECT_EQ(a.Pow(BigInt(0)), Fp::One(f));
+}
+
+TEST(Fp2Test, FieldAxiomsRandomized) {
+  const FpField* f = SharedPairing().field();
+  DeterministicRng rng(7);
+  for (int i = 0; i < 15; ++i) {
+    Fp2 a(Fp::Random(f, rng), Fp::Random(f, rng));
+    Fp2 b(Fp::Random(f, rng), Fp::Random(f, rng));
+    Fp2 c(Fp::Random(f, rng), Fp::Random(f, rng));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a.Square(), a * a);
+    EXPECT_EQ(a * a.Inverse(), Fp2::One(f));
+  }
+}
+
+TEST(Fp2Test, ConjugateIsFrobenius) {
+  // In F_p² with p ≡ 3 mod 4, x^p = conj(x).
+  const FpField* f = SharedPairing().field();
+  DeterministicRng rng(8);
+  Fp2 x(Fp::Random(f, rng), Fp::Random(f, rng));
+  EXPECT_EQ(x.Pow(SharedPairing().params().p), x.Conjugate());
+}
+
+TEST(Fp2Test, BytesRoundTrip) {
+  const FpField* f = SharedPairing().field();
+  DeterministicRng rng(9);
+  Fp2 x(Fp::Random(f, rng), Fp::Random(f, rng));
+  EXPECT_EQ(Fp2::FromBytes(f, x.ToBytes()), x);
+}
+
+// --------------------------- curve group ---------------------------
+
+TEST(G1Test, GeneratorIsOnCurveWithOrderR) {
+  const TypeAPairing& e = SharedPairing();
+  const G1Point& g = e.generator();
+  EXPECT_FALSE(g.is_infinity());
+  EXPECT_TRUE(g.IsOnCurve());
+  EXPECT_TRUE(g.ScalarMul(e.group_order()).is_infinity());
+}
+
+TEST(G1Test, GroupLaws) {
+  const TypeAPairing& e = SharedPairing();
+  DeterministicRng rng(10);
+  G1Point p = e.HashToGroup(ToBytes("P"));
+  G1Point q = e.HashToGroup(ToBytes("Q"));
+  EXPECT_EQ(p.Add(q), q.Add(p));
+  EXPECT_EQ(p.Add(G1Point::Infinity()), p);
+  EXPECT_TRUE(p.Add(p.Neg()).is_infinity());
+  EXPECT_EQ(p.Double(), p.Add(p));
+  EXPECT_TRUE(p.Add(q).IsOnCurve());
+  // (P + Q) + P == P·2 + Q
+  EXPECT_EQ(p.Add(q).Add(p), p.Double().Add(q));
+}
+
+TEST(G1Test, ScalarMulDistributes) {
+  const TypeAPairing& e = SharedPairing();
+  G1Point p = e.HashToGroup(ToBytes("scalar-test"));
+  BigInt a(17), b(31);
+  EXPECT_EQ(p.ScalarMul(a).Add(p.ScalarMul(b)), p.ScalarMul(a + b));
+  EXPECT_EQ(p.ScalarMul(a).ScalarMul(b), p.ScalarMul(a * b));
+  EXPECT_TRUE(p.ScalarMul(BigInt(0)).is_infinity());
+}
+
+TEST(G1Test, HashToGroupIsDeterministicAndInSubgroup) {
+  const TypeAPairing& e = SharedPairing();
+  G1Point p1 = e.HashToGroup(ToBytes("attribute:alice"));
+  G1Point p2 = e.HashToGroup(ToBytes("attribute:alice"));
+  G1Point p3 = e.HashToGroup(ToBytes("attribute:bob"));
+  EXPECT_EQ(p1, p2);
+  EXPECT_FALSE(p1 == p3);
+  EXPECT_TRUE(p1.ScalarMul(e.group_order()).is_infinity());
+}
+
+TEST(G1Test, SerializationRoundTrip) {
+  const TypeAPairing& e = SharedPairing();
+  const FpField* f = e.field();
+  G1Point p = e.HashToGroup(ToBytes("serialize"));
+  EXPECT_EQ(G1Point::FromBytes(f, p.ToBytes(f)), p);
+  EXPECT_EQ(G1Point::FromBytes(f, G1Point::Infinity().ToBytes(f)),
+            G1Point::Infinity());
+  // Corrupt y: point no longer on curve.
+  Bytes bytes = p.ToBytes(f);
+  bytes[bytes.size() - 1] ^= 1;
+  EXPECT_THROW(G1Point::FromBytes(f, bytes), Error);
+}
+
+// --------------------------- pairing ---------------------------
+
+TEST(PairingTest, NonDegenerate) {
+  const TypeAPairing& e = SharedPairing();
+  Fp2 val = e.Pair(e.generator(), e.generator());
+  EXPECT_FALSE(val.IsOne());
+  // Output has order dividing r.
+  EXPECT_TRUE(val.Pow(e.group_order()).IsOne());
+}
+
+TEST(PairingTest, Bilinearity) {
+  const TypeAPairing& e = SharedPairing();
+  DeterministicRng rng(11);
+  G1Point p = e.HashToGroup(ToBytes("bilinear-P"));
+  G1Point q = e.HashToGroup(ToBytes("bilinear-Q"));
+  BigInt a = e.RandomScalar(rng);
+  BigInt b = e.RandomScalar(rng);
+
+  Fp2 base = e.Pair(p, q);
+  // e(aP, Q) == e(P, Q)^a
+  EXPECT_EQ(e.Pair(p.ScalarMul(a), q), base.Pow(a));
+  // e(P, bQ) == e(P, Q)^b
+  EXPECT_EQ(e.Pair(p, q.ScalarMul(b)), base.Pow(b));
+  // e(aP, bQ) == e(P, Q)^(ab)
+  EXPECT_EQ(e.Pair(p.ScalarMul(a), q.ScalarMul(b)),
+            base.Pow(BigInt::MulMod(a, b, e.group_order())));
+}
+
+TEST(PairingTest, Symmetry) {
+  // Type-A pairings built on a distortion map are symmetric.
+  const TypeAPairing& e = SharedPairing();
+  G1Point p = e.HashToGroup(ToBytes("sym-P"));
+  G1Point q = e.HashToGroup(ToBytes("sym-Q"));
+  EXPECT_EQ(e.Pair(p, q), e.Pair(q, p));
+}
+
+TEST(PairingTest, InfinityPairsToOne) {
+  const TypeAPairing& e = SharedPairing();
+  G1Point p = e.HashToGroup(ToBytes("inf-test"));
+  EXPECT_TRUE(e.Pair(p, G1Point::Infinity()).IsOne());
+  EXPECT_TRUE(e.Pair(G1Point::Infinity(), p).IsOne());
+}
+
+TEST(PairingTest, MultiplicativeInFirstArgument) {
+  const TypeAPairing& e = SharedPairing();
+  G1Point p1 = e.HashToGroup(ToBytes("m1"));
+  G1Point p2 = e.HashToGroup(ToBytes("m2"));
+  G1Point q = e.HashToGroup(ToBytes("mq"));
+  EXPECT_EQ(e.Pair(p1.Add(p2), q), e.Pair(p1, q) * e.Pair(p2, q));
+}
+
+}  // namespace
+}  // namespace reed::pairing

@@ -1,0 +1,186 @@
+// Trace substrate tests: determinism, churn/growth/sharing structure of the
+// synthetic FSL-style backup trace, chunk reconstruction, serialization.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "trace/trace.h"
+
+namespace reed::trace {
+namespace {
+
+TraceOptions SmallOptions() {
+  TraceOptions opts;
+  opts.num_users = 3;
+  opts.num_days = 10;
+  opts.user_snapshot_bytes = 1 << 20;  // 1 MB
+  opts.seed = 99;
+  return opts;
+}
+
+TEST(TraceTest, SnapshotsAreDeterministic) {
+  TraceGenerator g1(SmallOptions());
+  TraceGenerator g2(SmallOptions());
+  for (std::size_t day = 0; day < 3; ++day) {
+    Snapshot a = g1.GetSnapshot(0, day);
+    Snapshot b = g2.GetSnapshot(0, day);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].fingerprint48, b[i].fingerprint48);
+      EXPECT_EQ(a[i].size, b[i].size);
+    }
+  }
+}
+
+TEST(TraceTest, SnapshotSizeNearTarget) {
+  TraceGenerator gen(SmallOptions());
+  Snapshot snap = gen.GetSnapshot(0, 0);
+  std::uint64_t bytes = SnapshotBytes(snap);
+  EXPECT_GE(bytes, SmallOptions().user_snapshot_bytes);
+  EXPECT_LT(bytes, SmallOptions().user_snapshot_bytes + 64 * 1024);
+  for (const auto& rec : snap) {
+    EXPECT_GE(rec.size, SmallOptions().min_chunk);
+    EXPECT_LE(rec.size, SmallOptions().max_chunk);
+    EXPECT_LT(rec.fingerprint48, std::uint64_t(1) << 48);
+  }
+}
+
+TEST(TraceTest, DayOverDayChurnMatchesModificationRate) {
+  TraceOptions opts = SmallOptions();
+  opts.daily_mod_rate = 0.05;
+  opts.daily_growth_rate = 0.0;
+  TraceGenerator gen(opts);
+  Snapshot d0 = gen.GetSnapshot(0, 0);
+  Snapshot d1 = gen.GetSnapshot(0, 1);
+  ASSERT_EQ(d0.size(), d1.size());  // no growth
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < d0.size(); ++i) {
+    if (d0[i].fingerprint48 != d1[i].fingerprint48) ++changed;
+  }
+  double rate = static_cast<double>(changed) / d0.size();
+  EXPECT_GT(rate, 0.01);
+  EXPECT_LT(rate, 0.15);  // ~5% expected
+}
+
+TEST(TraceTest, WorkingSetGrowsDaily) {
+  TraceOptions opts = SmallOptions();
+  opts.daily_growth_rate = 0.05;
+  TraceGenerator gen(opts);
+  std::uint64_t b0 = SnapshotBytes(gen.GetSnapshot(0, 0));
+  std::uint64_t b5 = SnapshotBytes(gen.GetSnapshot(0, 5));
+  EXPECT_GT(b5, b0 + 4 * (opts.user_snapshot_bytes / 25));  // ~5%/day
+}
+
+TEST(TraceTest, CrossUserSharingProducesCommonChunks) {
+  TraceOptions opts = SmallOptions();
+  opts.cross_user_share = 0.5;
+  TraceGenerator gen(opts);
+  Snapshot u0 = gen.GetSnapshot(0, 0);
+  Snapshot u1 = gen.GetSnapshot(1, 0);
+  std::unordered_set<std::uint64_t> set0;
+  for (const auto& r : u0) set0.insert(r.fingerprint48);
+  std::size_t shared = 0;
+  for (const auto& r : u1) {
+    if (set0.contains(r.fingerprint48)) ++shared;
+  }
+  double frac = static_cast<double>(shared) / u1.size();
+  EXPECT_GT(frac, 0.3);
+  EXPECT_LT(frac, 0.7);
+}
+
+TEST(TraceTest, ZeroSharingMeansDisjointUsers) {
+  TraceOptions opts = SmallOptions();
+  opts.cross_user_share = 0.0;
+  TraceGenerator gen(opts);
+  Snapshot u0 = gen.GetSnapshot(0, 0);
+  Snapshot u1 = gen.GetSnapshot(1, 0);
+  std::unordered_set<std::uint64_t> set0;
+  for (const auto& r : u0) set0.insert(r.fingerprint48);
+  for (const auto& r : u1) EXPECT_FALSE(set0.contains(r.fingerprint48));
+}
+
+TEST(TraceTest, OutOfOrderDayRequestsRejected) {
+  TraceGenerator gen(SmallOptions());
+  (void)gen.GetSnapshot(0, 5);
+  EXPECT_THROW(gen.GetSnapshot(0, 2), Error);
+  // Re-requesting the current day is fine.
+  EXPECT_NO_THROW(gen.GetSnapshot(0, 5));
+  EXPECT_THROW(gen.GetSnapshot(9, 0), Error);   // bad user
+  EXPECT_THROW(gen.GetSnapshot(0, 100), Error); // bad day
+}
+
+TEST(TraceTest, ReconstructChunkRepeatsFingerprint) {
+  ChunkRecord rec{0x0102030405E6ull, 14};
+  Bytes chunk = ReconstructChunk(rec);
+  ASSERT_EQ(chunk.size(), 14u);
+  Bytes expect = {0x01, 0x02, 0x03, 0x04, 0x05, 0xE6,
+                  0x01, 0x02, 0x03, 0x04, 0x05, 0xE6, 0x01, 0x02};
+  EXPECT_EQ(chunk, expect);
+  // Identical records reconstruct identical chunks; distinct differ.
+  EXPECT_EQ(ReconstructChunk(rec), chunk);
+  ChunkRecord other{0x0102030405E7ull, 14};
+  EXPECT_NE(ReconstructChunk(other), chunk);
+  EXPECT_THROW(ReconstructChunk(ChunkRecord{1, 0}), Error);
+}
+
+TEST(TraceTest, MaterializeSnapshotIsConsistent) {
+  TraceGenerator gen(SmallOptions());
+  Snapshot snap = gen.GetSnapshot(0, 0);
+  MaterializedSnapshot mat = MaterializeSnapshot(snap);
+  EXPECT_EQ(mat.data.size(), SnapshotBytes(snap));
+  ASSERT_EQ(mat.refs.size(), snap.size());
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(mat.refs[i].offset, off);
+    EXPECT_EQ(mat.refs[i].length, snap[i].size);
+    off += snap[i].size;
+  }
+}
+
+TEST(TraceTest, SnapshotSerializationRoundTrip) {
+  TraceGenerator gen(SmallOptions());
+  Snapshot snap = gen.GetSnapshot(1, 0);
+  Bytes blob = SerializeSnapshot(snap);
+  EXPECT_EQ(blob.size(), snap.size() * 10);
+  Snapshot back = DeserializeSnapshot(blob);
+  ASSERT_EQ(back.size(), snap.size());
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(back[i].fingerprint48, snap[i].fingerprint48);
+    EXPECT_EQ(back[i].size, snap[i].size);
+  }
+  blob.pop_back();
+  EXPECT_THROW(DeserializeSnapshot(blob), Error);
+}
+
+TEST(TraceTest, HighDedupAcrossConsecutiveDays) {
+  // The property Fig. 9/10 depend on: consecutive snapshots share almost
+  // all chunks (real backups have ~98%+ inter-snapshot redundancy).
+  TraceOptions opts = SmallOptions();
+  opts.daily_mod_rate = 0.01;
+  opts.daily_growth_rate = 0.002;
+  TraceGenerator gen(opts);
+  std::unordered_set<std::uint64_t> seen;
+  std::uint64_t logical = 0, unique_bytes = 0;
+  for (std::size_t day = 0; day < 10; ++day) {
+    Snapshot snap = gen.GetSnapshot(0, day);
+    for (const auto& rec : snap) {
+      logical += rec.size;
+      if (seen.insert(rec.fingerprint48).second) unique_bytes += rec.size;
+    }
+  }
+  double saving = 1.0 - static_cast<double>(unique_bytes) / logical;
+  EXPECT_GT(saving, 0.80);  // ten days of 1%-churn backups
+}
+
+TEST(TraceTest, InvalidOptionsRejected) {
+  TraceOptions opts = SmallOptions();
+  opts.num_users = 0;
+  EXPECT_THROW(TraceGenerator g(opts), Error);
+  opts = SmallOptions();
+  opts.avg_chunk = 1;  // below min
+  EXPECT_THROW(TraceGenerator g2(opts), Error);
+}
+
+}  // namespace
+}  // namespace reed::trace

@@ -1,0 +1,200 @@
+// Tests for the util module: byte helpers, LRU cache, token bucket,
+// thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/lru_cache.h"
+#include "util/rate_limiter.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace reed {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xcd, 0xef, 0xff};
+  EXPECT_EQ(HexEncode(data), "0001abcdefff");
+  EXPECT_EQ(HexDecode("0001abcdefff"), data);
+  EXPECT_EQ(HexDecode("0001ABCDEFFF"), data);  // uppercase accepted
+}
+
+TEST(BytesTest, HexDecodeRejectsBadInput) {
+  EXPECT_THROW(HexDecode("abc"), Error);   // odd length
+  EXPECT_THROW(HexDecode("zz"), Error);    // non-hex
+  EXPECT_EQ(HexDecode(""), Bytes{});
+}
+
+TEST(BytesTest, XorIntoAndSizeMismatch) {
+  Bytes a = {0xFF, 0x0F, 0x00};
+  Bytes b = {0x0F, 0x0F, 0x0F};
+  XorInto(a, b);
+  EXPECT_EQ(a, (Bytes{0xF0, 0x00, 0x0F}));
+  Bytes c = {0x01};
+  EXPECT_THROW(XorInto(a, c), Error);
+}
+
+TEST(BytesTest, ConcatAndSlice) {
+  Bytes a = ToBytes("hello");
+  Bytes b = ToBytes(" ");
+  Bytes c = ToBytes("world");
+  Bytes all = Concat(a, b, c);
+  EXPECT_EQ(ToString(all), "hello world");
+  EXPECT_EQ(ToString(Slice(all, 6, 5)), "world");
+  EXPECT_THROW(Slice(all, 7, 5), Error);
+  EXPECT_THROW(Slice(all, 0, 100), Error);
+}
+
+TEST(BytesTest, BigEndianCodecs) {
+  Bytes buf(12);
+  PutU32(MutableByteSpan(buf.data(), 4), 0xDEADBEEF);
+  PutU64(MutableByteSpan(buf.data() + 4, 8), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(GetU32(ByteSpan(buf.data(), 4)), 0xDEADBEEFu);
+  EXPECT_EQ(GetU64(ByteSpan(buf.data() + 4, 8)), 0x0123456789ABCDEFULL);
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  Bytes a = ToBytes("secret");
+  Bytes b = ToBytes("secret");
+  Bytes c = ToBytes("secreT");
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, ToBytes("secre")));
+}
+
+TEST(BytesTest, SecureWipeZeroes) {
+  Bytes secret = ToBytes("sensitive key material");
+  SecureWipe(secret);
+  for (std::uint8_t b : secret) EXPECT_EQ(b, 0);
+}
+
+TEST(LruCacheTest, BasicPutGet) {
+  LruCache<std::string, int> cache(1000, 10);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  EXPECT_EQ(cache.Get("a").value_or(-1), 1);
+  EXPECT_EQ(cache.Get("b").value_or(-1), 2);
+  EXPECT_FALSE(cache.Get("c").has_value());
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<std::string, int> cache(30, 10);  // room for 3 entries
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  cache.Put("c", 3);
+  EXPECT_TRUE(cache.Get("a").has_value());  // refresh "a"
+  cache.Put("d", 4);                        // evicts "b"
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_TRUE(cache.Get("d").has_value());
+}
+
+TEST(LruCacheTest, UpdateExistingKeyDoesNotGrow) {
+  LruCache<std::string, int> cache(20, 10);
+  cache.Put("a", 1);
+  cache.Put("a", 2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get("a").value_or(-1), 2);
+  EXPECT_EQ(cache.used_bytes(), 10u);
+}
+
+TEST(LruCacheTest, StatsTrackHitsMissesEvictions) {
+  LruCache<int, int> cache(20, 10);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  cache.Put(3, 3);  // evicts 1
+  (void)cache.Get(2);
+  (void)cache.Get(1);
+  auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.evictions, 1u);
+}
+
+TEST(LruCacheTest, ClearEmptiesCache) {
+  LruCache<int, int> cache(100, 10);
+  cache.Put(1, 1);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_FALSE(cache.Get(1).has_value());
+}
+
+TEST(TokenBucketTest, StartsFullAndDrains) {
+  TokenBucket bucket(10.0, 5.0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_FALSE(bucket.TryAcquire(0.0));
+}
+
+TEST(TokenBucketTest, RefillsOverTime) {
+  TokenBucket bucket(10.0, 5.0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_FALSE(bucket.TryAcquire(0.0));
+  EXPECT_TRUE(bucket.TryAcquire(0.1));   // 1 token refilled
+  EXPECT_FALSE(bucket.TryAcquire(0.1));
+  EXPECT_TRUE(bucket.TryAcquire(0.5));
+}
+
+TEST(TokenBucketTest, BurstIsCapped) {
+  TokenBucket bucket(10.0, 5.0);
+  // After a long idle period only `burst` tokens are available.
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(bucket.TryAcquire(100.0));
+  EXPECT_FALSE(bucket.TryAcquire(100.0));
+}
+
+TEST(TokenBucketTest, DelayUntilAvailable) {
+  TokenBucket bucket(2.0, 1.0);
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  double delay = bucket.DelayUntilAvailable(0.0);
+  EXPECT_NEAR(delay, 0.5, 1e-6);
+  EXPECT_EQ(bucket.DelayUntilAvailable(1.0), 0.0);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(10,
+                       [](std::size_t i) {
+                         if (i == 7) throw Error("boom");
+                       }),
+      Error);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&ran](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  double t1 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_EQ(MbPerSec(1024 * 1024, 1.0), 1.0);
+  EXPECT_EQ(MbPerSec(1024 * 1024, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace reed

@@ -1,0 +1,98 @@
+// Small shared helpers for the command-line tools: flag parsing and
+// whole-file I/O. Deliberately dependency-free.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace reed::cli {
+
+// Parses "--flag value" pairs and positional arguments.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        std::string name = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          flags_[name] = argv[++i];
+        } else {
+          flags_[name] = "true";  // boolean flag
+        }
+      } else {
+        positional_.push_back(std::move(arg));
+      }
+    }
+  }
+
+  std::string Get(const std::string& name, const std::string& def = "") const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? def : it->second;
+  }
+
+  std::string Require(const std::string& name) const {
+    auto it = flags_.find(name);
+    if (it == flags_.end()) throw Error("missing required flag --" + name);
+    return it->second;
+  }
+
+  bool Has(const std::string& name) const { return flags_.contains(name); }
+
+  std::uint64_t GetInt(const std::string& name, std::uint64_t def) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? def : std::stoull(it->second);
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+inline Bytes ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string s = ss.str();
+  return Bytes(s.begin(), s.end());
+}
+
+inline void WriteFile(const std::string& path, ByteSpan data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw Error("write failed: " + path);
+}
+
+// "host:port" -> pair; bare "port" binds localhost.
+inline std::pair<std::string, std::uint16_t> ParseHostPort(
+    const std::string& spec) {
+  auto colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    return {"127.0.0.1", static_cast<std::uint16_t>(std::stoi(spec))};
+  }
+  return {spec.substr(0, colon),
+          static_cast<std::uint16_t>(std::stoi(spec.substr(colon + 1)))};
+}
+
+inline std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace reed::cli

@@ -1,0 +1,35 @@
+// reed_serverd — a REED storage server (dedup + object stores) as a
+// standalone TCP daemon. Run several for a data-server cluster plus one
+// more as the key-store server.
+//
+//   reed_serverd --port 7101 --name data-0 [--seek-ms 0]
+#include <cstdio>
+
+#include "net/tcp_server.h"
+#include "server/storage_server.h"
+#include "tools/cli_util.h"
+
+using namespace reed;
+
+int main(int argc, char** argv) {
+  try {
+    cli::Args args(argc, argv);
+    std::uint16_t port =
+        static_cast<std::uint16_t>(args.GetInt("port", 7101));
+    server::StorageServer::Options opts;
+    opts.read_seek_seconds =
+        static_cast<double>(args.GetInt("seek-ms", 0)) / 1000.0;
+    server::StorageServer storage(args.Get("name", "server"), opts);
+
+    net::TcpServer server(
+        port, [&storage](ByteSpan req) { return storage.HandleRequest(req); });
+    std::printf("reed_serverd '%s' listening on 127.0.0.1:%u\n",
+                storage.name().c_str(), server.port());
+    std::fflush(stdout);
+    server.Wait();
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "reed_serverd: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_keygen.dir/bench_fig5_keygen.cc.o"
+  "CMakeFiles/bench_fig5_keygen.dir/bench_fig5_keygen.cc.o.d"
+  "bench_fig5_keygen"
+  "bench_fig5_keygen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_keygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

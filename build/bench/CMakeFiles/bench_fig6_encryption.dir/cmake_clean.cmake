@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_encryption.dir/bench_fig6_encryption.cc.o"
+  "CMakeFiles/bench_fig6_encryption.dir/bench_fig6_encryption.cc.o.d"
+  "bench_fig6_encryption"
+  "bench_fig6_encryption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

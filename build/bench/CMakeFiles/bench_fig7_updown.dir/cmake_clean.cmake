@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_updown.dir/bench_fig7_updown.cc.o"
+  "CMakeFiles/bench_fig7_updown.dir/bench_fig7_updown.cc.o.d"
+  "bench_fig7_updown"
+  "bench_fig7_updown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_updown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_rekeying.dir/bench_fig8_rekeying.cc.o"
+  "CMakeFiles/bench_fig8_rekeying.dir/bench_fig8_rekeying.cc.o.d"
+  "bench_fig8_rekeying"
+  "bench_fig8_rekeying.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_rekeying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

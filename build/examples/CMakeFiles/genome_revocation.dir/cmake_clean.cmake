@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_revocation.dir/genome_revocation.cpp.o"
+  "CMakeFiles/genome_revocation.dir/genome_revocation.cpp.o.d"
+  "genome_revocation"
+  "genome_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_server_tcp.dir/multi_server_tcp.cpp.o"
+  "CMakeFiles/multi_server_tcp.dir/multi_server_tcp.cpp.o.d"
+  "multi_server_tcp"
+  "multi_server_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_server_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abe/cpabe.cc" "src/CMakeFiles/reed.dir/abe/cpabe.cc.o" "gcc" "src/CMakeFiles/reed.dir/abe/cpabe.cc.o.d"
+  "/root/repo/src/abe/policy.cc" "src/CMakeFiles/reed.dir/abe/policy.cc.o" "gcc" "src/CMakeFiles/reed.dir/abe/policy.cc.o.d"
+  "/root/repo/src/aont/aont.cc" "src/CMakeFiles/reed.dir/aont/aont.cc.o" "gcc" "src/CMakeFiles/reed.dir/aont/aont.cc.o.d"
+  "/root/repo/src/aont/reed_cipher.cc" "src/CMakeFiles/reed.dir/aont/reed_cipher.cc.o" "gcc" "src/CMakeFiles/reed.dir/aont/reed_cipher.cc.o.d"
+  "/root/repo/src/bigint/bigint.cc" "src/CMakeFiles/reed.dir/bigint/bigint.cc.o" "gcc" "src/CMakeFiles/reed.dir/bigint/bigint.cc.o.d"
+  "/root/repo/src/bigint/prime.cc" "src/CMakeFiles/reed.dir/bigint/prime.cc.o" "gcc" "src/CMakeFiles/reed.dir/bigint/prime.cc.o.d"
+  "/root/repo/src/chunk/chunker.cc" "src/CMakeFiles/reed.dir/chunk/chunker.cc.o" "gcc" "src/CMakeFiles/reed.dir/chunk/chunker.cc.o.d"
+  "/root/repo/src/chunk/rabin.cc" "src/CMakeFiles/reed.dir/chunk/rabin.cc.o" "gcc" "src/CMakeFiles/reed.dir/chunk/rabin.cc.o.d"
+  "/root/repo/src/client/reed_client.cc" "src/CMakeFiles/reed.dir/client/reed_client.cc.o" "gcc" "src/CMakeFiles/reed.dir/client/reed_client.cc.o.d"
+  "/root/repo/src/client/storage_client.cc" "src/CMakeFiles/reed.dir/client/storage_client.cc.o" "gcc" "src/CMakeFiles/reed.dir/client/storage_client.cc.o.d"
+  "/root/repo/src/core/reed_system.cc" "src/CMakeFiles/reed.dir/core/reed_system.cc.o" "gcc" "src/CMakeFiles/reed.dir/core/reed_system.cc.o.d"
+  "/root/repo/src/crypto/aes.cc" "src/CMakeFiles/reed.dir/crypto/aes.cc.o" "gcc" "src/CMakeFiles/reed.dir/crypto/aes.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/CMakeFiles/reed.dir/crypto/hmac.cc.o" "gcc" "src/CMakeFiles/reed.dir/crypto/hmac.cc.o.d"
+  "/root/repo/src/crypto/random.cc" "src/CMakeFiles/reed.dir/crypto/random.cc.o" "gcc" "src/CMakeFiles/reed.dir/crypto/random.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/reed.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/reed.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/keymanager/key_manager.cc" "src/CMakeFiles/reed.dir/keymanager/key_manager.cc.o" "gcc" "src/CMakeFiles/reed.dir/keymanager/key_manager.cc.o.d"
+  "/root/repo/src/keymanager/mle_key_client.cc" "src/CMakeFiles/reed.dir/keymanager/mle_key_client.cc.o" "gcc" "src/CMakeFiles/reed.dir/keymanager/mle_key_client.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/CMakeFiles/reed.dir/net/link.cc.o" "gcc" "src/CMakeFiles/reed.dir/net/link.cc.o.d"
+  "/root/repo/src/net/rpc.cc" "src/CMakeFiles/reed.dir/net/rpc.cc.o" "gcc" "src/CMakeFiles/reed.dir/net/rpc.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/CMakeFiles/reed.dir/net/tcp.cc.o" "gcc" "src/CMakeFiles/reed.dir/net/tcp.cc.o.d"
+  "/root/repo/src/net/tcp_server.cc" "src/CMakeFiles/reed.dir/net/tcp_server.cc.o" "gcc" "src/CMakeFiles/reed.dir/net/tcp_server.cc.o.d"
+  "/root/repo/src/pairing/bls.cc" "src/CMakeFiles/reed.dir/pairing/bls.cc.o" "gcc" "src/CMakeFiles/reed.dir/pairing/bls.cc.o.d"
+  "/root/repo/src/pairing/curve.cc" "src/CMakeFiles/reed.dir/pairing/curve.cc.o" "gcc" "src/CMakeFiles/reed.dir/pairing/curve.cc.o.d"
+  "/root/repo/src/pairing/field.cc" "src/CMakeFiles/reed.dir/pairing/field.cc.o" "gcc" "src/CMakeFiles/reed.dir/pairing/field.cc.o.d"
+  "/root/repo/src/pairing/pairing.cc" "src/CMakeFiles/reed.dir/pairing/pairing.cc.o" "gcc" "src/CMakeFiles/reed.dir/pairing/pairing.cc.o.d"
+  "/root/repo/src/rsa/blind_signature.cc" "src/CMakeFiles/reed.dir/rsa/blind_signature.cc.o" "gcc" "src/CMakeFiles/reed.dir/rsa/blind_signature.cc.o.d"
+  "/root/repo/src/rsa/key_regression.cc" "src/CMakeFiles/reed.dir/rsa/key_regression.cc.o" "gcc" "src/CMakeFiles/reed.dir/rsa/key_regression.cc.o.d"
+  "/root/repo/src/rsa/rsa.cc" "src/CMakeFiles/reed.dir/rsa/rsa.cc.o" "gcc" "src/CMakeFiles/reed.dir/rsa/rsa.cc.o.d"
+  "/root/repo/src/server/storage_server.cc" "src/CMakeFiles/reed.dir/server/storage_server.cc.o" "gcc" "src/CMakeFiles/reed.dir/server/storage_server.cc.o.d"
+  "/root/repo/src/store/container_store.cc" "src/CMakeFiles/reed.dir/store/container_store.cc.o" "gcc" "src/CMakeFiles/reed.dir/store/container_store.cc.o.d"
+  "/root/repo/src/store/index.cc" "src/CMakeFiles/reed.dir/store/index.cc.o" "gcc" "src/CMakeFiles/reed.dir/store/index.cc.o.d"
+  "/root/repo/src/store/recipe.cc" "src/CMakeFiles/reed.dir/store/recipe.cc.o" "gcc" "src/CMakeFiles/reed.dir/store/recipe.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/reed.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/reed.dir/trace/trace.cc.o.d"
+  "/root/repo/src/util/bytes.cc" "src/CMakeFiles/reed.dir/util/bytes.cc.o" "gcc" "src/CMakeFiles/reed.dir/util/bytes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abe_test.dir/abe_test.cc.o"
+  "CMakeFiles/abe_test.dir/abe_test.cc.o.d"
+  "abe_test"
+  "abe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aont_test.dir/aont_test.cc.o"
+  "CMakeFiles/aont_test.dir/aont_test.cc.o.d"
+  "aont_test"
+  "aont_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aont_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

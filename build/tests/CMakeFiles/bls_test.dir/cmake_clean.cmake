@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bls_test.dir/bls_test.cc.o"
+  "CMakeFiles/bls_test.dir/bls_test.cc.o.d"
+  "bls_test"
+  "bls_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

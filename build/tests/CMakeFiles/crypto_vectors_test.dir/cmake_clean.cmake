@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_vectors_test.dir/crypto_vectors_test.cc.o"
+  "CMakeFiles/crypto_vectors_test.dir/crypto_vectors_test.cc.o.d"
+  "crypto_vectors_test"
+  "crypto_vectors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_vectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keymanager_test.dir/keymanager_test.cc.o"
+  "CMakeFiles/keymanager_test.dir/keymanager_test.cc.o.d"
+  "keymanager_test"
+  "keymanager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keymanager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

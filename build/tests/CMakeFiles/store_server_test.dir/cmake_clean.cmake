@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_server_test.dir/store_server_test.cc.o"
+  "CMakeFiles/store_server_test.dir/store_server_test.cc.o.d"
+  "store_server_test"
+  "store_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

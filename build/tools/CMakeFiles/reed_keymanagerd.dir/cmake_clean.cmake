@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reed_keymanagerd.dir/reed_keymanagerd.cc.o"
+  "CMakeFiles/reed_keymanagerd.dir/reed_keymanagerd.cc.o.d"
+  "reed_keymanagerd"
+  "reed_keymanagerd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reed_keymanagerd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reed_serverd.dir/reed_serverd.cc.o"
+  "CMakeFiles/reed_serverd.dir/reed_serverd.cc.o.d"
+  "reed_serverd"
+  "reed_serverd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reed_serverd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reedctl.dir/reedctl.cc.o"
+  "CMakeFiles/reedctl.dir/reedctl.cc.o.d"
+  "reedctl"
+  "reedctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reedctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -97,8 +97,8 @@ int main(int argc, char** argv) {
 
   auto stats = system.TotalStats();
   std::printf("\nstored: %.1f MB physical + %.1f MB stubs for %.1f MB logical\n",
-              stats.physical_bytes / 1048576.0, stats.stub_bytes / 1048576.0,
-              stats.logical_bytes / 1048576.0);
+              ToMiB(stats.physical_bytes), ToMiB(stats.stub_bytes),
+              ToMiB(stats.logical_bytes));
   std::printf("\npaper: upload 13.1 MB/s on day 1, ~105 MB/s after; download"
               " slightly below synthetic speeds,\n       degrading gently from"
               " chunk fragmentation across daily backups.\n");

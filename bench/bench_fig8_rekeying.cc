@@ -136,8 +136,9 @@ struct RekeyBench {
 
 std::vector<std::string> Keep(const std::vector<std::string>& users,
                               double revoke_ratio) {
-  std::size_t keep = users.size() -
-                     static_cast<std::size_t>(users.size() * revoke_ratio);
+  std::size_t keep =
+      users.size() -
+      static_cast<std::size_t>(static_cast<double>(users.size()) * revoke_ratio);
   if (keep == 0) keep = 1;
   return std::vector<std::string>(users.begin(), users.begin() + keep);
 }

@@ -55,7 +55,6 @@ int main(int argc, char** argv) {
   std::uint64_t logical = 0, physical = 0, stub = 0;
 
   Table t({"day", "logical_gb", "physical_gb", "stub_gb", "saving_pct"});
-  const double kGB = 1024.0 * 1024.0 * 1024.0;
   for (std::size_t day = 0; day < topts.num_days; ++day) {
     for (std::size_t user = 0; user < topts.num_users; ++user) {
       trace::Snapshot snap = gen.GetSnapshot(user, day);
@@ -72,8 +71,8 @@ int main(int argc, char** argv) {
       double saving = 100.0 * (1.0 - static_cast<double>(physical + stub) /
                                          static_cast<double>(logical));
       t.Row({Fmt("%.0f", static_cast<double>(day + 1)),
-             Fmt("%.3f", logical / kGB), Fmt("%.3f", physical / kGB),
-             Fmt("%.3f", stub / kGB), Fmt("%.2f", saving)});
+             Fmt("%.3f", ToGiB(logical)), Fmt("%.3f", ToGiB(physical)),
+             Fmt("%.3f", ToGiB(stub)), Fmt("%.2f", saving)});
     }
   }
 
@@ -81,9 +80,9 @@ int main(int argc, char** argv) {
                                            static_cast<double>(logical));
   std::printf("\nfinal: %.2f GB logical -> %.3f GB physical + %.3f GB stub"
               " (saving %.2f%%)\n",
-              logical / kGB, physical / kGB, stub / kGB, total_saving);
+              ToGiB(logical), ToGiB(physical), ToGiB(stub), total_saving);
   std::printf("stub/physical ratio: %.2f (paper: 380.14/431.89 = 0.88)\n",
-              static_cast<double>(stub) / physical);
+              static_cast<double>(stub) / static_cast<double>(physical));
   std::printf("\npaper: 57,548 GB logical -> 812 GB physical+stub after 147 days"
               " (98.6%% saving);\n       stub data grows linearly and cannot be"
               " deduplicated.\n");

@@ -46,21 +46,23 @@ int main() {
     std::uint64_t misses = after.cache_misses - before.cache_misses;
     total_logical += result.logical_bytes;
     std::printf("%-6zu %8.1fMB %9zu %8.1f%% %9.1f%% %10.2f %10.1f\n", day,
-                result.logical_bytes / 1048576.0, result.chunk_count,
-                100.0 * result.duplicate_chunks / result.chunk_count,
-                100.0 * hits / std::max<std::uint64_t>(1, hits + misses),
-                result.stored_bytes / 1048576.0,
+                ToMiB(result.logical_bytes), result.chunk_count,
+                100.0 * AsDouble(result.duplicate_chunks) /
+                    AsDouble(result.chunk_count),
+                100.0 * AsDouble(hits) /
+                    AsDouble(std::max<std::uint64_t>(1, hits + misses)),
+                ToMiB(result.stored_bytes),
                 MbPerSec(result.logical_bytes, secs));
   }
 
   auto stats = system.TotalStats();
   std::printf("\nweek total: %.1f MB logical -> %.1f MB physical + %.2f MB stubs"
               " (saving %.1f%%)\n",
-              total_logical / 1048576.0, stats.physical_bytes / 1048576.0,
-              stats.stub_bytes / 1048576.0,
-              100.0 * (1.0 - static_cast<double>(stats.physical_bytes +
-                                                 stats.stub_bytes) /
-                                 total_logical));
+              ToMiB(total_logical), ToMiB(stats.physical_bytes),
+              ToMiB(stats.stub_bytes),
+              100.0 * (1.0 - AsDouble(stats.physical_bytes +
+                                      stats.stub_bytes) /
+                                 AsDouble(total_logical)));
 
   // Scheduled key rotation over every snapshot of the week: lightweight
   // because only stub files are touched.
@@ -74,7 +76,7 @@ int main() {
   }
   std::printf("rotated 7 file keys in %.2f s (%.2f MB of stubs re-encrypted, "
               "0 bytes of chunk data moved)\n",
-              sw.ElapsedSeconds(), stub_bytes / 1048576.0);
+              sw.ElapsedSeconds(), ToMiB(stub_bytes));
 
   // Verify the latest snapshot still restores after rotation.
   auto last = trace::MaterializeSnapshot(gen.GetSnapshot(0, topts.num_days - 1));

@@ -72,9 +72,9 @@ int main() {
                              client::RevocationMode::kActive);
   std::printf("  key version %llu, stub file re-encrypted (%.1f KB) in %.1f ms\n",
               static_cast<unsigned long long>(active.new_version),
-              active.stub_bytes / 1024.0, sw.ElapsedMillis());
+              AsDouble(active.stub_bytes) / 1024.0, sw.ElapsedMillis());
   std::printf("  (compare: re-encrypting the full 8 MB dataset would move %.0fx more bytes)\n",
-              8.0 * 1048576.0 / active.stub_bytes);
+              8.0 * 1048576.0 / AsDouble(active.stub_bytes));
   std::printf("  dr-alice can read: %s\n",
               CanRead(*alice, "genome/cohort-17") ? "yes" : "no");
 

@@ -99,10 +99,10 @@ int main() {
   std::uint64_t physical = 0;
   for (int i = 0; i < 4; ++i) physical += servers[i]->stats().physical_bytes;
   std::printf("\ncluster stores %.1f MB physical for %.1f MB logical across 4 shards:",
-              physical / 1048576.0, (r1.logical_bytes + r2.logical_bytes) / 1048576.0);
+              ToMiB(physical), ToMiB(r1.logical_bytes + r2.logical_bytes));
   for (int i = 0; i < 4; ++i) {
     std::printf(" [%s: %.1fMB]", servers[i]->name().c_str(),
-                servers[i]->stats().physical_bytes / 1048576.0);
+                ToMiB(servers[i]->stats().physical_bytes));
   }
   std::printf("\n");
   std::fflush(stdout);

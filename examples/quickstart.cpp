@@ -41,13 +41,14 @@ int main() {
   auto up2 = alice->Upload("backup-tuesday", file, {"alice"});
   std::printf("upload #2: %zu chunks, %zu duplicates (%.1f%% dedup), %.1f MB/s\n",
               up2.chunk_count, up2.duplicate_chunks,
-              100.0 * up2.duplicate_chunks / up2.chunk_count,
+              100.0 * AsDouble(up2.duplicate_chunks) /
+                  AsDouble(up2.chunk_count),
               MbPerSec(up2.logical_bytes, sw.ElapsedSeconds()));
 
   auto stats = system.TotalStats();
   std::printf("cluster: %.1f MB logical vs %.1f MB physical (+%.2f MB stubs)\n\n",
-              stats.logical_bytes / 1048576.0, stats.physical_bytes / 1048576.0,
-              stats.stub_bytes / 1048576.0);
+              ToMiB(stats.logical_bytes), ToMiB(stats.physical_bytes),
+              ToMiB(stats.stub_bytes));
 
   // 5. Download and verify.
   sw.Reset();
@@ -63,7 +64,7 @@ int main() {
                             client::RevocationMode::kActive);
   std::printf("active rekey to key version %llu in %.1f ms (%.1f KB of stubs re-encrypted)\n",
               static_cast<unsigned long long>(rekey.new_version),
-              sw.ElapsedMillis(), rekey.stub_bytes / 1024.0);
+              sw.ElapsedMillis(), AsDouble(rekey.stub_bytes) / 1024.0);
   Bytes after = alice->Download("backup-monday");
   std::printf("post-rekey download: %s\n",
               after == file ? "content verified" : "MISMATCH!");

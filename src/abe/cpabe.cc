@@ -200,8 +200,11 @@ Bytes CpAbe::EncryptBytes(const PublicKey& pk, const PolicyNode& policy,
   Ciphertext ct = EncryptElement(pk, m, policy, rng);
 
   Bytes kek = crypto::Sha256::HashToBytes(m.ToBytes());
+  ScopedWipe wipe_kek(kek);
   Bytes enc_key = crypto::DeriveKey32(kek, "reed/abe-enc");
+  ScopedWipe wipe_enc(enc_key);
   Bytes mac_key = crypto::DeriveKey32(kek, "reed/abe-mac");
+  ScopedWipe wipe_mac(mac_key);
 
   Bytes iv = rng.Generate(kIvSize);
   Bytes payload = crypto::AesCtrEncrypt(enc_key, iv, plaintext);
@@ -234,12 +237,15 @@ Bytes CpAbe::DecryptBytes(const PrivateKey& sk, ByteSpan blob) const {
     throw Error("CpAbe::DecryptBytes: attributes do not satisfy policy");
   }
   Bytes kek = crypto::Sha256::HashToBytes(m->ToBytes());
+  ScopedWipe wipe_kek(kek);
   Bytes enc_key = crypto::DeriveKey32(kek, "reed/abe-enc");
+  ScopedWipe wipe_enc(enc_key);
   Bytes mac_key = crypto::DeriveKey32(kek, "reed/abe-mac");
+  ScopedWipe wipe_mac(mac_key);
 
   Bytes mac_input = Concat(iv, payload);
   Bytes expect = crypto::HmacSha256ToBytes(mac_key, mac_input);
-  if (!ConstantTimeEqual(expect, mac)) {
+  if (!SecureCompare(expect, mac)) {
     throw Error("CpAbe::DecryptBytes: MAC verification failed");
   }
   return crypto::AesCtrEncrypt(enc_key, iv, payload);

@@ -32,6 +32,7 @@ Bytes Mask(ByteSpan key, std::size_t length) {
 
 Bytes AontTransform(ByteSpan message, crypto::Rng& rng) {
   Bytes key = rng.Generate(kAontKeySize);
+  ScopedWipe wipe_key(key);
   Bytes package(message.begin(), message.end());
   XorInto(package, Mask(key, package.size()));  // C = M ⊕ G(K)
   Append(package, HashKeyXorTail(ByteSpan(package.data(), message.size()), key));
@@ -46,6 +47,7 @@ Bytes AontRevert(ByteSpan package) {
   ByteSpan head = package.subspan(0, head_len);
   ByteSpan tail = package.subspan(head_len);
   Bytes key = HashKeyXorTail(head, tail);  // K = H(C) ⊕ t
+  ScopedWipe wipe_key(key);
   Bytes message(head.begin(), head.end());
   XorInto(message, Mask(key, head_len));
   return message;
@@ -53,6 +55,7 @@ Bytes AontRevert(ByteSpan package) {
 
 Bytes CaontTransform(ByteSpan message) {
   Bytes key = crypto::Sha256::HashToBytes(message);  // h = H(M)
+  ScopedWipe wipe_key(key);
   Bytes package(message.begin(), message.end());
   XorInto(package, Mask(key, package.size()));
   Append(package, HashKeyXorTail(ByteSpan(package.data(), message.size()), key));
@@ -67,10 +70,11 @@ Bytes CaontRevert(ByteSpan package) {
   ByteSpan head = package.subspan(0, head_len);
   ByteSpan tail = package.subspan(head_len);
   Bytes key = HashKeyXorTail(head, tail);
+  ScopedWipe wipe_key(key);
   Bytes message(head.begin(), head.end());
   XorInto(message, Mask(key, head_len));
   // CAONT is self-verifying: the recovered message must hash back to h.
-  if (!ConstantTimeEqual(crypto::Sha256::HashToBytes(message), key)) {
+  if (!SecureCompare(crypto::Sha256::HashToBytes(message), key)) {
     throw Error("CaontRevert: integrity check failed");
   }
   return message;

@@ -92,6 +92,7 @@ Bytes ReedCipher::DecryptBasic(ByteSpan package) const {
   // the canary check below then catches.
   crypto::Sha256Digest hc = crypto::Sha256::Hash(head);
   Bytes mle_key(hc.begin(), hc.end());
+  ScopedWipe wipe_key(mle_key);
   XorInto(mle_key, tail);
 
   Bytes plain(head.begin(), head.end());
@@ -99,7 +100,7 @@ Bytes ReedCipher::DecryptBasic(ByteSpan package) const {
 
   static const Bytes kZeroCanary(kCanarySize, 0);
   ByteSpan canary = ByteSpan(plain).subspan(plain.size() - kCanarySize);
-  if (!ConstantTimeEqual(canary, kZeroCanary)) {
+  if (!SecureCompare(canary, kZeroCanary)) {
     throw Error("ReedCipher: canary check failed (tampered chunk)");
   }
   plain.resize(plain.size() - kCanarySize);
@@ -139,11 +140,12 @@ Bytes ReedCipher::DecryptEnhanced(ByteSpan package) const {
   // Integrity: H(C1 ‖ K_M) must equal h. (The self-XOR alone can be fooled
   // by paired bit flips, but the recovered Y then fails this hash check —
   // §IV-E.)
-  if (!ConstantTimeEqual(crypto::Sha256::HashToBytes(y), h)) {
+  if (!SecureCompare(crypto::Sha256::HashToBytes(y), h)) {
     throw Error("ReedCipher: hash-key check failed (tampered chunk)");
   }
 
   Bytes mle_key(y.end() - kMleKeySize, y.end());
+  ScopedWipe wipe_key(mle_key);
   y.resize(y.size() - kMleKeySize);
   return crypto::AesCtrEncrypt(mle_key, ByteSpan(kMleIv, 16), y);  // CTR dec
 }
@@ -155,7 +157,9 @@ namespace {
 Bytes SealAuthenticated(ByteSpan plaintext, ByteSpan key, crypto::Rng& rng,
                         std::string_view enc_label, std::string_view mac_label) {
   Bytes enc_key = crypto::DeriveKey32(key, enc_label);
+  ScopedWipe wipe_enc(enc_key);
   Bytes mac_key = crypto::DeriveKey32(key, mac_label);
+  ScopedWipe wipe_mac(mac_key);
   Bytes iv = rng.Generate(16);
   Bytes ct = crypto::AesCtrEncrypt(enc_key, iv, plaintext);
   Bytes out = Concat(iv, ct);
@@ -168,10 +172,12 @@ Bytes OpenAuthenticated(ByteSpan blob, ByteSpan key,
                         const char* what) {
   if (blob.size() < 16 + 32) throw Error(std::string(what) + ": truncated");
   Bytes enc_key = crypto::DeriveKey32(key, enc_label);
+  ScopedWipe wipe_enc(enc_key);
   Bytes mac_key = crypto::DeriveKey32(key, mac_label);
+  ScopedWipe wipe_mac(mac_key);
   ByteSpan body = blob.subspan(0, blob.size() - 32);
   ByteSpan mac = blob.subspan(blob.size() - 32);
-  if (!ConstantTimeEqual(crypto::HmacSha256ToBytes(mac_key, body), mac)) {
+  if (!SecureCompare(crypto::HmacSha256ToBytes(mac_key, body), mac)) {
     throw Error(std::string(what) +
                 ": MAC verification failed (wrong key or tampered data)");
   }

@@ -120,6 +120,7 @@ UploadResult ReedClient::UploadChunked(
   // 5. File key from a fresh key state (version 0).
   rsa::KeyState state = regression_owner_.GenesisState(rng_);
   Bytes file_key = state.DeriveFileKey();
+  ScopedWipe wipe_file_key(file_key);
   Bytes stub_blob = aont::EncryptStubFile(stub_data, file_key, rng_);
 
   // 6. Wrap the key state under the file policy.
@@ -184,6 +185,7 @@ rsa::KeyState ReedClient::UnwrapKeyState(const store::KeyStateRecord& record) {
     Bytes wrap_key = abe_->DecryptBytes(
         access_key_,
         storage_->GetObject(server::StoreId::kKey, record.group_wrap_id));
+    ScopedWipe wipe_wrap_key(wrap_key);
     state_blob = aont::UnwrapKeyBlob(record.wrapped_state, wrap_key);
   }
   rsa::RsaPublicKey derivation_key =
@@ -201,6 +203,7 @@ Bytes ReedClient::Download(const std::string& file_id) {
       rsa::DeserializePublicKey(record.derivation_public_key));
   rsa::KeyState stub_state = member.UnwindTo(current, record.stub_key_version);
   Bytes file_key = stub_state.DeriveFileKey();
+  ScopedWipe wipe_file_key(file_key);
 
   // 2. Recipe and stub file.
   store::FileRecipe recipe = store::FileRecipe::Deserialize(
@@ -316,6 +319,7 @@ std::vector<RekeyResult> ReedClient::RekeyGroup(
 
   // One CP-ABE encryption for the whole group: a fresh wrap key.
   Bytes wrap_key = rng_.Generate(32);
+  ScopedWipe wipe_wrap_key(wrap_key);
   std::string wrap_id = "groupwrap/" + HexEncode(rng_.Generate(16));
   storage_->PutObject(server::StoreId::kKey, wrap_id,
                       abe_->EncryptBytes(abe_pk_, policy, wrap_key, rng_));

@@ -136,12 +136,16 @@ inline void InvShiftRows(std::uint8_t s[16]) {
 inline void MixColumns(std::uint8_t s[16]) {
   for (int c = 0; c < 4; ++c) {
     std::uint8_t* a = s + 4 * c;
-    std::uint8_t t = a[0] ^ a[1] ^ a[2] ^ a[3];
+    std::uint8_t t = static_cast<std::uint8_t>(a[0] ^ a[1] ^ a[2] ^ a[3]);
     std::uint8_t a0 = a[0];
-    a[0] ^= t ^ XTime(static_cast<std::uint8_t>(a[0] ^ a[1]));
-    a[1] ^= t ^ XTime(static_cast<std::uint8_t>(a[1] ^ a[2]));
-    a[2] ^= t ^ XTime(static_cast<std::uint8_t>(a[2] ^ a[3]));
-    a[3] ^= t ^ XTime(static_cast<std::uint8_t>(a[3] ^ a0));
+    a[0] = static_cast<std::uint8_t>(
+        a[0] ^ t ^ XTime(static_cast<std::uint8_t>(a[0] ^ a[1])));
+    a[1] = static_cast<std::uint8_t>(
+        a[1] ^ t ^ XTime(static_cast<std::uint8_t>(a[1] ^ a[2])));
+    a[2] = static_cast<std::uint8_t>(
+        a[2] ^ t ^ XTime(static_cast<std::uint8_t>(a[2] ^ a[3])));
+    a[3] = static_cast<std::uint8_t>(
+        a[3] ^ t ^ XTime(static_cast<std::uint8_t>(a[3] ^ a0)));
   }
 }
 

@@ -25,6 +25,16 @@ class Aes256 {
  public:
   explicit Aes256(ByteSpan key);  // key must be 32 bytes
 
+  // The expanded schedule is key-equivalent material: wipe it so freed
+  // contexts never leave round keys in reusable memory.
+  ~Aes256() {
+    SecureZero(enc_round_keys_);
+    SecureZero(dec_round_keys_);
+  }
+
+  Aes256(const Aes256&) = default;
+  Aes256& operator=(const Aes256&) = default;
+
   // Single-block ECB primitives (building blocks for the modes below).
   void EncryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
   void DecryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
@@ -57,6 +67,9 @@ class AesCtr {
 
   // Writes raw keystream bytes into `out`.
   void Keystream(MutableByteSpan out);
+
+  // Keystream bytes are XOR-equivalent to plaintext; wipe on teardown.
+  ~AesCtr() { SecureZero(buffer_); }
 
  private:
   void RefillBuffer();

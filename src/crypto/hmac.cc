@@ -9,7 +9,9 @@ Sha256Digest HmacSha256(ByteSpan key, ByteSpan data) {
   if (key.size() > kSha256BlockSize) {
     Sha256Digest kd = Sha256::Hash(key);
     std::memcpy(block, kd.data(), kd.size());
-  } else {
+  } else if (!key.empty()) {
+    // An empty span's data() may be null; memcpy's pointer args must be
+    // non-null even for size 0 (UBSan: nonnull-attribute).
     std::memcpy(block, key.data(), key.size());
   }
 
@@ -28,7 +30,14 @@ Sha256Digest HmacSha256(ByteSpan key, ByteSpan data) {
   Sha256 outer;
   outer.Update(opad);
   outer.Update(inner_digest);
-  return outer.Finish();
+  Sha256Digest out = outer.Finish();
+
+  // The padded key block and both pads are key-equivalent material.
+  SecureZero(block);
+  SecureZero(ipad);
+  SecureZero(opad);
+  SecureZero(inner_digest);
+  return out;
 }
 
 Bytes HmacSha256ToBytes(ByteSpan key, ByteSpan data) {
@@ -41,10 +50,12 @@ Bytes HkdfSha256(ByteSpan ikm, ByteSpan salt, ByteSpan info, std::size_t length)
     throw Error("HkdfSha256: requested length too large");
   }
   Sha256Digest prk = HmacSha256(salt, ikm);
+  ScopedWipe wipe_prk{MutableByteSpan(prk)};
 
   Bytes okm;
   okm.reserve(length);
   Bytes t;  // T(0) = empty
+  ScopedWipe wipe_t(t);
   std::uint8_t counter = 1;
   while (okm.size() < length) {
     Bytes input = t;
@@ -52,6 +63,8 @@ Bytes HkdfSha256(ByteSpan ikm, ByteSpan salt, ByteSpan info, std::size_t length)
     input.push_back(counter++);
     Sha256Digest block = HmacSha256(prk, input);
     t.assign(block.begin(), block.end());
+    SecureZero(block);
+    SecureZero(input);
     std::size_t take = std::min(t.size(), length - okm.size());
     okm.insert(okm.end(), t.begin(), t.begin() + take);
   }

@@ -1,18 +1,25 @@
 #include "net/rpc.h"
 
+#include <utility>
+
 namespace reed::net {
 
-void ServeTransport(TcpTransport transport,
+void ServeTransport(TcpTransport& transport,
                     const LocalChannel::Handler& handler) {
   for (;;) {
-    Bytes request;
     try {
-      request = transport.Receive();
+      Bytes request = transport.Receive();
+      transport.Send(handler(request));
     } catch (const NetError&) {
-      return;  // peer closed
+      return;  // peer closed, transport shut down, or handler net failure
     }
-    transport.Send(handler(request));
   }
+}
+
+void ServeTransport(TcpTransport&& transport,
+                    const LocalChannel::Handler& handler) {
+  TcpTransport owned = std::move(transport);
+  ServeTransport(owned, handler);
 }
 
 }  // namespace reed::net

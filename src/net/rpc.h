@@ -73,8 +73,15 @@ class TcpChannel : public RpcChannel {
   TcpTransport transport_;
 };
 
-// Serves a handler over an accepted TCP transport until the peer closes.
-void ServeTransport(TcpTransport transport,
+// Serves a handler over an accepted TCP transport until the peer closes
+// (or the transport is Shutdown() from another thread). Send failures and
+// NetError from the handler end the session instead of escaping into the
+// serving thread.
+void ServeTransport(TcpTransport& transport,
+                    const LocalChannel::Handler& handler);
+
+// Owning convenience overload.
+void ServeTransport(TcpTransport&& transport,
                     const LocalChannel::Handler& handler);
 
 }  // namespace reed::net

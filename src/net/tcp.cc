@@ -57,6 +57,10 @@ TcpTransport& TcpTransport::operator=(TcpTransport&& other) noexcept {
   return *this;
 }
 
+void TcpTransport::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 TcpTransport TcpTransport::Connect(const std::string& host, std::uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) ThrowErrno("socket");
@@ -122,6 +126,13 @@ TcpListener::TcpListener(std::uint16_t port) {
 
 TcpListener::~TcpListener() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpListener::Shutdown() {
+  // shutdown() on a listening socket makes pending and future accept()
+  // calls fail (EINVAL on Linux) without closing the fd out from under a
+  // concurrently blocked acceptor thread.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 TcpTransport TcpListener::Accept() {

@@ -39,6 +39,11 @@ class TcpTransport {
   // Reads one frame; throws NetError on close/failure.
   Bytes Receive();
 
+  // Half-closes both directions so a blocked Send/Receive on another thread
+  // fails promptly. Safe to call concurrently with Send/Receive; the fd
+  // itself stays open until destruction (no fd-reuse races).
+  void Shutdown();
+
   bool valid() const { return fd_ >= 0; }
 
  private:
@@ -57,6 +62,10 @@ class TcpListener {
   std::uint16_t port() const { return port_; }
 
   TcpTransport Accept();
+
+  // Unblocks a concurrent Accept() (it throws NetError). Used for clean
+  // server shutdown without the connect-to-self trick.
+  void Shutdown();
 
  private:
   int fd_;

@@ -1,5 +1,8 @@
 #include "net/tcp_server.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace reed::net {
 
 TcpServer::TcpServer(std::uint16_t port, LocalChannel::Handler handler)
@@ -15,15 +18,32 @@ void TcpServer::AcceptLoop() {
     try {
       conn = listener_->Accept();
     } catch (const Error&) {
-      return;  // listener closed
+      return;  // listener shut down
     }
-    if (stopping_.load()) return;
-    std::lock_guard lock(mu_);
-    connections_.emplace_back(
-        [this, c = std::move(conn)]() mutable {
-          ServeTransport(std::move(c), handler_);
-        });
+    auto session = std::make_shared<Session>(std::move(conn));
+    {
+      std::lock_guard lock(mu_);
+      if (stopping_.load()) return;  // dtor owns teardown past this point
+      ReapFinishedLocked();
+      sessions_.push_back(session);
+    }
+    session->thread = std::thread([this, session] {
+      ServeTransport(session->transport, handler_);
+      session->done.store(true);
+    });
   }
+}
+
+// Joins and drops sessions whose serve loop already returned, so a
+// long-lived server does not accumulate one dead entry per past client.
+void TcpServer::ReapFinishedLocked() {
+  auto it = std::remove_if(
+      sessions_.begin(), sessions_.end(), [](const std::shared_ptr<Session>& s) {
+        if (!s->done.load()) return false;
+        if (s->thread.joinable()) s->thread.join();
+        return true;
+      });
+  sessions_.erase(it, sessions_.end());
 }
 
 void TcpServer::Wait() {
@@ -31,17 +51,24 @@ void TcpServer::Wait() {
 }
 
 TcpServer::~TcpServer() {
-  stopping_.store(true);
-  // Poke the acceptor out of its blocking Accept with a dummy connection.
-  try {
-    TcpTransport wake = TcpTransport::Connect("127.0.0.1", port_);
-  } catch (const Error&) {
-    // Listener already gone.
+  {
+    std::lock_guard lock(mu_);
+    stopping_.store(true);
   }
+  listener_->Shutdown();  // unblocks Accept()
   Wait();
-  std::lock_guard lock(mu_);
-  for (auto& t : connections_) {
-    if (t.joinable()) t.detach();  // exits when the peer disconnects
+  // The acceptor has exited, so sessions_ is stable from here; no new
+  // session can be registered.
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard lock(mu_);
+    sessions.swap(sessions_);
+  }
+  for (auto& session : sessions) {
+    session->transport.Shutdown();  // unblocks a blocked Receive()
+  }
+  for (auto& session : sessions) {
+    if (session->thread.joinable()) session->thread.join();
   }
 }
 

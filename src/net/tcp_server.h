@@ -1,6 +1,11 @@
 // Multi-connection TCP RPC server: accept loop + one service thread per
 // connection, each running ServeTransport over a shared handler. Used by
 // the reed_serverd / reed_keymanagerd daemons and the TCP examples.
+//
+// Shutdown is fully joined: the destructor shuts down the listener socket
+// (unblocking the acceptor), then shuts down every live session transport
+// (unblocking its Receive) and joins every session thread. No thread is
+// ever detached, so no session can outlive the handler it captures.
 #pragma once
 
 #include <atomic>
@@ -19,8 +24,7 @@ class TcpServer {
   // Binds 127.0.0.1:port (0 = ephemeral) and starts accepting immediately.
   TcpServer(std::uint16_t port, LocalChannel::Handler handler);
 
-  // Stops accepting and joins the acceptor; connection threads are joined
-  // as their peers disconnect.
+  // Stops accepting, disconnects live sessions, and joins every thread.
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -32,7 +36,17 @@ class TcpServer {
   void Wait();
 
  private:
+  // One accepted connection: the transport lives here so the destructor can
+  // Shutdown() it while the session thread is blocked inside Receive().
+  struct Session {
+    explicit Session(TcpTransport t) : transport(std::move(t)) {}
+    TcpTransport transport;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   void AcceptLoop();
+  void ReapFinishedLocked();
 
   LocalChannel::Handler handler_;
   std::unique_ptr<TcpListener> listener_;
@@ -40,7 +54,7 @@ class TcpServer {
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
   std::mutex mu_;
-  std::vector<std::thread> connections_;
+  std::vector<std::shared_ptr<Session>> sessions_;
 };
 
 }  // namespace reed::net

@@ -26,7 +26,9 @@ KeyState KeyState::Deserialize(ByteSpan blob, const RsaPublicKey& derivation_key
 }
 
 Bytes KeyState::DeriveFileKey() const {
+  // `input` carries the raw key-regression state — wipe it on every path.
   Bytes input = ToBytes("reed/file-key");
+  ScopedWipe wipe_input(input);
   AppendU64(input, version);
   Append(input, value.ToBytes());
   return crypto::Sha256::HashToBytes(input);

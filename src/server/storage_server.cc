@@ -22,18 +22,20 @@ StorageServer::PutChunksResult StorageServer::PutChunks(
       ++logical_chunks_;
       logical_bytes_ += data.size();
     }
+    // Lookup + append + insert must be one atomic step: if two clients race
+    // on the same fingerprint with lookup and insert as separate critical
+    // sections, both append the payload and the insert-loser's copy stays
+    // orphaned in the container store — the dedup invariant (one stored copy
+    // per fingerprint) breaks and physical_bytes overcounts.
+    std::lock_guard ingest(ingest_mu_);
     if (index_.Lookup(fp).has_value()) {
       ++result.duplicates;
       continue;
     }
     store::ChunkLocation loc = containers_.Append(data);
-    // A concurrent writer may have raced us; treat a lost race as a dup.
-    if (index_.Insert(fp, loc)) {
-      ++result.stored;
-      result.stored_bytes += data.size();
-    } else {
-      ++result.duplicates;
-    }
+    index_.Insert(fp, loc);
+    ++result.stored;
+    result.stored_bytes += data.size();
   }
   return result;
 }

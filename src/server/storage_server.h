@@ -12,6 +12,7 @@
 #pragma once
 
 #include <atomic>
+#include <mutex>
 #include <string>
 
 #include "net/wire.h"
@@ -101,6 +102,8 @@ class StorageServer {
   store::ObjectStore data_objects_;
   store::ObjectStore key_objects_;
 
+  // Serializes the dedup check-then-store step in PutChunks; see there.
+  std::mutex ingest_mu_;
   mutable std::mutex stats_mu_;
   std::uint64_t logical_chunks_ = 0;
   std::uint64_t logical_bytes_ = 0;

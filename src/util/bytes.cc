@@ -1,7 +1,5 @@
 #include "util/bytes.h"
 
-#include <atomic>
-
 namespace reed {
 
 namespace {
@@ -56,21 +54,6 @@ Bytes Slice(ByteSpan src, std::size_t offset, std::size_t len) {
     throw Error("Slice: range out of bounds");
   }
   return Bytes(src.begin() + offset, src.begin() + offset + len);
-}
-
-void SecureWipe(MutableByteSpan data) {
-  // Volatile pointer write defeats dead-store elimination well enough for a
-  // research prototype; a hardened build would use memset_s/explicit_bzero.
-  volatile std::uint8_t* p = data.data();
-  for (std::size_t i = 0; i < data.size(); ++i) p[i] = 0;
-  std::atomic_signal_fence(std::memory_order_seq_cst);
-}
-
-bool ConstantTimeEqual(ByteSpan a, ByteSpan b) {
-  if (a.size() != b.size()) return false;
-  std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
-  return acc == 0;
 }
 
 }  // namespace reed

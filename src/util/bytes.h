@@ -14,6 +14,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/secure.h"
+
 namespace reed {
 
 using Bytes = std::vector<std::uint8_t>;
@@ -62,11 +64,15 @@ Bytes Concat(const Spans&... spans) {
 // Copies a sub-range [offset, offset+len) of `src`; throws if out of range.
 Bytes Slice(ByteSpan src, std::size_t offset, std::size_t len);
 
-// Best-effort secure wipe that the optimizer may not elide.
-void SecureWipe(MutableByteSpan data);
+// Non-elidable secure wipe. Thin alias over SecureZero (util/secure.h),
+// kept for callers that already include bytes.h.
+inline void SecureWipe(MutableByteSpan data) { SecureZero(data); }
 
-// Constant-time equality for secrets (keys, MACs, canaries).
-bool ConstantTimeEqual(ByteSpan a, ByteSpan b);
+// Constant-time equality for secrets (keys, MACs, canaries). Alias over
+// SecureCompare (util/secure.h).
+inline bool ConstantTimeEqual(ByteSpan a, ByteSpan b) {
+  return SecureCompare(a, b);
+}
 
 // Big-endian fixed-width integer codecs used by the wire format and
 // container layouts.

@@ -1,0 +1,37 @@
+#include "util/secure.h"
+
+#include <atomic>
+
+namespace reed {
+
+bool SecureCompare(std::span<const std::uint8_t> a,
+                   std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  // Accumulate differences with OR so the loop's memory-access pattern and
+  // trip count depend only on the (public) length, never on content.
+  unsigned acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc |= static_cast<unsigned>(a[i] ^ b[i]);
+  }
+  // The single branch on the fully-accumulated result leaks nothing about
+  // *where* the buffers differ, only *whether* they do — which the caller
+  // reveals anyway.
+  return acc == 0;
+}
+
+void SecureZero(std::span<std::uint8_t> data) {
+  // Volatile stores defeat dead-store elimination; the signal fence keeps the
+  // compiler from reordering them past the end of the enclosing full
+  // expression. A hardened libc build would call explicit_bzero/memset_s —
+  // this is the portable equivalent.
+  volatile std::uint8_t* p = data.data();
+  for (std::size_t i = 0; i < data.size(); ++i) p[i] = 0;
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+}
+
+void SecureZero(std::vector<std::uint8_t>& data) {
+  SecureZero(std::span<std::uint8_t>(data));
+  data.clear();
+}
+
+}  // namespace reed

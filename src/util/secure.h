@@ -1,0 +1,58 @@
+// Secret-hygiene primitives: constant-time comparison and non-elidable
+// zeroization.
+//
+// Every REED module that touches key material (MLE keys, file keys,
+// key-regression states, ABE session keys, HMAC pads) must go through these
+// helpers instead of memcmp/operator== and plain memset:
+//   * SecureCompare runs in time independent of where the buffers differ,
+//     so a storage server or key manager cannot be used as a byte-by-byte
+//     comparison oracle against MACs or fingerprints.
+//   * SecureZero is guaranteed to survive dead-store elimination, so keys do
+//     not linger in freed stack frames or heap blocks.
+// The crypto-hygiene lint (tools/lint/crypto_lint.py) enforces their use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace reed {
+
+// Constant-time equality over byte buffers. Returns false on length mismatch
+// (length is considered public). Safe for keys, MACs, and fingerprints.
+bool SecureCompare(std::span<const std::uint8_t> a,
+                   std::span<const std::uint8_t> b);
+
+// Overwrites `data` with zeros through a volatile pointer followed by a
+// compiler barrier, so the stores cannot be elided even when the buffer is
+// provably dead afterwards.
+void SecureZero(std::span<std::uint8_t> data);
+
+// Convenience: zeroizes a byte vector's payload and clears it. The capacity
+// is left allocated (vector does not shrink), but every byte that held key
+// material is wiped first.
+void SecureZero(std::vector<std::uint8_t>& data);
+
+// RAII wiper: zeroizes a caller-owned buffer when the enclosing scope exits,
+// including on exception paths. Usage:
+//   Bytes file_key = state.DeriveFileKey();
+//   ScopedWipe wipe(file_key);
+class ScopedWipe {
+ public:
+  explicit ScopedWipe(std::vector<std::uint8_t>& target) : target_(&target) {}
+  explicit ScopedWipe(std::span<std::uint8_t> target) : span_(target) {}
+  ~ScopedWipe() {
+    if (target_ != nullptr) SecureZero(*target_);
+    if (!span_.empty()) SecureZero(span_);
+  }
+
+  ScopedWipe(const ScopedWipe&) = delete;
+  ScopedWipe& operator=(const ScopedWipe&) = delete;
+
+ private:
+  std::vector<std::uint8_t>* target_ = nullptr;
+  std::span<std::uint8_t> span_{};
+};
+
+}  // namespace reed

@@ -29,4 +29,16 @@ inline double MbPerSec(std::uint64_t bytes, double seconds) {
   return static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds;
 }
 
+// Byte counts as paper-style MB/GB figures (single explicit widening point,
+// keeps -Wconversion quiet at every report site).
+inline double ToMiB(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+inline double ToGiB(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0);
+}
+
+// Explicit count→double widening for ratios and averages.
+inline double AsDouble(std::uint64_t v) { return static_cast<double>(v); }
+
 }  // namespace reed

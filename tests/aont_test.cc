@@ -177,8 +177,8 @@ TEST_P(ReedCipherTest, ConfigurableStubSize) {
 
 INSTANTIATE_TEST_SUITE_P(BothSchemes, ReedCipherTest,
                          ::testing::Values(Scheme::kBasic, Scheme::kEnhanced),
-                         [](const auto& info) {
-                           return SchemeName(info.param);
+                         [](const auto& param_info) {
+                           return SchemeName(param_info.param);
                          });
 
 TEST(ReedSchemeContrastTest, BasicLeaksUnderMleKeyCompromise) {

@@ -109,9 +109,10 @@ TEST_P(RabinChunkerTest, RespectsBoundsAndCoversInput) {
   }
   EXPECT_EQ(offset, data.size());
   // Average should be in the right ballpark (within 4x either way).
-  double actual_avg = static_cast<double>(data.size()) / refs.size();
-  EXPECT_GT(actual_avg, avg / 4.0);
-  EXPECT_LT(actual_avg, avg * 4.0);
+  double actual_avg =
+      static_cast<double>(data.size()) / static_cast<double>(refs.size());
+  EXPECT_GT(actual_avg, static_cast<double>(avg) / 4.0);
+  EXPECT_LT(actual_avg, static_cast<double>(avg) * 4.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(AverageSizes, RabinChunkerTest,

@@ -65,10 +65,10 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(aont::Scheme::kBasic, aont::Scheme::kEnhanced),
         ::testing::Values(2048, 8192),
         ::testing::Values(1, 100, 2048, 16384, 16385, 100000, 1 << 20)),
-    [](const auto& info) {
-      return std::string(aont::SchemeName(std::get<0>(info.param))) + "_c" +
-             std::to_string(std::get<1>(info.param)) + "_f" +
-             std::to_string(std::get<2>(info.param));
+    [](const auto& param_info) {
+      return std::string(aont::SchemeName(std::get<0>(param_info.param))) +
+             "_c" + std::to_string(std::get<1>(param_info.param)) + "_f" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 // ---------------------------------------------------------------------

@@ -53,6 +53,11 @@ class IntegrationTest : public ::testing::Test {
     system_->RegisterUser("eve");
   }
 
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+
   static ReedSystem* system_;
 };
 
@@ -95,8 +100,9 @@ TEST_P(SchemeIntegrationTest, SecondUploadFullyDeduplicates) {
 INSTANTIATE_TEST_SUITE_P(BothSchemes, SchemeIntegrationTest,
                          ::testing::Values(aont::Scheme::kBasic,
                                            aont::Scheme::kEnhanced),
-                         [](const auto& info) {
-                           return std::string(aont::SchemeName(info.param));
+                         [](const auto& param_info) {
+                           return std::string(
+                               aont::SchemeName(param_info.param));
                          });
 
 TEST_F(IntegrationTest, CrossUserDeduplication) {
@@ -298,7 +304,9 @@ TEST_F(IntegrationTest, TraceDrivenUploadDeduplicates) {
   auto r0 = alice->UploadChunked("trace-day0", day0.data, day0.refs, {"alice"});
   auto r1 = alice->UploadChunked("trace-day1", day1.data, day1.refs, {"alice"});
   EXPECT_EQ(r0.duplicate_chunks, 0u);
-  EXPECT_GT(static_cast<double>(r1.duplicate_chunks) / r1.chunk_count, 0.9);
+  EXPECT_GT(static_cast<double>(r1.duplicate_chunks) /
+                static_cast<double>(r1.chunk_count),
+            0.9);
   EXPECT_EQ(alice->Download("trace-day1"), day1.data);
 }
 

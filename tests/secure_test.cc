@@ -1,0 +1,134 @@
+// Tests for the secret-hygiene primitives in util/secure.h.
+//
+// Correctness here is subtle: SecureZero's whole point is to survive the
+// optimizer, and SecureCompare's is to not leak the mismatch position
+// through timing. The functional half is fully testable; the timing half is
+// covered structurally (every byte participates in the verdict) rather than
+// with flaky wall-clock assertions.
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/secure.h"
+
+namespace reed {
+namespace {
+
+Bytes Pattern(std::size_t n, std::uint8_t seed) {
+  Bytes out(n);
+  std::uint8_t v = seed;
+  for (auto& b : out) {
+    b = v;
+    v = static_cast<std::uint8_t>(v * 31u + 7u);
+  }
+  return out;
+}
+
+TEST(SecureCompareTest, EqualBuffers) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{16},
+                        std::size_t{32}, std::size_t{1000}}) {
+    Bytes a = Pattern(n, 3);
+    Bytes b = a;
+    EXPECT_TRUE(SecureCompare(a, b)) << "length " << n;
+  }
+}
+
+TEST(SecureCompareTest, DetectsSingleBitFlipAtEveryPosition) {
+  // A comparison that short-circuits or drops bytes would miss flips at
+  // some positions; constant-time accumulation must catch all of them.
+  Bytes a = Pattern(64, 9);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes b = a;
+      b[i] = static_cast<std::uint8_t>(b[i] ^ (1u << bit));
+      EXPECT_FALSE(SecureCompare(a, b)) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(SecureCompareTest, LengthMismatchIsUnequal) {
+  Bytes a = Pattern(32, 1);
+  Bytes b(a.begin(), a.begin() + 31);
+  EXPECT_FALSE(SecureCompare(a, b));
+  EXPECT_FALSE(SecureCompare(b, a));
+  EXPECT_FALSE(SecureCompare(a, Bytes{}));
+  EXPECT_TRUE(SecureCompare(Bytes{}, Bytes{}));
+}
+
+TEST(SecureZeroTest, SpanIsWiped) {
+  Bytes buf = Pattern(257, 5);  // odd size: no word-alignment assumptions
+  SecureZero(MutableByteSpan(buf));
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    ASSERT_EQ(buf[i], 0) << "offset " << i;
+  }
+}
+
+TEST(SecureZeroTest, VectorIsWipedAndCleared) {
+  Bytes buf = Pattern(128, 11);
+  const std::uint8_t* payload = buf.data();
+  const std::size_t n = buf.size();
+  SecureZero(buf);
+  EXPECT_TRUE(buf.empty());
+  // The vector keeps its allocation (clear() does not free), so the old
+  // payload bytes are still inspectable — and must all be zero.
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < n; ++i) nonzero += (payload[i] != 0) ? 1 : 0;
+  EXPECT_EQ(nonzero, 0u);
+}
+
+TEST(SecureZeroTest, SurvivesOptimizationOfDeadBuffer) {
+  // A plain memset here is a classic dead-store-elimination victim: the
+  // buffer is never read again through the vector. Snapshot the payload
+  // pointer first so we can observe the memory independently.
+  std::vector<std::uint8_t> key = Pattern(64, 17);
+  const std::uint8_t* payload = key.data();
+  SecureZero(MutableByteSpan(key));
+  std::size_t sum = 0;
+  for (std::size_t i = 0; i < 64; ++i) sum += payload[i];
+  EXPECT_EQ(sum, 0u);
+}
+
+TEST(ScopedWipeTest, WipesVectorOnScopeExit) {
+  Bytes key = Pattern(48, 23);
+  const std::uint8_t* payload = key.data();
+  {
+    ScopedWipe wipe(key);
+    EXPECT_NE(key[0], 0);  // untouched while in scope
+  }
+  EXPECT_TRUE(key.empty());
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < 48; ++i) nonzero += (payload[i] != 0) ? 1 : 0;
+  EXPECT_EQ(nonzero, 0u);
+}
+
+TEST(ScopedWipeTest, WipesSpanOnException) {
+  Bytes key = Pattern(32, 29);
+  try {
+    ScopedWipe wipe{MutableByteSpan(key)};
+    throw std::runtime_error("unwind");
+  } catch (const std::runtime_error&) {
+  }
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    ASSERT_EQ(key[i], 0) << "offset " << i;
+  }
+}
+
+TEST(SecureAliasesTest, BytesHelpersDelegate) {
+  // util/bytes.h keeps the legacy names as aliases; both must behave
+  // identically to the canonical secure.h entry points.
+  Bytes a = Pattern(32, 2);
+  Bytes b = a;
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(ConstantTimeEqual(a, b));
+  SecureWipe(MutableByteSpan(a));
+  EXPECT_EQ(std::accumulate(a.begin(), a.end(), 0), 0);
+}
+
+}  // namespace
+}  // namespace reed

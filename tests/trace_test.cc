@@ -58,7 +58,7 @@ TEST(TraceTest, DayOverDayChurnMatchesModificationRate) {
   for (std::size_t i = 0; i < d0.size(); ++i) {
     if (d0[i].fingerprint48 != d1[i].fingerprint48) ++changed;
   }
-  double rate = static_cast<double>(changed) / d0.size();
+  double rate = static_cast<double>(changed) / static_cast<double>(d0.size());
   EXPECT_GT(rate, 0.01);
   EXPECT_LT(rate, 0.15);  // ~5% expected
 }
@@ -84,7 +84,7 @@ TEST(TraceTest, CrossUserSharingProducesCommonChunks) {
   for (const auto& r : u1) {
     if (set0.contains(r.fingerprint48)) ++shared;
   }
-  double frac = static_cast<double>(shared) / u1.size();
+  double frac = static_cast<double>(shared) / static_cast<double>(u1.size());
   EXPECT_GT(frac, 0.3);
   EXPECT_LT(frac, 0.7);
 }
@@ -169,7 +169,8 @@ TEST(TraceTest, HighDedupAcrossConsecutiveDays) {
       if (seen.insert(rec.fingerprint48).second) unique_bytes += rec.size;
     }
   }
-  double saving = 1.0 - static_cast<double>(unique_bytes) / logical;
+  double saving =
+      1.0 - static_cast<double>(unique_bytes) / static_cast<double>(logical);
   EXPECT_GT(saving, 0.80);  // ten days of 1%-churn backups
 }
 

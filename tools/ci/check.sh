@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Local CI gate: build + test matrix across sanitizer modes, plus the
+# crypto-hygiene lint. Run from anywhere inside the repo:
+#
+#   tools/ci/check.sh              # full matrix: plain, asan+ubsan, tsan
+#   tools/ci/check.sh plain        # one mode only
+#   tools/ci/check.sh asan tsan    # subset
+#
+# Build trees land in build-ci-<mode>/ (gitignored). Every mode must end
+# with 100% tests passed and zero sanitizer findings; sanitizers run with
+# halt_on_error so a finding fails the test that triggered it.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
+cd "${REPO_ROOT}"
+
+MODES=("$@")
+if [[ ${#MODES[@]} -eq 0 ]]; then
+  MODES=(plain asan tsan)
+fi
+
+GENERATOR_ARGS=()
+if command -v ninja > /dev/null 2>&1; then
+  GENERATOR_ARGS=(-G Ninja)
+fi
+
+run_mode() {
+  local mode="$1"
+  local build_dir="build-ci-${mode}"
+  local cmake_args=()
+  local -a test_env=()
+
+  case "${mode}" in
+    plain)
+      cmake_args=(-DREED_SANITIZE=none)
+      ;;
+    asan)
+      cmake_args=(-DREED_SANITIZE=address,undefined)
+      test_env=("ASAN_OPTIONS=halt_on_error=1"
+                "UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1")
+      ;;
+    tsan)
+      cmake_args=(-DREED_SANITIZE=thread)
+      test_env=("TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1")
+      ;;
+    *)
+      echo "unknown mode: ${mode} (expected plain|asan|tsan)" >&2
+      exit 2
+      ;;
+  esac
+
+  echo "=== [${mode}] configure ==="
+  cmake -B "${build_dir}" -S . "${GENERATOR_ARGS[@]}" \
+      -DCMAKE_BUILD_TYPE=Release "${cmake_args[@]}"
+
+  echo "=== [${mode}] build ==="
+  cmake --build "${build_dir}" -j
+
+  echo "=== [${mode}] test ==="
+  # Long-pole gtest binaries (ABE pairing math, the client property suite)
+  # dominate wall time; -j parallelizes across binaries, and the TSan tree
+  # already carries widened per-test timeouts from tests/CMakeLists.txt.
+  env "${test_env[@]}" ctest --test-dir "${build_dir}" \
+      --output-on-failure -j "$(nproc)"
+}
+
+echo "=== crypto-hygiene lint ==="
+python3 tools/lint/crypto_lint.py --self-test
+python3 tools/lint/crypto_lint.py --root . src
+
+for mode in "${MODES[@]}"; do
+  run_mode "${mode}"
+done
+
+echo "=== all checks passed (${MODES[*]}) ==="

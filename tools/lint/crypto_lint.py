@@ -1,0 +1,339 @@
+#!/usr/bin/env python3
+"""Crypto-hygiene lint for REED sources.
+
+Walks C++ sources and flags patterns that undermine the security argument of
+an encrypted-deduplication system:
+
+  ban-rand            libc/stdlib RNGs (rand, srand, random, *rand48) — all
+                      randomness must come from crypto::Rng (ChaCha20-based).
+  secret-memcmp       memcmp on buffers — memcmp short-circuits on the first
+                      differing byte, turning MAC/key checks into timing
+                      oracles. Use reed::SecureCompare.
+  secret-eq           operator==/!= between secret-named buffers (keys, MACs,
+                      tags, digests, fingerprints). std::vector/array
+                      operator== also short-circuits. Use reed::SecureCompare.
+  unzeroized-key-local a key-typed local (Bytes/array named *key*, *secret*,
+                      *ikm*, *kek*, *prk*, *okm*) whose scope ends without
+                      SecureZero/ScopedWipe, a return, or a std::move —
+                      key material must not linger in dead stack/heap memory.
+
+False positives that survive a manual audit go in the allowlist file
+(default: tools/lint/allowlist.txt) as `<relpath>:<rule>:<token>` lines.
+Keep that file short — every entry is a standing exception.
+
+Usage:
+  crypto_lint.py [--root REPO] [--allowlist FILE] [PATHS...]   # lint (default: src)
+  crypto_lint.py --self-test                                   # run fixture suite
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SECRET_EQ_TOKENS = r"key|mac|tag|digest|fingerprint|secret|ikm|kek|prk|okm"
+KEY_LOCAL_TOKENS = r"key|secret|ikm|kek|prk|okm"
+# Identifiers that merely *talk about* secrets: public halves, versions,
+# counters, cache bookkeeping. These never hold raw key bytes.
+BENIGN_TOKENS = re.compile(
+    r"public|pub\b|_pub|version|size|count|len\b|length|_id\b|\bid_|name"
+    r"|index|cache|manager|policy|server|offset|cost|bytes_budget",
+    re.IGNORECASE,
+)
+
+RULES = ("ban-rand", "secret-memcmp", "secret-eq", "unzeroized-key-local")
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literal bodies, preserving newlines so
+    line numbers in findings stay true."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | dquote | squote
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "dquote"
+                out.append(c)
+            elif c == "'":
+                state = "squote"
+                out.append(c)
+            else:
+                out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("dquote", "squote"):
+            quote = '"' if state == "dquote" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated; bail back to code
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path, line, rule, token, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.token = token
+        self.message = message
+
+    def key(self):
+        return f"{self.path}:{self.rule}:{self.token}"
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+RAND_RE = re.compile(r"\b(rand|srand|random|srandom|drand48|lrand48|mrand48)\s*\(")
+MEMCMP_RE = re.compile(r"\b(?:std::)?(memcmp|bcmp)\s*\(")
+# LHS operand of a comparison: a.b->c chains, calls allowed at the tail.
+EQ_RE = re.compile(
+    r"([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*(?:\(\))?)*)\s*(==|!=)\s*"
+    r"([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*(?:\(\))?)*)"
+)
+DECL_RE = re.compile(
+    r"^\s*(?:const\s+)?(?:[A-Za-z_]\w*::)*"
+    r"(Bytes|AesKey|Sha256Digest|std::vector<\s*std::uint8_t\s*>|"
+    r"std::array<[^>]*>)\s*(&?)\s*"
+    r"([A-Za-z_]\w*)\s*(?:=|;|\{)"  # no '(': avoids function definitions
+)
+SECRET_EQ_TOKEN_RE = re.compile(rf"(?:^|_)({SECRET_EQ_TOKENS})s?(?:_|$)", re.IGNORECASE)
+KEY_LOCAL_TOKEN_RE = re.compile(rf"({KEY_LOCAL_TOKENS})", re.IGNORECASE)
+SCALAR_TAIL_RE = re.compile(
+    r"(?:\.|->)(size|empty|length|count|version|ByteLength)\(\)$"
+)
+
+
+def looks_secret_buffer(expr):
+    """True when a comparison operand plausibly names a secret byte buffer."""
+    if SCALAR_TAIL_RE.search(expr):
+        return False
+    leaf = expr.split(".")[-1].split("->")[-1]
+    if not SECRET_EQ_TOKEN_RE.search(leaf):
+        return False
+    if BENIGN_TOKENS.search(leaf):
+        return False
+    return True
+
+
+def lint_text(path, raw):
+    code = strip_comments_and_strings(raw)
+    lines = code.split("\n")
+    findings = []
+
+    for lineno, line in enumerate(lines, start=1):
+        m = RAND_RE.search(line)
+        if m:
+            findings.append(Finding(
+                path, lineno, "ban-rand", m.group(1),
+                f"insecure RNG {m.group(1)}() — use crypto::Rng "
+                "(ChaChaRng / SecureRandom)"))
+        m = MEMCMP_RE.search(line)
+        if m:
+            findings.append(Finding(
+                path, lineno, "secret-memcmp", m.group(1),
+                f"{m.group(1)}() short-circuits on the first differing byte "
+                "— use reed::SecureCompare for keys/MACs (allowlist audited "
+                "non-secret uses)"))
+        for m in EQ_RE.finditer(line):
+            lhs, _, rhs = m.groups()
+            if looks_secret_buffer(lhs) or looks_secret_buffer(rhs):
+                tok = lhs if looks_secret_buffer(lhs) else rhs
+                findings.append(Finding(
+                    path, lineno, "secret-eq", tok,
+                    f"comparison of secret-named buffer `{tok}` with "
+                    "==/!= is not constant time — use reed::SecureCompare"))
+
+    findings.extend(find_unzeroized_locals(path, lines))
+    return findings
+
+
+def find_unzeroized_locals(path, lines):
+    findings = []
+    for lineno, line in enumerate(lines, start=1):
+        m = DECL_RE.match(line)
+        if not m:
+            continue
+        _, ref, name = m.group(1), m.group(2), m.group(3)
+        if ref == "&":
+            continue  # non-owning reference
+        if not KEY_LOCAL_TOKEN_RE.search(name):
+            continue
+        if BENIGN_TOKENS.search(name):
+            continue
+        # Namespace-scope declarations (constants) are not locals: a local
+        # declaration lives at brace depth >= 1 relative to file start.
+        depth_before = 0
+        for prior in lines[: lineno - 1]:
+            depth_before += prior.count("{") - prior.count("}")
+        decl_line_open = line.count("{") - line.count("}")
+        if depth_before + max(decl_line_open, 0) < 1:
+            continue
+        if scope_handles_secret(lines, lineno, name):
+            continue
+        findings.append(Finding(
+            path, lineno, "unzeroized-key-local", name,
+            f"key-typed local `{name}` leaves scope without SecureZero/"
+            "ScopedWipe (and is neither returned nor moved out)"))
+    return findings
+
+
+def scope_handles_secret(lines, decl_lineno, name):
+    """Scans from the declaration to the end of its enclosing scope for a
+    wipe, return, or ownership transfer of `name`."""
+    wipe_re = re.compile(
+        rf"\b(SecureZero|SecureWipe)\s*\(\s*{re.escape(name)}\b"
+        rf"|\bScopedWipe\s+\w+\s*[({{][^;]*\b{re.escape(name)}\b"
+        rf"|\bScopedWipe\s*[({{]\s*{re.escape(name)}\b")
+    release_re = re.compile(
+        rf"\breturn\b[^;]*\b{re.escape(name)}\b"
+        rf"|\bstd::move\s*\(\s*{re.escape(name)}\s*\)")
+    depth = 0
+    for line in lines[decl_lineno - 1:]:
+        if wipe_re.search(line) or release_re.search(line):
+            return True
+        depth += line.count("{") - line.count("}")
+        if depth < 0:
+            return False
+    return False
+
+
+def load_allowlist(path):
+    entries = {}
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            entries[line] = 0
+    return entries
+
+
+def collect_files(root, paths):
+    files = []
+    for p in paths:
+        full = os.path.join(root, p)
+        if os.path.isfile(full):
+            files.append(full)
+            continue
+        if not os.path.isdir(full):
+            # A typo'd path silently scanning zero files would report clean.
+            raise SystemExit(f"crypto_lint: path does not exist: {full}")
+        for dirpath, _, names in os.walk(full):
+            for n in sorted(names):
+                if n.endswith((".cc", ".cpp", ".h", ".hpp")):
+                    files.append(os.path.join(dirpath, n))
+    return sorted(files)
+
+
+def run_lint(root, paths, allowlist_path):
+    allow = load_allowlist(allowlist_path)
+    reported = []
+    for full in collect_files(root, paths):
+        rel = os.path.relpath(full, root)
+        with open(full, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        for finding in lint_text(rel, raw):
+            if finding.key() in allow:
+                allow[finding.key()] += 1
+            else:
+                reported.append(finding)
+
+    for finding in reported:
+        print(finding)
+    stale = [k for k, hits in allow.items() if hits == 0]
+    for k in stale:
+        print(f"note: stale allowlist entry (no longer matches): {k}")
+    if reported:
+        print(f"crypto_lint: {len(reported)} finding(s)")
+        return 1
+    used = sum(1 for hits in allow.values() if hits)
+    print(f"crypto_lint: clean ({used} allowlisted exception(s) in use)")
+    return 0
+
+
+# --------------------------- fixture self-test ---------------------------
+
+EXPECT_RE = re.compile(r"//\s*LINT-EXPECT:\s*([a-z\-]+)")
+
+
+def run_self_test(root):
+    fixture_dir = os.path.join(root, "tools", "lint", "fixtures")
+    failures = []
+    files = collect_files(root, [os.path.join("tools", "lint", "fixtures")])
+    if not files:
+        print(f"crypto_lint --self-test: no fixtures under {fixture_dir}")
+        return 1
+    for full in files:
+        rel = os.path.relpath(full, root)
+        with open(full, encoding="utf-8") as f:
+            raw = f.read()
+        expected = sorted(EXPECT_RE.findall(raw))
+        got = sorted(f.rule for f in lint_text(rel, raw))
+        if expected != got:
+            failures.append(f"{rel}: expected {expected or '[clean]'}, "
+                            f"got {got or '[clean]'}")
+    for f in failures:
+        print("FAIL " + f)
+    print(f"crypto_lint --self-test: {len(files) - len(failures)}/{len(files)} "
+          "fixtures pass")
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--allowlist", default=None,
+                    help="allowlist file (default: tools/lint/allowlist.txt)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="lint the fixture files and check expectations")
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files/directories relative to --root (default: src)")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    if args.self_test:
+        return run_self_test(root)
+    allowlist = args.allowlist or os.path.join(root, "tools", "lint",
+                                               "allowlist.txt")
+    return run_lint(root, args.paths or ["src"], allowlist)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+// Fixture: memcmp on a MAC is a timing oracle.
+#include <cstring>
+
+bool MacMatches(const unsigned char* mac, const unsigned char* expect) {
+  // LINT-EXPECT: secret-memcmp
+  return std::memcmp(mac, expect, 32) == 0;
+}

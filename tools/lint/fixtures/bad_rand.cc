@@ -1,0 +1,9 @@
+// Fixture: libc RNG must be flagged even when seeded "carefully".
+#include <cstdlib>
+
+int NonceFromLibc() {
+  // LINT-EXPECT: ban-rand
+  // LINT-EXPECT: ban-rand
+  srand(42);
+  return rand();
+}

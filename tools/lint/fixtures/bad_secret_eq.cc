@@ -1,0 +1,15 @@
+// Fixture: vector operator== short-circuits; flag it on secret-named buffers.
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+bool CheckTag(const Bytes& mac_tag, const Bytes& expected_mac) {
+  // LINT-EXPECT: secret-eq
+  return mac_tag == expected_mac;
+}
+
+bool CheckKey(const Bytes& file_key, const Bytes& derived) {
+  // LINT-EXPECT: secret-eq
+  if (file_key != derived) return false;
+  return true;
+}

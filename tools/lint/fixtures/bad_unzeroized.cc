@@ -1,0 +1,13 @@
+// Fixture: a key-typed local that dies without zeroization.
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+Bytes Derive();
+void Use(const Bytes& k);
+
+void EncryptOnce() {
+  // LINT-EXPECT: unzeroized-key-local
+  Bytes file_key = Derive();
+  Use(file_key);
+}

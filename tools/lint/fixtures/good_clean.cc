@@ -1,0 +1,65 @@
+// Fixture: hygienic secret handling — nothing here may be flagged.
+// Mentions of rand() and memcmp() in comments and "rand() strings" are fine.
+#include <utility>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+namespace reed {
+bool SecureCompare(const Bytes& a, const Bytes& b);
+void SecureZero(Bytes& b);
+class ScopedWipe {
+ public:
+  explicit ScopedWipe(Bytes& b) : b_(b) {}
+  ~ScopedWipe();
+
+ private:
+  Bytes& b_;
+};
+}  // namespace reed
+
+Bytes Derive();
+void Use(const Bytes& k);
+Bytes Consume(Bytes k);
+
+bool CheckTag(const Bytes& mac, const Bytes& expect) {
+  return reed::SecureCompare(mac, expect);
+}
+
+// Scalar attributes of secrets compare freely.
+bool SameLength(const Bytes& mac, const Bytes& key) {
+  return mac.size() == key.size() && !key.empty();
+}
+
+void WipedKey() {
+  Bytes file_key = Derive();
+  reed::ScopedWipe wipe(file_key);
+  Use(file_key);
+}
+
+void ZeroedKey() {
+  Bytes session_key = Derive();
+  Use(session_key);
+  reed::SecureZero(session_key);
+}
+
+Bytes ReturnedKey() {
+  Bytes mle_key = Derive();
+  return mle_key;
+}
+
+Bytes MovedKey() {
+  Bytes chunk_key = Derive();
+  return Consume(std::move(chunk_key));
+}
+
+// Non-owning reference to a key is the caller's responsibility.
+void BorrowedKey(Bytes& stub) {
+  const Bytes& wrap_key = stub;
+  Use(wrap_key);
+}
+
+// Benign names: versions, sizes, ids.
+int KeyVersionMath(int key_version, int key_count) {
+  return key_version == key_count ? 1 : 0;
+}

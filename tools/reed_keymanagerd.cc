@@ -1,6 +1,6 @@
 // reed_keymanagerd — the REED key manager as a standalone TCP daemon.
 //
-//   reed_keymanagerd --port 7001 --state km.key --pubkey-out km.pub \
+//   reed_keymanagerd --port 7001 --state km.key --pubkey-out km.pub
 //                    [--rsa-bits 1024] [--rate-limit N --burst B]
 //
 // On first start it generates the system-wide RSA key pair and persists it

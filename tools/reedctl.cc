@@ -7,11 +7,11 @@
 //       Issues alice's private access key and derivation key pair.
 //
 // Data path (any user with an identity file):
-//   reedctl upload   --identity alice.id --km 7001 --km-pub km.pub \
-//                    --servers 7101,7102 --key-server 7103 \
+//   reedctl upload   --identity alice.id --km 7001 --km-pub km.pub
+//                    --servers 7101,7102 --key-server 7103
 //                    --file path/to/data --name backup-1 [--share bob,carol]
 //   reedctl download --identity alice.id ... --name backup-1 --out restored
-//   reedctl rekey    --identity alice.id ... --name backup-1 \
+//   reedctl rekey    --identity alice.id ... --name backup-1
 //                    [--share carol] [--active]
 //
 // All flags accept "host:port" or bare "port" (localhost).
@@ -165,7 +165,7 @@ int CmdUpload(const cli::Args& args, const std::shared_ptr<const abe::CpAbe>& cp
   auto result = client->Upload(args.Require("name"), data, share);
   std::printf("uploaded %s: %.1f MB in %zu chunks (%zu new, %zu dedup), "
               "%.1f MB/s\n",
-              args.Require("name").c_str(), data.size() / 1048576.0,
+              args.Require("name").c_str(), ToMiB(data.size()),
               result.chunk_count, result.stored_chunks,
               result.duplicate_chunks,
               MbPerSec(data.size(), sw.ElapsedSeconds()));
@@ -179,7 +179,7 @@ int CmdDownload(const cli::Args& args, const std::shared_ptr<const abe::CpAbe>& 
   Bytes data = client->Download(args.Require("name"));
   cli::WriteFile(args.Require("out"), data);
   std::printf("downloaded %s: %.1f MB at %.1f MB/s -> %s\n",
-              args.Require("name").c_str(), data.size() / 1048576.0,
+              args.Require("name").c_str(), ToMiB(data.size()),
               MbPerSec(data.size(), sw.ElapsedSeconds()),
               args.Require("out").c_str());
   return 0;

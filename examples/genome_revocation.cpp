@@ -43,7 +43,9 @@ int main() {
   crypto::DeterministicRng rng(1000);
   Bytes dataset = rng.Generate(8 << 20);
   std::printf("PI carol uploads 8 MB dataset, policy = (carol OR alice OR bob)\n");
-  carol->Upload("genome/cohort-17", dataset, {"pi-carol", "dr-alice", "dr-bob"});
+  DiscardResult(
+      carol->Upload("genome/cohort-17", dataset,
+                    {"pi-carol", "dr-alice", "dr-bob"}));
 
   std::printf("  dr-alice can read:  %s\n", CanRead(*alice, "genome/cohort-17") ? "yes" : "no");
   std::printf("  dr-bob   can read:  %s\n", CanRead(*bob, "genome/cohort-17") ? "yes" : "no");

@@ -25,12 +25,12 @@ CpAbe::CpAbe(std::shared_ptr<const TypeAPairing> pairing)
 
 G1Point CpAbe::AttributePoint(const std::string& attribute) const {
   {
-    std::lock_guard lock(attr_cache_mu_);
+    MutexLock lock(attr_cache_mu_);
     auto it = attr_cache_.find(attribute);
     if (it != attr_cache_.end()) return it->second;
   }
   G1Point pt = pairing_->HashToGroup(ToBytes("reed/abe-attr:" + attribute));
-  std::lock_guard lock(attr_cache_mu_);
+  MutexLock lock(attr_cache_mu_);
   attr_cache_.emplace(attribute, pt);
   return pt;
 }

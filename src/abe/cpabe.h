@@ -19,13 +19,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "abe/policy.h"
 #include "crypto/random.h"
 #include "pairing/pairing.h"
+#include "util/thread_annotations.h"
 
 namespace reed::abe {
 
@@ -54,7 +54,7 @@ struct PrivateKey {
   G1Point d;  // g^{(α+t)/β}
   std::map<std::string, AttributeKey> components;
 
-  std::vector<std::string> Attributes() const;
+  [[nodiscard]] std::vector<std::string> Attributes() const;
 };
 
 struct CiphertextLeaf {
@@ -80,36 +80,36 @@ class CpAbe {
     PublicKey pk;
     MasterKey mk;
   };
-  SetupResult Setup(crypto::Rng& rng) const;
+  [[nodiscard]] SetupResult Setup(crypto::Rng& rng) const;
 
-  PrivateKey KeyGen(const PublicKey& pk, const MasterKey& mk,
+  [[nodiscard]] PrivateKey KeyGen(const PublicKey& pk, const MasterKey& mk,
                     const std::vector<std::string>& attributes,
                     crypto::Rng& rng) const;
 
   // Core scheme over GT elements.
-  Ciphertext EncryptElement(const PublicKey& pk, const Fp2& message,
+  [[nodiscard]] Ciphertext EncryptElement(const PublicKey& pk, const Fp2& message,
                             const PolicyNode& policy, crypto::Rng& rng) const;
   // nullopt when the key's attributes do not satisfy the policy.
-  std::optional<Fp2> DecryptElement(const PrivateKey& sk,
+  [[nodiscard]] std::optional<Fp2> DecryptElement(const PrivateKey& sk,
                                     const Ciphertext& ct) const;
 
   // Hybrid encryption of arbitrary byte strings (ABE + AES-CTR + HMAC).
-  Bytes EncryptBytes(const PublicKey& pk, const PolicyNode& policy,
+  [[nodiscard]] Bytes EncryptBytes(const PublicKey& pk, const PolicyNode& policy,
                      ByteSpan plaintext, crypto::Rng& rng) const;
   // Throws Error on unauthorized key or tampered ciphertext.
-  Bytes DecryptBytes(const PrivateKey& sk, ByteSpan blob) const;
+  [[nodiscard]] Bytes DecryptBytes(const PrivateKey& sk, ByteSpan blob) const;
 
   // Serialization (ciphertexts are stored in the cloud key store).
-  Bytes SerializeCiphertext(const Ciphertext& ct) const;
-  Ciphertext DeserializeCiphertext(ByteSpan blob) const;
-  Bytes SerializePrivateKey(const PrivateKey& sk) const;
-  PrivateKey DeserializePrivateKey(ByteSpan blob) const;
-  Bytes SerializePublicKey(const PublicKey& pk) const;
-  PublicKey DeserializePublicKey(ByteSpan blob) const;
+  [[nodiscard]] Bytes SerializeCiphertext(const Ciphertext& ct) const;
+  [[nodiscard]] Ciphertext DeserializeCiphertext(ByteSpan blob) const;
+  [[nodiscard]] Bytes SerializePrivateKey(const PrivateKey& sk) const;
+  [[nodiscard]] PrivateKey DeserializePrivateKey(ByteSpan blob) const;
+  [[nodiscard]] Bytes SerializePublicKey(const PublicKey& pk) const;
+  [[nodiscard]] PublicKey DeserializePublicKey(ByteSpan blob) const;
   // Master-key serialization for the attribute authority's state file
   // (reedctl init-org). Secret material.
-  Bytes SerializeMasterKey(const MasterKey& mk) const;
-  MasterKey DeserializeMasterKey(ByteSpan blob) const;
+  [[nodiscard]] Bytes SerializeMasterKey(const MasterKey& mk) const;
+  [[nodiscard]] MasterKey DeserializeMasterKey(ByteSpan blob) const;
 
  private:
   // H(attribute) with a per-instance memo: attribute points recur across
@@ -123,8 +123,9 @@ class CpAbe {
                                  std::size_t& leaf_index) const;
 
   std::shared_ptr<const TypeAPairing> pairing_;
-  mutable std::mutex attr_cache_mu_;
-  mutable std::map<std::string, G1Point> attr_cache_;
+  mutable Mutex attr_cache_mu_;
+  mutable std::map<std::string, G1Point> attr_cache_
+      REED_GUARDED_BY(attr_cache_mu_);
 };
 
 }  // namespace reed::abe

@@ -39,7 +39,7 @@ class PolicyNode {
   std::size_t LeafCount() const;
 
   // True if the attribute set satisfies this (sub)tree.
-  bool IsSatisfiedBy(const std::vector<std::string>& attributes) const;
+  [[nodiscard]] bool IsSatisfiedBy(const std::vector<std::string>& attributes) const;
 
   bool operator==(const PolicyNode& o) const;
 

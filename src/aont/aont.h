@@ -18,27 +18,27 @@ inline constexpr std::size_t kAontTailSize = 32;  // |t| = |H(·)| = |K|
 
 // Pseudo-random mask G(K) = E(K, S): the AES-256-CTR keystream over the
 // publicly known constant block S (a fixed IV), truncated to `length`.
-Bytes Mask(ByteSpan key, std::size_t length);
+[[nodiscard]] Bytes Mask(ByteSpan key, std::size_t length);
 
 // Rivest AONT with a fresh random key. Package layout: C || t,
 // |package| = |message| + kAontTailSize.
-Bytes AontTransform(ByteSpan message, crypto::Rng& rng);
+[[nodiscard]] Bytes AontTransform(ByteSpan message, crypto::Rng& rng);
 
 // Inverts AontTransform. No integrity guarantee (original AONT is unkeyed
 // and unauthenticated) — corrupt packages yield garbage.
-Bytes AontRevert(ByteSpan package);
+[[nodiscard]] Bytes AontRevert(ByteSpan package);
 
 // CAONT: key = H(message); deterministic, so identical messages produce
 // identical packages.
-Bytes CaontTransform(ByteSpan message);
+[[nodiscard]] Bytes CaontTransform(ByteSpan message);
 
 // Inverts CaontTransform and verifies the embedded hash key against the
 // recovered message; throws Error on tampering.
-Bytes CaontRevert(ByteSpan package);
+[[nodiscard]] Bytes CaontRevert(ByteSpan package);
 
 // Self-XOR tail used by REED's enhanced scheme (after Peterson et al.'s
 // secure-deletion construction): XOR of all kAontTailSize-sized pieces of
 // `data` (last piece zero-padded) — cheaper than a second hash pass.
-Bytes SelfXor(ByteSpan data);
+[[nodiscard]] Bytes SelfXor(ByteSpan data);
 
 }  // namespace reed::aont

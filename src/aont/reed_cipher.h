@@ -29,7 +29,7 @@ inline constexpr std::size_t kMleKeySize = 32;
 
 enum class Scheme { kBasic, kEnhanced };
 
-const char* SchemeName(Scheme scheme);
+[[nodiscard]] const char* SchemeName(Scheme scheme);
 
 // A chunk after REED encryption, before stub-file encryption.
 struct SealedChunk {
@@ -45,14 +45,14 @@ class ReedCipher {
   std::size_t stub_size() const { return stub_size_; }
 
   // Deterministically seals `chunk` under its 32-byte MLE key.
-  SealedChunk Encrypt(ByteSpan chunk, ByteSpan mle_key) const;
+  [[nodiscard]] SealedChunk Encrypt(ByteSpan chunk, ByteSpan mle_key) const;
 
   // Reassembles the package and reverts it. Throws Error if either part
   // was tampered with (canary / hash-key verification).
-  Bytes Decrypt(ByteSpan trimmed_package, ByteSpan stub) const;
+  [[nodiscard]] Bytes Decrypt(ByteSpan trimmed_package, ByteSpan stub) const;
 
   // Package size for a given chunk size (trimmed + stub).
-  std::size_t PackageSize(std::size_t chunk_size) const;
+  [[nodiscard]] std::size_t PackageSize(std::size_t chunk_size) const;
 
  private:
   SealedChunk EncryptBasic(ByteSpan chunk, ByteSpan mle_key) const;
@@ -68,13 +68,13 @@ class ReedCipher {
 // Stub-file protection under the (renewable) file key: AES-256-CTR with a
 // fresh IV plus an HMAC tag, with keys derived from the file key by label.
 // Re-encrypting this blob is the entire cost of active revocation.
-Bytes EncryptStubFile(ByteSpan stub_data, ByteSpan file_key, crypto::Rng& rng);
-Bytes DecryptStubFile(ByteSpan blob, ByteSpan file_key);
+[[nodiscard]] Bytes EncryptStubFile(ByteSpan stub_data, ByteSpan file_key, crypto::Rng& rng);
+[[nodiscard]] Bytes DecryptStubFile(ByteSpan blob, ByteSpan file_key);
 
 // Authenticated symmetric wrap for key material (same AES-CTR + HMAC
 // construction under distinct derivation labels). Used by the group
 // rekeying extension to wrap per-file key states under a group wrap key.
-Bytes WrapKeyBlob(ByteSpan plaintext, ByteSpan key, crypto::Rng& rng);
-Bytes UnwrapKeyBlob(ByteSpan blob, ByteSpan key);
+[[nodiscard]] Bytes WrapKeyBlob(ByteSpan plaintext, ByteSpan key, crypto::Rng& rng);
+[[nodiscard]] Bytes UnwrapKeyBlob(ByteSpan blob, ByteSpan key);
 
 }  // namespace reed::aont

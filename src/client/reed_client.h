@@ -77,23 +77,23 @@ class ReedClient {
 
   // Uploads `data` as `file_id`, readable by `authorized_users` (the file
   // policy is an OR over their identifiers; the uploader is always added).
-  UploadResult Upload(const std::string& file_id, ByteSpan data,
+  [[nodiscard]] UploadResult Upload(const std::string& file_id, ByteSpan data,
                       const std::vector<std::string>& authorized_users);
 
   // Upload with caller-supplied chunk boundaries. The trace-driven
   // experiment (§VI-B) reconstructs chunks from trace records and feeds
   // them directly past the chunking module.
-  UploadResult UploadChunked(const std::string& file_id, ByteSpan data,
+  [[nodiscard]] UploadResult UploadChunked(const std::string& file_id, ByteSpan data,
                              const std::vector<chunk::ChunkRef>& refs,
                              const std::vector<std::string>& authorized_users);
 
   // Downloads and reassembles a file; throws if this user is not
   // authorized or any chunk fails its integrity check.
-  Bytes Download(const std::string& file_id);
+  [[nodiscard]] Bytes Download(const std::string& file_id);
 
   // Rekeys `file_id` with a new authorized-user set. Only the owner may
   // rekey. kActive also re-encrypts the stub file under the new file key.
-  RekeyResult Rekey(const std::string& file_id,
+  [[nodiscard]] RekeyResult Rekey(const std::string& file_id,
                     const std::vector<std::string>& authorized_users,
                     RevocationMode mode);
 
@@ -102,17 +102,17 @@ class ReedClient {
   // A fresh group wrap key is CP-ABE-encrypted once; each file's wound key
   // state is then wrapped symmetrically under it. Cost: O(users) + O(files)
   // symmetric work, instead of O(users x files).
-  std::vector<RekeyResult> RekeyGroup(
+  [[nodiscard]] std::vector<RekeyResult> RekeyGroup(
       const std::vector<std::string>& file_ids,
       const std::vector<std::string>& authorized_users, RevocationMode mode);
 
   // Encryption-only path (no upload) — used by the Fig. 6 benchmark.
-  std::vector<aont::SealedChunk> EncryptChunks(
+  [[nodiscard]] std::vector<aont::SealedChunk> EncryptChunks(
       ByteSpan data, const std::vector<chunk::ChunkRef>& refs,
       const std::vector<Bytes>& mle_keys);
 
   // Chunking helper exposing the client's configured chunker.
-  std::vector<chunk::ChunkRef> ChunkData(ByteSpan data);
+  [[nodiscard]] std::vector<chunk::ChunkRef> ChunkData(ByteSpan data);
 
  private:
   // The identifier actually sent to the cloud (salted hash when

@@ -29,15 +29,15 @@ class StorageClient {
     std::uint64_t stored_bytes = 0;
   };
   // Uploads one batch, grouped into a single request per target server.
-  PutStats PutChunks(
+  [[nodiscard]] PutStats PutChunks(
       const std::vector<std::pair<chunk::Fingerprint, Bytes>>& chunks);
 
   // Fetches chunks (order-preserving), gathering from the owning servers.
-  std::vector<Bytes> GetChunks(const std::vector<chunk::Fingerprint>& fps);
+  [[nodiscard]] std::vector<Bytes> GetChunks(const std::vector<chunk::Fingerprint>& fps);
 
   void PutObject(server::StoreId store, const std::string& name, ByteSpan value);
-  Bytes GetObject(server::StoreId store, const std::string& name);
-  bool HasObject(server::StoreId store, const std::string& name);
+  [[nodiscard]] Bytes GetObject(server::StoreId store, const std::string& name);
+  [[nodiscard]] bool HasObject(server::StoreId store, const std::string& name);
 
  private:
   net::RpcChannel& ServerForFingerprint(const chunk::Fingerprint& fp);

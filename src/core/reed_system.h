@@ -47,11 +47,11 @@ class ReedSystem {
   // and derivation key pair (key regression). Idempotent per user.
   void RegisterUser(const std::string& user_id);
 
-  bool IsRegistered(const std::string& user_id) const;
+  [[nodiscard]] bool IsRegistered(const std::string& user_id) const;
 
   // Builds a client for a registered user. Each client gets its own MLE
   // key cache and channels (per paper, one client per user machine).
-  std::unique_ptr<client::ReedClient> CreateClient(
+  [[nodiscard]] std::unique_ptr<client::ReedClient> CreateClient(
       const std::string& user_id, const client::ClientOptions& options);
 
   keymanager::KeyManager& key_manager() { return *key_manager_; }
@@ -75,7 +75,7 @@ class ReedSystem {
     std::uint64_t unique_chunks = 0;
     std::uint64_t logical_chunks = 0;
   };
-  StorageStats TotalStats() const;
+  [[nodiscard]] StorageStats TotalStats() const;
 
   crypto::Rng& rng() { return rng_; }
 

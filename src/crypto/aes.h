@@ -39,7 +39,7 @@ class Aes256 {
   void EncryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
   void DecryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
 
-  static bool UsingHardware();
+  [[nodiscard]] static bool UsingHardware();
 
  private:
   friend class AesCtr;
@@ -83,12 +83,12 @@ class AesCtr {
 // AES-256-CBC with PKCS#7 padding; used for wrapped key blobs where
 // ciphertext length may exceed plaintext length (not for CAONT packages,
 // which must stay length-preserving).
-Bytes AesCbcEncrypt(ByteSpan key, ByteSpan iv, ByteSpan plaintext);
-Bytes AesCbcDecrypt(ByteSpan key, ByteSpan iv, ByteSpan ciphertext);
+[[nodiscard]] Bytes AesCbcEncrypt(ByteSpan key, ByteSpan iv, ByteSpan plaintext);
+[[nodiscard]] Bytes AesCbcDecrypt(ByteSpan key, ByteSpan iv, ByteSpan ciphertext);
 
 // Length-preserving CTR helpers used throughout REED.
-Bytes AesCtrEncrypt(ByteSpan key, ByteSpan iv, ByteSpan data);
-inline Bytes AesCtrDecrypt(ByteSpan key, ByteSpan iv, ByteSpan data) {
+[[nodiscard]] Bytes AesCtrEncrypt(ByteSpan key, ByteSpan iv, ByteSpan data);
+[[nodiscard]] inline Bytes AesCtrDecrypt(ByteSpan key, ByteSpan iv, ByteSpan data) {
   return AesCtrEncrypt(key, iv, data);
 }
 

@@ -11,13 +11,13 @@
 namespace reed::crypto {
 
 // HMAC-SHA256 over `data` with `key` (any length).
-Sha256Digest HmacSha256(ByteSpan key, ByteSpan data);
-Bytes HmacSha256ToBytes(ByteSpan key, ByteSpan data);
+[[nodiscard]] Sha256Digest HmacSha256(ByteSpan key, ByteSpan data);
+[[nodiscard]] Bytes HmacSha256ToBytes(ByteSpan key, ByteSpan data);
 
 // HKDF-Extract then -Expand; returns `length` bytes (≤ 255*32).
-Bytes HkdfSha256(ByteSpan ikm, ByteSpan salt, ByteSpan info, std::size_t length);
+[[nodiscard]] Bytes HkdfSha256(ByteSpan ikm, ByteSpan salt, ByteSpan info, std::size_t length);
 
 // Convenience: 32-byte key with a string label for domain separation.
-Bytes DeriveKey32(ByteSpan ikm, std::string_view label);
+[[nodiscard]] Bytes DeriveKey32(ByteSpan ikm, std::string_view label);
 
 }  // namespace reed::crypto

@@ -3,9 +3,9 @@
 #include <sys/random.h>
 
 #include <cstring>
-#include <mutex>
 
 #include "crypto/sha256.h"
+#include "util/thread_annotations.h"
 
 namespace reed::crypto {
 
@@ -116,8 +116,8 @@ ChaChaRng MakeOsSeededRng() {
   return ChaChaRng(seed);
 }
 
-std::mutex g_secure_mu;
-ChaChaRng& GlobalSecureRng() {
+reed::Mutex g_secure_mu;
+ChaChaRng& GlobalSecureRng() REED_REQUIRES(g_secure_mu) {
   static ChaChaRng rng = MakeOsSeededRng();
   return rng;
 }
@@ -125,7 +125,7 @@ ChaChaRng& GlobalSecureRng() {
 }  // namespace
 
 void SecureRandom::Fill(MutableByteSpan out) {
-  std::lock_guard lock(g_secure_mu);
+  reed::MutexLock lock(g_secure_mu);
   GlobalSecureRng().Fill(out);
 }
 

@@ -21,23 +21,23 @@ class Rng {
 
   virtual void Fill(MutableByteSpan out) = 0;
 
-  Bytes Generate(std::size_t n) {
+  [[nodiscard]] Bytes Generate(std::size_t n) {
     Bytes out(n);
     Fill(out);
     return out;
   }
 
-  std::uint64_t NextU64() {
+  [[nodiscard]] std::uint64_t NextU64() {
     std::uint8_t buf[8];
     Fill(buf);
     return GetU64(buf);
   }
 
   // Uniform in [0, bound) without modulo bias (rejection sampling).
-  std::uint64_t Uniform(std::uint64_t bound);
+  [[nodiscard]] std::uint64_t Uniform(std::uint64_t bound);
 
   // Uniform double in [0, 1).
-  double UniformDouble();
+  [[nodiscard]] double UniformDouble();
 };
 
 // ChaCha20 block function exposed for tests (RFC 7539 test vectors).
@@ -66,7 +66,7 @@ class ChaChaRng : public Rng {
 class SecureRandom {
  public:
   static void Fill(MutableByteSpan out);
-  static Bytes Generate(std::size_t n);
+  [[nodiscard]] static Bytes Generate(std::size_t n);
 };
 
 // Deterministic RNG for tests and workload generation.

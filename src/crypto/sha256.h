@@ -25,14 +25,14 @@ class Sha256 {
 
   void Reset();
   void Update(ByteSpan data);
-  Sha256Digest Finish();
+  [[nodiscard]] Sha256Digest Finish();
 
   // One-shot convenience.
-  static Sha256Digest Hash(ByteSpan data);
-  static Bytes HashToBytes(ByteSpan data);
+  [[nodiscard]] static Sha256Digest Hash(ByteSpan data);
+  [[nodiscard]] static Bytes HashToBytes(ByteSpan data);
 
   // True when the runtime-dispatched backend uses the SHA-NI instructions.
-  static bool UsingHardware();
+  [[nodiscard]] static bool UsingHardware();
 
  private:
   void ProcessBlocks(const std::uint8_t* data, std::size_t num_blocks);

@@ -17,7 +17,7 @@ std::vector<BigInt> KeyManager::SignBatch(const std::string& client_id,
   if (options_.rate_limit_per_sec > 0) {
     TokenBucket* bucket;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       auto& slot = buckets_[client_id];
       if (!slot) {
         slot = std::make_unique<TokenBucket>(options_.rate_limit_per_sec,
@@ -29,7 +29,7 @@ std::vector<BigInt> KeyManager::SignBatch(const std::string& client_id,
                      std::chrono::steady_clock::now() - epoch_)
                      .count();
     if (!bucket->TryAcquire(now, static_cast<double>(blinded.size()))) {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.rejected;
       throw RateLimitedError("KeyManager: client " + client_id +
                              " exceeded its key-generation budget");
@@ -42,7 +42,7 @@ std::vector<BigInt> KeyManager::SignBatch(const std::string& client_id,
     signatures.push_back(server_.Sign(b));
   }
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.batches;
     stats_.signatures += signatures.size();
   }
@@ -50,7 +50,7 @@ std::vector<BigInt> KeyManager::SignBatch(const std::string& client_id,
 }
 
 KeyManager::Stats KeyManager::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

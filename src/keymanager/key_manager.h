@@ -9,7 +9,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +16,7 @@
 #include "net/wire.h"
 #include "rsa/blind_signature.h"
 #include "util/rate_limiter.h"
+#include "util/thread_annotations.h"
 
 namespace reed::keymanager {
 
@@ -47,35 +47,38 @@ class KeyManager {
 
   // Signs a batch of blinded fingerprints for `client_id`. Throws
   // RateLimitedError when the client exceeds its budget.
-  std::vector<BigInt> SignBatch(const std::string& client_id,
+  [[nodiscard]] std::vector<BigInt> SignBatch(const std::string& client_id,
                                 const std::vector<BigInt>& blinded);
 
   // Wire entry point: parses a request frame, answers with a response
   // frame. Status byte 0 = OK, 1 = rate limited, 2 = malformed.
-  Bytes HandleRequest(ByteSpan request);
+  [[nodiscard]] Bytes HandleRequest(ByteSpan request);
 
   struct Stats {
     std::uint64_t batches = 0;
     std::uint64_t signatures = 0;
     std::uint64_t rejected = 0;
   };
-  Stats stats() const;
+  [[nodiscard]] Stats stats() const;
 
   // --- wire helpers shared with the client side ---
-  static Bytes EncodeRequest(const std::string& client_id,
-                             const std::vector<BigInt>& blinded,
-                             std::size_t modulus_bytes);
-  static std::vector<BigInt> DecodeResponse(ByteSpan response,
-                                            std::size_t modulus_bytes,
-                                            std::size_t expected_count);
+  [[nodiscard]] static Bytes EncodeRequest(const std::string& client_id,
+                                           const std::vector<BigInt>& blinded,
+                                           std::size_t modulus_bytes);
+  [[nodiscard]] static std::vector<BigInt> DecodeResponse(
+      ByteSpan response, std::size_t modulus_bytes,
+      std::size_t expected_count);
 
  private:
   Options options_;
   rsa::BlindSignatureServer server_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<TokenBucket>> buckets_;
+  mutable Mutex mu_;
+  // Bucket pointers are stable once created (values are unique_ptrs that
+  // are never erased), so SignBatch may rate-limit outside the lock.
+  std::unordered_map<std::string, std::unique_ptr<TokenBucket>> buckets_
+      REED_GUARDED_BY(mu_);
   std::chrono::steady_clock::time_point epoch_;
-  Stats stats_;
+  Stats stats_ REED_GUARDED_BY(mu_);
 };
 
 }  // namespace reed::keymanager

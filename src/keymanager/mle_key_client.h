@@ -40,10 +40,10 @@ class MleKeyClient {
 
   // Returns one 32-byte MLE key per fingerprint, in order. Cache hits are
   // served locally; misses are blinded and batched to the key manager.
-  std::vector<Bytes> GetKeys(const std::vector<chunk::Fingerprint>& fps,
+  [[nodiscard]] std::vector<Bytes> GetKeys(const std::vector<chunk::Fingerprint>& fps,
                              crypto::Rng& rng);
 
-  Bytes GetKey(const chunk::Fingerprint& fp, crypto::Rng& rng);
+  [[nodiscard]] Bytes GetKey(const chunk::Fingerprint& fp, crypto::Rng& rng);
 
   // Clears the key cache (the trace experiment resets it between users).
   void ClearCache();
@@ -54,12 +54,12 @@ class MleKeyClient {
     std::uint64_t batches_sent = 0;
     std::uint64_t failovers = 0;
   };
-  Stats stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const { return stats_; }
 
  private:
   // Calls the first healthy replica; throws only when all fail (or the
   // request is rejected for a non-transport reason, e.g. rate limiting).
-  Bytes CallWithFailover(ByteSpan request);
+  [[nodiscard]] Bytes CallWithFailover(ByteSpan request);
 
   std::string client_id_;
   rsa::BlindSignatureClient blind_client_;

@@ -6,7 +6,7 @@ namespace reed::net {
 
 void SimulatedLink::Transfer(std::uint64_t bytes) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     total_bytes_ += bytes;
   }
   if (bandwidth_bps_ <= 0) return;
@@ -16,7 +16,7 @@ void SimulatedLink::Transfer(std::uint64_t bytes) {
                                     bandwidth_bps_));
   Clock::time_point done;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     Clock::time_point now = Clock::now();
     // Bandwidth is a shared resource: this transfer occupies the medium
     // after any in-flight one finishes.

@@ -11,7 +11,8 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace reed::net {
 
@@ -30,21 +31,22 @@ class SimulatedLink {
   // the link once (one direction of a request or response).
   void Transfer(std::uint64_t bytes);
 
-  std::uint64_t total_bytes() const {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    MutexLock lock(mu_);
     return total_bytes_;
   }
 
-  double bandwidth_bps() const { return bandwidth_bps_; }
+  [[nodiscard]] double bandwidth_bps() const { return bandwidth_bps_; }
 
  private:
   using Clock = std::chrono::steady_clock;
 
   double bandwidth_bps_;
   double rtt_;
-  mutable std::mutex mu_;
-  Clock::time_point link_free_{};  // when the shared medium frees up
-  std::uint64_t total_bytes_ = 0;
+  mutable Mutex mu_;
+  // When the shared medium frees up.
+  Clock::time_point link_free_ REED_GUARDED_BY(mu_){};
+  std::uint64_t total_bytes_ REED_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace reed::net

@@ -11,7 +11,8 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 #include "net/link.h"
 #include "net/tcp.h"
@@ -22,7 +23,7 @@ namespace reed::net {
 class RpcChannel {
  public:
   virtual ~RpcChannel() = default;
-  virtual Bytes Call(ByteSpan request) = 0;
+  [[nodiscard]] virtual Bytes Call(ByteSpan request) = 0;
 };
 
 // Wraps any handler function as a channel.
@@ -31,7 +32,9 @@ class LocalChannel : public RpcChannel {
   using Handler = std::function<Bytes(ByteSpan)>;
   explicit LocalChannel(Handler handler) : handler_(std::move(handler)) {}
 
-  Bytes Call(ByteSpan request) override { return handler_(request); }
+  [[nodiscard]] Bytes Call(ByteSpan request) override {
+    return handler_(request);
+  }
 
  private:
   Handler handler_;
@@ -45,7 +48,7 @@ class SimulatedChannel : public RpcChannel {
                    std::shared_ptr<SimulatedLink> link)
       : handler_(std::move(handler)), link_(std::move(link)) {}
 
-  Bytes Call(ByteSpan request) override {
+  [[nodiscard]] Bytes Call(ByteSpan request) override {
     link_->Transfer(request.size());
     Bytes response = handler_(request);
     link_->Transfer(response.size());
@@ -62,15 +65,15 @@ class TcpChannel : public RpcChannel {
  public:
   explicit TcpChannel(TcpTransport transport) : transport_(std::move(transport)) {}
 
-  Bytes Call(ByteSpan request) override {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] Bytes Call(ByteSpan request) override {
+    MutexLock lock(mu_);
     transport_.Send(request);
     return transport_.Receive();
   }
 
  private:
-  std::mutex mu_;
-  TcpTransport transport_;
+  Mutex mu_;
+  TcpTransport transport_ REED_GUARDED_BY(mu_);
 };
 
 // Serves a handler over an accepted TCP transport until the peer closes

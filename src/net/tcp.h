@@ -31,20 +31,20 @@ class TcpTransport {
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
 
-  static TcpTransport Connect(const std::string& host, std::uint16_t port);
+  [[nodiscard]] static TcpTransport Connect(const std::string& host, std::uint16_t port);
 
   // Writes one frame (length prefix + payload). Throws NetError on failure.
   void Send(ByteSpan frame);
 
   // Reads one frame; throws NetError on close/failure.
-  Bytes Receive();
+  [[nodiscard]] Bytes Receive();
 
   // Half-closes both directions so a blocked Send/Receive on another thread
   // fails promptly. Safe to call concurrently with Send/Receive; the fd
   // itself stays open until destruction (no fd-reuse races).
   void Shutdown();
 
-  bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
 
  private:
   int fd_;
@@ -61,7 +61,7 @@ class TcpListener {
 
   std::uint16_t port() const { return port_; }
 
-  TcpTransport Accept();
+  [[nodiscard]] TcpTransport Accept();
 
   // Unblocks a concurrent Accept() (it throws NetError). Used for clean
   // server shutdown without the connect-to-self trick.

@@ -22,7 +22,7 @@ void TcpServer::AcceptLoop() {
     }
     auto session = std::make_shared<Session>(std::move(conn));
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_.load()) return;  // dtor owns teardown past this point
       ReapFinishedLocked();
       sessions_.push_back(session);
@@ -52,7 +52,7 @@ void TcpServer::Wait() {
 
 TcpServer::~TcpServer() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stopping_.store(true);
   }
   listener_->Shutdown();  // unblocks Accept()
@@ -61,7 +61,7 @@ TcpServer::~TcpServer() {
   // session can be registered.
   std::vector<std::shared_ptr<Session>> sessions;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     sessions.swap(sessions_);
   }
   for (auto& session : sessions) {

@@ -10,12 +10,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "net/rpc.h"
 #include "net/tcp.h"
+#include "util/thread_annotations.h"
 
 namespace reed::net {
 
@@ -30,7 +30,7 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
 
   // Blocks until the acceptor exits (daemons call this from main()).
   void Wait();
@@ -46,15 +46,15 @@ class TcpServer {
   };
 
   void AcceptLoop();
-  void ReapFinishedLocked();
+  void ReapFinishedLocked() REED_REQUIRES(mu_);
 
   LocalChannel::Handler handler_;
   std::unique_ptr<TcpListener> listener_;
   std::uint16_t port_;
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
-  std::mutex mu_;
-  std::vector<std::shared_ptr<Session>> sessions_;
+  Mutex mu_;
+  std::vector<std::shared_ptr<Session>> sessions_ REED_GUARDED_BY(mu_);
 };
 
 }  // namespace reed::net

@@ -31,7 +31,7 @@ class Writer {
   // Raw bytes without a length prefix (for fixed-width fields).
   void Raw(ByteSpan data) { Append(buf_, data); }
 
-  Bytes Take() { return std::move(buf_); }
+  [[nodiscard]] Bytes Take() { return std::move(buf_); }
   const Bytes& bytes() const { return buf_; }
 
  private:
@@ -42,26 +42,26 @@ class Reader {
  public:
   explicit Reader(ByteSpan data) : data_(data) {}
 
-  std::uint8_t U8() {
+  [[nodiscard]] std::uint8_t U8() {
     Need(1);
     return data_[off_++];
   }
 
-  std::uint32_t U32() {
+  [[nodiscard]] std::uint32_t U32() {
     Need(4);
     std::uint32_t v = GetU32(data_.subspan(off_));
     off_ += 4;
     return v;
   }
 
-  std::uint64_t U64() {
+  [[nodiscard]] std::uint64_t U64() {
     Need(8);
     std::uint64_t v = GetU64(data_.subspan(off_));
     off_ += 8;
     return v;
   }
 
-  Bytes Blob() {
+  [[nodiscard]] Bytes Blob() {
     std::uint32_t len = U32();
     Need(len);
     Bytes out(data_.begin() + off_, data_.begin() + off_ + len);
@@ -69,20 +69,20 @@ class Reader {
     return out;
   }
 
-  std::string Str() {
+  [[nodiscard]] std::string Str() {
     Bytes b = Blob();
     return ToString(b);
   }
 
-  Bytes Raw(std::size_t n) {
+  [[nodiscard]] Bytes Raw(std::size_t n) {
     Need(n);
     Bytes out(data_.begin() + off_, data_.begin() + off_ + n);
     off_ += n;
     return out;
   }
 
-  bool AtEnd() const { return off_ == data_.size(); }
-  std::size_t remaining() const { return data_.size() - off_; }
+  [[nodiscard]] bool AtEnd() const { return off_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - off_; }
 
   // Call when a message should have been fully consumed.
   void ExpectEnd() const {

@@ -30,11 +30,11 @@ class BlindSignatureClient {
   const RsaPublicKey& manager_key() const { return key_; }
 
   // Blinds a chunk fingerprint for the key manager.
-  BlindedRequest Blind(ByteSpan fingerprint, crypto::Rng& rng) const;
+  [[nodiscard]] BlindedRequest Blind(ByteSpan fingerprint, crypto::Rng& rng) const;
 
   // Unblinds the manager's signature and verifies it; returns the 32-byte
   // MLE key H(h^d). Throws Error if the signature does not verify.
-  Bytes Unblind(const BlindedRequest& request, const BigInt& signature) const;
+  [[nodiscard]] Bytes Unblind(const BlindedRequest& request, const BigInt& signature) const;
 
  private:
   RsaPublicKey key_;
@@ -47,7 +47,7 @@ class BlindSignatureServer {
   const RsaPublicKey& public_key() const { return key_.pub; }
 
   // Signs a blinded value: y = x^d mod N. The server never sees h or fp.
-  BigInt Sign(const BigInt& blinded) const;
+  [[nodiscard]] BigInt Sign(const BigInt& blinded) const;
 
  private:
   RsaPrivateKey key_;

@@ -22,11 +22,11 @@ struct KeyState {
   BigInt value;
 
   // Serialized (version || padded value); the ABE layer wraps this blob.
-  Bytes Serialize(const RsaPublicKey& derivation_key) const;
-  static KeyState Deserialize(ByteSpan blob, const RsaPublicKey& derivation_key);
+  [[nodiscard]] Bytes Serialize(const RsaPublicKey& derivation_key) const;
+  [[nodiscard]] static KeyState Deserialize(ByteSpan blob, const RsaPublicKey& derivation_key);
 
   // The symmetric file key for this state: H(state), as in §IV-C.
-  Bytes DeriveFileKey() const;
+  [[nodiscard]] Bytes DeriveFileKey() const;
 };
 
 // Owner side: holds the private derivation key and can wind forward.
@@ -38,10 +38,10 @@ class KeyRegressionOwner {
   const RsaPublicKey& public_key() const { return keys_.pub; }
 
   // Fresh random initial state (version 0).
-  KeyState GenesisState(crypto::Rng& rng) const;
+  [[nodiscard]] KeyState GenesisState(crypto::Rng& rng) const;
 
   // st_{i+1} = st_i^d mod N.
-  KeyState Wind(const KeyState& state) const;
+  [[nodiscard]] KeyState Wind(const KeyState& state) const;
 
  private:
   RsaKeyPair keys_;
@@ -54,10 +54,10 @@ class KeyRegressionMember {
       : key_(std::move(public_derivation_key)) {}
 
   // st_i = st_{i+1}^e mod N; throws if already at version 0.
-  KeyState Unwind(const KeyState& state) const;
+  [[nodiscard]] KeyState Unwind(const KeyState& state) const;
 
   // Unwinds down to `target_version` (<= state.version).
-  KeyState UnwindTo(const KeyState& state, std::uint64_t target_version) const;
+  [[nodiscard]] KeyState UnwindTo(const KeyState& state, std::uint64_t target_version) const;
 
  private:
   RsaPublicKey key_;

@@ -38,26 +38,26 @@ struct RsaKeyPair {
 };
 
 // Generates an RSA key pair with an n of exactly `bits` bits, e = 65537.
-RsaKeyPair GenerateKeyPair(std::size_t bits, crypto::Rng& rng);
+[[nodiscard]] RsaKeyPair GenerateKeyPair(std::size_t bits, crypto::Rng& rng);
 
 // m^e mod n; m must be < n.
-BigInt PublicApply(const RsaPublicKey& key, const BigInt& m);
+[[nodiscard]] BigInt PublicApply(const RsaPublicKey& key, const BigInt& m);
 
 // m^d mod n via CRT; m must be < n.
-BigInt PrivateApply(const RsaPrivateKey& key, const BigInt& m);
+[[nodiscard]] BigInt PrivateApply(const RsaPrivateKey& key, const BigInt& m);
 
 // Full-domain hash of `data` into [0, n): SHA-256 expanded with a counter to
 // the modulus width, then reduced. Used by the OPRF and key regression.
-BigInt FullDomainHash(ByteSpan data, const BigInt& n);
+[[nodiscard]] BigInt FullDomainHash(ByteSpan data, const BigInt& n);
 
 // Public-key serialization (length-prefixed n ‖ e); key-state records carry
 // the owner's public derivation key in this form.
-Bytes SerializePublicKey(const RsaPublicKey& key);
-RsaPublicKey DeserializePublicKey(ByteSpan blob);
+[[nodiscard]] Bytes SerializePublicKey(const RsaPublicKey& key);
+[[nodiscard]] RsaPublicKey DeserializePublicKey(ByteSpan blob);
 
 // Full key-pair serialization (all CRT components) — identity bundles and
 // key-manager state files use this. Treat the blob as secret material.
-Bytes SerializeKeyPair(const RsaKeyPair& keys);
-RsaKeyPair DeserializeKeyPair(ByteSpan blob);
+[[nodiscard]] Bytes SerializeKeyPair(const RsaKeyPair& keys);
+[[nodiscard]] RsaKeyPair DeserializeKeyPair(ByteSpan blob);
 
 }  // namespace reed::rsa

@@ -18,7 +18,7 @@ StorageServer::PutChunksResult StorageServer::PutChunks(
   PutChunksResult result;
   for (const auto& [fp, data] : chunks) {
     {
-      std::lock_guard lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++logical_chunks_;
       logical_bytes_ += data.size();
     }
@@ -27,13 +27,19 @@ StorageServer::PutChunksResult StorageServer::PutChunks(
     // sections, both append the payload and the insert-loser's copy stays
     // orphaned in the container store — the dedup invariant (one stored copy
     // per fingerprint) breaks and physical_bytes overcounts.
-    std::lock_guard ingest(ingest_mu_);
+    MutexLock ingest(ingest_mu_);
     if (index_.Lookup(fp).has_value()) {
       ++result.duplicates;
       continue;
     }
     store::ChunkLocation loc = containers_.Append(data);
-    index_.Insert(fp, loc);
+    if (!index_.Insert(fp, loc)) {
+      // Unreachable while ingest_mu_ serializes lookup+insert; if it ever
+      // fires, the appended bytes are orphaned and dedup accounting is
+      // wrong — fail loudly rather than report the chunk as stored.
+      throw Error("StorageServer: concurrent insert raced for fingerprint " +
+                  fp.ToHex());
+    }
     ++result.stored;
     result.stored_bytes += data.size();
   }
@@ -81,7 +87,7 @@ bool StorageServer::HasObject(StoreId store, const std::string& name) const {
 StorageServer::Stats StorageServer::stats() const {
   Stats s;
   {
-    std::lock_guard lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     s.logical_chunks = logical_chunks_;
     s.logical_bytes = logical_bytes_;
   }

@@ -11,13 +11,12 @@
 //               store.
 #pragma once
 
-#include <atomic>
-#include <mutex>
 #include <string>
 
 #include "net/wire.h"
 #include "store/container_store.h"
 #include "store/index.h"
+#include "util/thread_annotations.h"
 
 namespace reed::server {
 
@@ -58,15 +57,17 @@ class StorageServer {
     std::size_t stored = 0;
     std::uint64_t stored_bytes = 0;
   };
-  PutChunksResult PutChunks(
-      const std::vector<std::pair<chunk::Fingerprint, Bytes>>& chunks);
+  [[nodiscard]] PutChunksResult PutChunks(
+      const std::vector<std::pair<chunk::Fingerprint, Bytes>>& chunks)
+      REED_EXCLUDES(ingest_mu_);
 
   // Throws Error if any fingerprint is unknown.
-  std::vector<Bytes> GetChunks(const std::vector<chunk::Fingerprint>& fps);
+  [[nodiscard]] std::vector<Bytes> GetChunks(
+      const std::vector<chunk::Fingerprint>& fps);
 
   void PutObject(StoreId store, const std::string& name, Bytes value);
-  Bytes GetObject(StoreId store, const std::string& name) const;
-  bool HasObject(StoreId store, const std::string& name) const;
+  [[nodiscard]] Bytes GetObject(StoreId store, const std::string& name) const;
+  [[nodiscard]] bool HasObject(StoreId store, const std::string& name) const;
 
   struct Stats {
     std::uint64_t logical_chunks = 0;   // chunks received (pre-dedup)
@@ -76,16 +77,16 @@ class StorageServer {
     std::uint64_t data_object_bytes = 0;
     std::uint64_t key_object_bytes = 0;
   };
-  Stats stats() const;
+  [[nodiscard]] Stats stats() const;
 
   // Storage-accounting helper: object bytes under a name prefix.
-  std::uint64_t ObjectBytesWithPrefix(StoreId store,
+  [[nodiscard]] std::uint64_t ObjectBytesWithPrefix(StoreId store,
                                       std::string_view prefix) const {
     return StoreFor(store).TotalBytesWithPrefix(prefix);
   }
 
   // Wire entry point: status byte 0 = OK, 1 = error (+ message).
-  Bytes HandleRequest(ByteSpan request);
+  [[nodiscard]] Bytes HandleRequest(ByteSpan request);
 
  private:
   const store::ObjectStore& StoreFor(StoreId id) const {
@@ -103,10 +104,12 @@ class StorageServer {
   store::ObjectStore key_objects_;
 
   // Serializes the dedup check-then-store step in PutChunks; see there.
-  std::mutex ingest_mu_;
-  mutable std::mutex stats_mu_;
-  std::uint64_t logical_chunks_ = 0;
-  std::uint64_t logical_bytes_ = 0;
+  // index_ and containers_ lock themselves — ingest_mu_ guards the
+  // lookup→append→insert *compound*, not any single member.
+  Mutex ingest_mu_;
+  mutable Mutex stats_mu_;
+  std::uint64_t logical_chunks_ REED_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t logical_bytes_ REED_GUARDED_BY(stats_mu_) = 0;
 };
 
 }  // namespace reed::server

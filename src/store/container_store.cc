@@ -12,7 +12,7 @@ ContainerStore::ContainerStore(std::size_t container_capacity)
 
 ChunkLocation ContainerStore::Append(ByteSpan data) {
   if (data.empty()) throw Error("ContainerStore: empty chunk");
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Bytes* current = &containers_.back();
   if (current->size() + data.size() > capacity_ && !current->empty()) {
     containers_.emplace_back();
@@ -31,7 +31,7 @@ ChunkLocation ContainerStore::Append(ByteSpan data) {
 }
 
 Bytes ContainerStore::Read(const ChunkLocation& loc) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (loc.container_id >= containers_.size()) {
     throw Error("ContainerStore: bad container id");
   }
@@ -44,7 +44,7 @@ Bytes ContainerStore::Read(const ChunkLocation& loc) const {
 }
 
 ContainerStore::Stats ContainerStore::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

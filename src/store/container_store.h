@@ -4,10 +4,10 @@
 // recorded by the fingerprint index and file recipes.
 #pragma once
 
-#include <mutex>
 #include <vector>
 
 #include "util/bytes.h"
+#include "util/thread_annotations.h"
 
 namespace reed::store {
 
@@ -26,23 +26,24 @@ class ContainerStore {
   explicit ContainerStore(std::size_t container_capacity = kDefaultContainerSize);
 
   // Appends one chunk; opens a new container when the current one cannot
-  // fit it. Chunks never span containers.
-  ChunkLocation Append(ByteSpan data);
+  // fit it. Chunks never span containers. Dropping the returned location
+  // orphans the stored bytes (nothing can ever read them back).
+  [[nodiscard]] ChunkLocation Append(ByteSpan data);
 
-  Bytes Read(const ChunkLocation& loc) const;
+  [[nodiscard]] Bytes Read(const ChunkLocation& loc) const;
 
   struct Stats {
     std::uint64_t chunks = 0;
     std::uint64_t bytes = 0;        // payload bytes stored
     std::uint64_t containers = 0;   // containers opened (incl. current)
   };
-  Stats stats() const;
+  [[nodiscard]] Stats stats() const;
 
  private:
   std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<Bytes> containers_;
-  Stats stats_;
+  mutable Mutex mu_;
+  std::vector<Bytes> containers_ REED_GUARDED_BY(mu_);
+  Stats stats_ REED_GUARDED_BY(mu_);
 };
 
 }  // namespace reed::store

@@ -4,7 +4,7 @@ namespace reed::store {
 
 std::optional<ChunkLocation> FingerprintIndex::Lookup(
     const chunk::Fingerprint& fp) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(fp);
   if (it == index_.end()) return std::nullopt;
   return it->second;
@@ -12,17 +12,17 @@ std::optional<ChunkLocation> FingerprintIndex::Lookup(
 
 bool FingerprintIndex::Insert(const chunk::Fingerprint& fp,
                               const ChunkLocation& loc) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return index_.emplace(fp, loc).second;
 }
 
 std::size_t FingerprintIndex::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return index_.size();
 }
 
 void ObjectStore::Put(const std::string& name, Bytes value) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(name);
   if (it != objects_.end()) {
     total_bytes_ -= it->second.size();
@@ -35,7 +35,7 @@ void ObjectStore::Put(const std::string& name, Bytes value) {
 }
 
 Bytes ObjectStore::Get(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(name);
   if (it == objects_.end()) {
     throw Error("ObjectStore: no such object: " + name);
@@ -44,12 +44,12 @@ Bytes ObjectStore::Get(const std::string& name) const {
 }
 
 bool ObjectStore::Contains(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return objects_.contains(name);
 }
 
 bool ObjectStore::Erase(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(name);
   if (it == objects_.end()) return false;
   total_bytes_ -= it->second.size();
@@ -58,17 +58,17 @@ bool ObjectStore::Erase(const std::string& name) {
 }
 
 std::size_t ObjectStore::count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return objects_.size();
 }
 
 std::uint64_t ObjectStore::total_bytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return total_bytes_;
 }
 
 std::uint64_t ObjectStore::TotalBytesWithPrefix(std::string_view prefix) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& [name, value] : objects_) {
     if (name.starts_with(prefix)) total += value.size();

@@ -7,50 +7,56 @@
 // ObjectStore instances (paper §V "Storage backend" separates them).
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "chunk/fingerprint.h"
 #include "store/container_store.h"
+#include "util/thread_annotations.h"
 
 namespace reed::store {
 
 class FingerprintIndex {
  public:
   // Returns the existing location, or nullopt if the fingerprint is new.
-  std::optional<ChunkLocation> Lookup(const chunk::Fingerprint& fp) const;
+  [[nodiscard]] std::optional<ChunkLocation> Lookup(
+      const chunk::Fingerprint& fp) const;
 
-  // Inserts a new mapping; returns false if already present.
-  bool Insert(const chunk::Fingerprint& fp, const ChunkLocation& loc);
+  // Inserts a new mapping; returns false if already present. An ignored
+  // false return means the caller stored a chunk body nothing will ever
+  // reference — always check it.
+  [[nodiscard]] bool Insert(const chunk::Fingerprint& fp,
+                            const ChunkLocation& loc);
 
-  std::size_t size() const;
+  [[nodiscard]] std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::unordered_map<chunk::Fingerprint, ChunkLocation, chunk::FingerprintHash>
-      index_;
+      index_ REED_GUARDED_BY(mu_);
 };
 
 class ObjectStore {
  public:
   void Put(const std::string& name, Bytes value);
   // Throws Error if absent.
-  Bytes Get(const std::string& name) const;
-  bool Contains(const std::string& name) const;
-  bool Erase(const std::string& name);
+  [[nodiscard]] Bytes Get(const std::string& name) const;
+  [[nodiscard]] bool Contains(const std::string& name) const;
+  // Returns false when no such object existed — a dropped false return
+  // turns "delete failed" into "deleted", so callers must check.
+  [[nodiscard]] bool Erase(const std::string& name);
 
-  std::size_t count() const;
-  std::uint64_t total_bytes() const;
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
   // Total value bytes of objects whose name starts with `prefix` (used for
   // storage accounting: "stub/", "recipe/", "keystate/").
-  std::uint64_t TotalBytesWithPrefix(std::string_view prefix) const;
+  [[nodiscard]] std::uint64_t TotalBytesWithPrefix(std::string_view prefix) const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Bytes> objects_;
-  std::uint64_t total_bytes_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Bytes> objects_ REED_GUARDED_BY(mu_);
+  std::uint64_t total_bytes_ REED_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace reed::store

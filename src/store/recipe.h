@@ -24,10 +24,10 @@ struct FileRecipe {
   std::vector<chunk::Fingerprint> fingerprints;  // of trimmed packages
   std::vector<std::uint32_t> chunk_sizes;        // original plaintext sizes
 
-  std::size_t chunk_count() const { return fingerprints.size(); }
+  [[nodiscard]] std::size_t chunk_count() const { return fingerprints.size(); }
 
-  Bytes Serialize() const;
-  static FileRecipe Deserialize(ByteSpan blob);
+  [[nodiscard]] Bytes Serialize() const;
+  [[nodiscard]] static FileRecipe Deserialize(ByteSpan blob);
 };
 
 // The key-store record for one file (paper Fig. 4 + §IV-D).
@@ -43,11 +43,11 @@ struct KeyStateRecord {
   std::string group_wrap_id;          // key-store object holding the wrap key
   Bytes derivation_public_key;        // owner's public derivation key (n‖e)
 
-  Bytes Serialize() const;
-  static KeyStateRecord Deserialize(ByteSpan blob);
+  [[nodiscard]] Bytes Serialize() const;
+  [[nodiscard]] static KeyStateRecord Deserialize(ByteSpan blob);
 };
 
 // Obfuscates a file pathname with a salted hash (paper §IV-D "Discussion").
-std::string ObfuscateFileId(std::string_view pathname, ByteSpan salt);
+[[nodiscard]] std::string ObfuscateFileId(std::string_view pathname, ByteSpan salt);
 
 }  // namespace reed::store

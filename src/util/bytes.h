@@ -28,20 +28,28 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+// Documents an intentionally ignored [[nodiscard]] result. The whole tree
+// builds with -Werror=unused-result, so a fallible call whose result the
+// caller genuinely does not need must say so by name — a DiscardResult call
+// marks a reviewed decision, never an accident. Prefer handling or
+// propagating; keep these rare.
+template <typename T>
+void DiscardResult(T&&) {}
+
 // Converts a string literal/body to bytes (no encoding assumptions).
-inline Bytes ToBytes(std::string_view s) {
+[[nodiscard]] inline Bytes ToBytes(std::string_view s) {
   return Bytes(s.begin(), s.end());
 }
 
-inline std::string ToString(ByteSpan b) {
+[[nodiscard]] inline std::string ToString(ByteSpan b) {
   return std::string(reinterpret_cast<const char*>(b.data()), b.size());
 }
 
 // Lowercase hex encoding, used for fingerprint pretty-printing and logs.
-std::string HexEncode(ByteSpan data);
+[[nodiscard]] std::string HexEncode(ByteSpan data);
 
 // Strict decoder: throws Error on odd length or non-hex characters.
-Bytes HexDecode(std::string_view hex);
+[[nodiscard]] Bytes HexDecode(std::string_view hex);
 
 // out[i] ^= in[i] for the whole span; sizes must match.
 void XorInto(MutableByteSpan out, ByteSpan in);
@@ -53,7 +61,7 @@ inline void Append(Bytes& dst, ByteSpan src) {
 
 // Concatenates any number of byte spans.
 template <typename... Spans>
-Bytes Concat(const Spans&... spans) {
+[[nodiscard]] Bytes Concat(const Spans&... spans) {
   Bytes out;
   std::size_t total = (static_cast<std::size_t>(0) + ... + spans.size());
   out.reserve(total);
@@ -62,7 +70,7 @@ Bytes Concat(const Spans&... spans) {
 }
 
 // Copies a sub-range [offset, offset+len) of `src`; throws if out of range.
-Bytes Slice(ByteSpan src, std::size_t offset, std::size_t len);
+[[nodiscard]] Bytes Slice(ByteSpan src, std::size_t offset, std::size_t len);
 
 // Non-elidable secure wipe. Thin alias over SecureZero (util/secure.h),
 // kept for callers that already include bytes.h.
@@ -70,7 +78,7 @@ inline void SecureWipe(MutableByteSpan data) { SecureZero(data); }
 
 // Constant-time equality for secrets (keys, MACs, canaries). Alias over
 // SecureCompare (util/secure.h).
-inline bool ConstantTimeEqual(ByteSpan a, ByteSpan b) {
+[[nodiscard]] inline bool ConstantTimeEqual(ByteSpan a, ByteSpan b) {
   return SecureCompare(a, b);
 }
 
@@ -83,7 +91,7 @@ inline void PutU32(MutableByteSpan out, std::uint32_t v) {
   out[3] = static_cast<std::uint8_t>(v);
 }
 
-inline std::uint32_t GetU32(ByteSpan in) {
+[[nodiscard]] inline std::uint32_t GetU32(ByteSpan in) {
   return (static_cast<std::uint32_t>(in[0]) << 24) |
          (static_cast<std::uint32_t>(in[1]) << 16) |
          (static_cast<std::uint32_t>(in[2]) << 8) |
@@ -96,7 +104,7 @@ inline void PutU64(MutableByteSpan out, std::uint64_t v) {
   }
 }
 
-inline std::uint64_t GetU64(ByteSpan in) {
+[[nodiscard]] inline std::uint64_t GetU64(ByteSpan in) {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v = (v << 8) | in[i];
   return v;

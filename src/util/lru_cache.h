@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
+
+#include "util/thread_annotations.h"
 
 namespace reed {
 
@@ -24,8 +26,8 @@ class LruCache {
       : byte_budget_(byte_budget), entry_cost_(entry_cost) {}
 
   // Returns the cached value and refreshes its recency, or nullopt.
-  std::optional<V> Get(const K& key) {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] std::optional<V> Get(const K& key) {
+    MutexLock lock(mu_);
     auto it = index_.find(key);
     if (it == index_.end()) {
       ++misses_;
@@ -37,7 +39,7 @@ class LruCache {
   }
 
   void Put(const K& key, V value) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
       it->second->second = std::move(value);
@@ -56,19 +58,19 @@ class LruCache {
   }
 
   void Clear() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     order_.clear();
     index_.clear();
     used_ = 0;
   }
 
-  std::size_t size() const {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] std::size_t size() const {
+    MutexLock lock(mu_);
     return index_.size();
   }
 
-  std::size_t used_bytes() const {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] std::size_t used_bytes() const {
+    MutexLock lock(mu_);
     return used_;
   }
 
@@ -78,22 +80,22 @@ class LruCache {
     std::uint64_t evictions = 0;
   };
 
-  Stats stats() const {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] Stats stats() const {
+    MutexLock lock(mu_);
     return Stats{hits_, misses_, evictions_};
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::size_t byte_budget_;
   std::size_t entry_cost_;
-  std::size_t used_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::list<std::pair<K, V>> order_;
+  std::size_t used_ REED_GUARDED_BY(mu_) = 0;
+  std::uint64_t hits_ REED_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ REED_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ REED_GUARDED_BY(mu_) = 0;
+  std::list<std::pair<K, V>> order_ REED_GUARDED_BY(mu_);
   std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash>
-      index_;
+      index_ REED_GUARDED_BY(mu_);
 };
 
 }  // namespace reed

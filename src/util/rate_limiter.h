@@ -9,7 +9,8 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace reed {
 
@@ -22,8 +23,8 @@ class TokenBucket {
 
   // Tries to take `cost` tokens at time `now_seconds` (monotonic, in
   // seconds). Returns true if admitted.
-  bool TryAcquire(double now_seconds, double cost = 1.0) {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] bool TryAcquire(double now_seconds, double cost = 1.0) {
+    MutexLock lock(mu_);
     Refill(now_seconds);
     if (tokens_ + 1e-9 >= cost) {
       tokens_ -= cost;
@@ -34,31 +35,31 @@ class TokenBucket {
 
   // Seconds the caller must wait (from `now_seconds`) until `cost` tokens
   // are available; 0 if available now. Does not consume tokens.
-  double DelayUntilAvailable(double now_seconds, double cost = 1.0) {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] double DelayUntilAvailable(double now_seconds, double cost = 1.0) {
+    MutexLock lock(mu_);
     Refill(now_seconds);
     if (tokens_ + 1e-9 >= cost) return 0.0;
     return (cost - tokens_) / rate_;
   }
 
-  double tokens() const {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] double tokens() const {
+    MutexLock lock(mu_);
     return tokens_;
   }
 
  private:
-  void Refill(double now_seconds) {
+  void Refill(double now_seconds) REED_REQUIRES(mu_) {
     if (now_seconds > last_) {
       tokens_ = std::min(burst_, tokens_ + (now_seconds - last_) * rate_);
       last_ = now_seconds;
     }
   }
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   double rate_;
   double burst_;
-  double tokens_;
-  double last_ = 0.0;
+  double tokens_ REED_GUARDED_BY(mu_);
+  double last_ REED_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace reed

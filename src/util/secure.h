@@ -21,7 +21,7 @@ namespace reed {
 
 // Constant-time equality over byte buffers. Returns false on length mismatch
 // (length is considered public). Safe for keys, MACs, and fingerprints.
-bool SecureCompare(std::span<const std::uint8_t> a,
+[[nodiscard]] bool SecureCompare(std::span<const std::uint8_t> a,
                    std::span<const std::uint8_t> b);
 
 // Overwrites `data` with zeros through a volatile pointer followed by a

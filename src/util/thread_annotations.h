@@ -1,0 +1,109 @@
+// Clang thread-safety annotations (Abseil-style macro shim) plus annotated
+// mutex wrappers — the static half of REED's concurrency story.
+//
+// The dynamic half (TSan, tests/concurrency_stress_test.cc) can only catch a
+// race it provokes at runtime; these annotations let a clang build with
+// -Wthread-safety -Werror (cmake -DREED_THREAD_SAFETY=ON, or
+// tools/ci/check.sh tsa) prove lock discipline at compile time instead:
+// every REED_GUARDED_BY member access outside its mutex is a build failure.
+// Under GCC the macros expand to nothing and reed::Mutex degrades to a plain
+// std::mutex wrapper, so the annotations cost nothing where they cannot be
+// checked.
+//
+// Conventions (DESIGN.md §8 "Compile-time gates"):
+//   * every mutex-protected member is REED_GUARDED_BY(its mutex);
+//   * private helpers that expect the lock held are REED_REQUIRES(mu_);
+//   * public entry points that take the lock themselves are REED_EXCLUDES(mu_)
+//     when they would self-deadlock on re-entry.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define REED_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define REED_THREAD_ANNOTATION(x)  // no-op: GCC has no -Wthread-safety
+#endif
+
+// On types: this type is a lockable capability ("mutex").
+#define REED_CAPABILITY(x) REED_THREAD_ANNOTATION(capability(x))
+// On RAII lock holders: acquiring in the ctor, releasing in the dtor.
+#define REED_SCOPED_CAPABILITY REED_THREAD_ANNOTATION(scoped_lockable)
+// On data members: may only be read/written with `x` held.
+#define REED_GUARDED_BY(x) REED_THREAD_ANNOTATION(guarded_by(x))
+// On pointer members: the pointee (not the pointer) is guarded by `x`.
+#define REED_PT_GUARDED_BY(x) REED_THREAD_ANNOTATION(pt_guarded_by(x))
+// On functions: caller must hold the listed capabilities.
+#define REED_REQUIRES(...) \
+  REED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+// On functions: caller must NOT hold them (the function acquires them).
+#define REED_EXCLUDES(...) REED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// On functions: acquires/releases the listed capabilities.
+#define REED_ACQUIRE(...) \
+  REED_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define REED_RELEASE(...) \
+  REED_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+// On functions: acquires on success (first arg is the success value).
+#define REED_TRY_ACQUIRE(...) \
+  REED_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+// Escape hatch for code the analysis cannot follow; use sparingly and say why.
+#define REED_NO_THREAD_SAFETY_ANALYSIS \
+  REED_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace reed {
+
+// std::mutex with the capability annotation the analysis needs. Same cost,
+// same semantics; exists only because annotations cannot be attached to
+// std::mutex retroactively.
+class REED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() REED_ACQUIRE() { mu_.lock(); }
+  void unlock() REED_RELEASE() { mu_.unlock(); }
+  bool try_lock() REED_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock over reed::Mutex (the std::lock_guard equivalent the analysis
+// understands). Not movable: a lock's scope IS its critical section.
+class REED_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) REED_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() REED_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable over reed::Mutex. Waits take the Mutex itself (which the
+// caller must hold, RAII'd by a MutexLock in the same scope): the underlying
+// condition_variable_any unlocks/relocks it internally, which the analysis
+// cannot see — the REED_REQUIRES contract on Wait is the visible invariant.
+class CondVar {
+ public:
+  void Wait(Mutex& mu) REED_REQUIRES(mu) { cv_.wait(mu); }
+
+  // `pred` runs with `mu` held; annotate its lambda REED_REQUIRES(mu) so the
+  // analysis checks the guarded members it reads.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) REED_REQUIRES(mu) {
+    cv_.wait(mu, pred);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace reed

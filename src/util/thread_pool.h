@@ -6,15 +6,15 @@
 // are uniform enough that static partitioning beats a work queue here.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace reed {
 
@@ -30,10 +30,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       stopping_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (auto& w : workers_) w.join();
   }
 
@@ -43,15 +43,16 @@ class ThreadPool {
   std::size_t num_threads() const { return workers_.size(); }
 
   // Enqueues a task; the returned future rethrows any task exception.
+  // Dropping the future silently swallows that exception, hence nodiscard.
   template <typename F>
-  std::future<void> Submit(F&& f) {
+  [[nodiscard]] std::future<void> Submit(F&& f) {
     auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
     std::future<void> fut = task->get_future();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       queue_.emplace([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return fut;
   }
 
@@ -92,8 +93,10 @@ class ThreadPool {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock lock(mu_);
-        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        MutexLock lock(mu_);
+        cv_.Wait(mu_, [this]() REED_REQUIRES(mu_) {
+          return stopping_ || !queue_.empty();
+        });
         if (stopping_ && queue_.empty()) return;
         task = std::move(queue_.front());
         queue_.pop();
@@ -102,10 +105,10 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
-  std::queue<std::function<void()>> queue_;
+  Mutex mu_;
+  CondVar cv_;
+  bool stopping_ REED_GUARDED_BY(mu_) = false;
+  std::queue<std::function<void()>> queue_ REED_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
 };
 

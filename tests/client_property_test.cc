@@ -106,7 +106,7 @@ class FailureInjectionTest : public ::testing::Test {
     client_ = system_.CreateClient("victim", opts);
     DeterministicRng rng(12);
     file_ = rng.Generate(300 * 1024);
-    client_->Upload("target", file_, {"victim"});
+    DiscardResult(client_->Upload("target", file_, {"victim"}));
   }
 
   // Applies fn to the named object on whichever server holds it.
@@ -160,8 +160,8 @@ TEST_F(FailureInjectionTest, MissingObjectsSurfaceAsErrors) {
     (void)system_.data_server(i);
   }
   EXPECT_THROW(client_->Download("never-uploaded"), Error);
-  EXPECT_THROW(client_->Rekey("never-uploaded", {"victim"},
-                              client::RevocationMode::kLazy),
+  EXPECT_THROW(DiscardResult(client_->Rekey(
+                   "never-uploaded", {"victim"}, client::RevocationMode::kLazy)),
                Error);
 }
 
@@ -170,7 +170,7 @@ TEST_F(FailureInjectionTest, SwappedStubFilesDetected) {
   // by different file keys, so both downloads must fail (not cross-read).
   DeterministicRng rng(13);
   Bytes other = rng.Generate(300 * 1024);
-  client_->Upload("other", other, {"victim"});
+  DiscardResult(client_->Upload("other", other, {"victim"}));
 
   auto find_blob = [&](const std::string& name) -> Bytes {
     for (std::size_t i = 0; i < system_.data_server_count(); ++i) {
@@ -213,8 +213,8 @@ TEST(ConcurrencyTest, ParallelClientsShareDedupSafely) {
   std::vector<std::thread> threads;
   for (int i = 0; i < kClients; ++i) {
     threads.emplace_back([&, i] {
-      clients[i]->Upload("shared-" + std::to_string(i), shared_file,
-                         {"c" + std::to_string(i)});
+      DiscardResult(clients[i]->Upload("shared-" + std::to_string(i),
+                                       shared_file, {"c" + std::to_string(i)}));
     });
   }
   for (auto& t : threads) t.join();
@@ -236,11 +236,12 @@ TEST(ConcurrencyTest, InterleavedUploadAndDownload) {
 
   DeterministicRng rng(22);
   Bytes file = rng.Generate(128 * 1024);
-  writer->Upload("hot-file", file, {"rw"});
+  DiscardResult(writer->Upload("hot-file", file, {"rw"}));
 
   std::thread uploader([&] {
     for (int i = 0; i < 5; ++i) {
-      writer->Upload("hot-file-" + std::to_string(i), file, {"rw"});
+      DiscardResult(writer->Upload("hot-file-" + std::to_string(i), file,
+                                   {"rw"}));
     }
   });
   for (int i = 0; i < 5; ++i) {
@@ -254,7 +255,7 @@ TEST(ConcurrencyTest, InterleavedUploadAndDownload) {
 // ---------------------------------------------------------------------
 TEST(UploadEdgeCaseTest, EmptyFileRejected) {
   auto client = SharedSystem().CreateClient("prop", ClientOptions{});
-  EXPECT_THROW(client->Upload("empty", {}, {"prop"}), Error);
+  EXPECT_THROW(DiscardResult(client->Upload("empty", {}, {"prop"})), Error);
 }
 
 TEST(UploadEdgeCaseTest, ReuploadOverwritesMetadata) {
@@ -264,8 +265,8 @@ TEST(UploadEdgeCaseTest, ReuploadOverwritesMetadata) {
   DeterministicRng rng(32);
   Bytes v1 = rng.Generate(100 * 1024);
   Bytes v2 = rng.Generate(120 * 1024);
-  client->Upload("versioned", v1, {"prop"});
-  client->Upload("versioned", v2, {"prop"});
+  DiscardResult(client->Upload("versioned", v1, {"prop"}));
+  DiscardResult(client->Upload("versioned", v2, {"prop"}));
   EXPECT_EQ(client->Download("versioned"), v2);
 }
 
@@ -277,7 +278,7 @@ TEST(UploadEdgeCaseTest, UploaderAlwaysInPolicy) {
   auto client = SharedSystem().CreateClient("prop", opts);
   DeterministicRng rng(34);
   Bytes file = rng.Generate(64 * 1024);
-  client->Upload("own-file", file, {});
+  DiscardResult(client->Upload("own-file", file, {}));
   EXPECT_EQ(client->Download("own-file"), file);
 }
 

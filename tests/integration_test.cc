@@ -128,7 +128,7 @@ TEST_F(IntegrationTest, AuthorizedSharingAndUnauthorizedRejection) {
   auto eve = system_->CreateClient("eve",
                                    FastClientOptions(aont::Scheme::kEnhanced));
   Bytes file = TestFile(256 << 10, 4);
-  alice->Upload("shared-file", file, {"alice", "bob"});
+  DiscardResult(alice->Upload("shared-file", file, {"alice", "bob"}));
 
   EXPECT_EQ(bob->Download("shared-file"), file);  // authorized
   EXPECT_THROW(eve->Download("shared-file"), Error);  // not in policy
@@ -140,7 +140,7 @@ TEST_F(IntegrationTest, LazyRevocationKeepsOldDataReadableByAuthorized) {
   auto bob = system_->CreateClient("bob",
                                    FastClientOptions(aont::Scheme::kEnhanced));
   Bytes file = TestFile(256 << 10, 5);
-  alice->Upload("lazy-file", file, {"alice", "bob"});
+  DiscardResult(alice->Upload("lazy-file", file, {"alice", "bob"}));
 
   // Revoke bob lazily: key state winds forward, stub file untouched.
   auto rekey = alice->Rekey("lazy-file", {"alice"}, RevocationMode::kLazy);
@@ -159,7 +159,7 @@ TEST_F(IntegrationTest, ActiveRevocationReencryptsStubs) {
   auto bob = system_->CreateClient("bob",
                                    FastClientOptions(aont::Scheme::kEnhanced));
   Bytes file = TestFile(256 << 10, 6);
-  alice->Upload("active-file", file, {"alice", "bob"});
+  DiscardResult(alice->Upload("active-file", file, {"alice", "bob"}));
   Bytes stub_before = system_->data_server(0).HasObject(
                           server::StoreId::kData, "stub/active-file")
                           ? system_->data_server(0).GetObject(
@@ -177,7 +177,7 @@ TEST_F(IntegrationTest, RepeatedRekeyingWalksVersionsForward) {
   auto alice = system_->CreateClient("alice",
                                      FastClientOptions(aont::Scheme::kEnhanced));
   Bytes file = TestFile(128 << 10, 7);
-  alice->Upload("multi-rekey", file, {"alice", "bob"});
+  DiscardResult(alice->Upload("multi-rekey", file, {"alice", "bob"}));
   for (std::uint64_t i = 1; i <= 4; ++i) {
     auto mode = (i % 2 == 0) ? RevocationMode::kActive : RevocationMode::kLazy;
     auto r = alice->Rekey("multi-rekey", {"alice"}, mode);
@@ -195,9 +195,9 @@ TEST_F(IntegrationTest, GroupRekeyingSharesOneAbeEncryption) {
   Bytes f1 = TestFile(64 << 10, 20);
   Bytes f2 = TestFile(64 << 10, 21);
   Bytes f3 = TestFile(64 << 10, 22);
-  alice->Upload("grp-1", f1, {"alice", "bob"});
-  alice->Upload("grp-2", f2, {"alice", "bob"});
-  alice->Upload("grp-3", f3, {"alice", "bob"});
+  DiscardResult(alice->Upload("grp-1", f1, {"alice", "bob"}));
+  DiscardResult(alice->Upload("grp-2", f2, {"alice", "bob"}));
+  DiscardResult(alice->Upload("grp-3", f3, {"alice", "bob"}));
 
   // Revoke bob from all three files in one group rekey.
   auto results = alice->RekeyGroup({"grp-1", "grp-2", "grp-3"}, {"alice"},
@@ -217,8 +217,8 @@ TEST_F(IntegrationTest, GroupRekeyActiveThenIndividualRekey) {
                                      FastClientOptions(aont::Scheme::kEnhanced));
   Bytes f1 = TestFile(64 << 10, 23);
   Bytes f2 = TestFile(64 << 10, 24);
-  alice->Upload("grp-a", f1, {"alice", "bob"});
-  alice->Upload("grp-b", f2, {"alice", "bob"});
+  DiscardResult(alice->Upload("grp-a", f1, {"alice", "bob"}));
+  DiscardResult(alice->Upload("grp-b", f2, {"alice", "bob"}));
 
   auto results = alice->RekeyGroup({"grp-a", "grp-b"}, {"alice"},
                                    RevocationMode::kActive);
@@ -240,15 +240,17 @@ TEST_F(IntegrationTest, OnlyOwnerMayRekey) {
   auto bob = system_->CreateClient("bob",
                                    FastClientOptions(aont::Scheme::kEnhanced));
   Bytes file = TestFile(64 << 10, 8);
-  alice->Upload("owned-file", file, {"alice", "bob"});
-  EXPECT_THROW(bob->Rekey("owned-file", {"bob"}, RevocationMode::kLazy), Error);
+  DiscardResult(alice->Upload("owned-file", file, {"alice", "bob"}));
+  EXPECT_THROW(
+      DiscardResult(bob->Rekey("owned-file", {"bob"}, RevocationMode::kLazy)),
+      Error);
 }
 
 TEST_F(IntegrationTest, TamperedChunkAbortsDownload) {
   auto alice = system_->CreateClient("alice",
                                      FastClientOptions(aont::Scheme::kEnhanced));
   Bytes file = TestFile(64 << 10, 9);
-  alice->Upload("tamper-file", file, {"alice"});
+  DiscardResult(alice->Upload("tamper-file", file, {"alice"}));
 
   // Corrupt one stored container byte on every data server (the chunk
   // lands on exactly one of them, but we don't know which).
@@ -321,7 +323,7 @@ TEST_F(IntegrationTest, FileIdObfuscationHidesPathnames) {
 
   Bytes file = TestFile(64 << 10, 30);
   const std::string path = "/home/alice/secret-project/plan.txt";
-  alice->Upload(path, file, {"alice", "bob"});
+  DiscardResult(alice->Upload(path, file, {"alice", "bob"}));
   EXPECT_EQ(bob->Download(path), file);
 
   // The plaintext path never appears as an object name on any server.

@@ -3,6 +3,9 @@
 // and client-side sharding.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "client/storage_client.h"
 #include "crypto/random.h"
 #include "server/storage_server.h"
@@ -32,9 +35,9 @@ TEST(ContainerStoreTest, AppendReadRoundTrip) {
 
 TEST(ContainerStoreTest, OpensNewContainerWhenFull) {
   store::ContainerStore cs(1000);
-  cs.Append(Bytes(600, 1));
+  DiscardResult(cs.Append(Bytes(600, 1)));
   EXPECT_EQ(cs.stats().containers, 1u);
-  cs.Append(Bytes(600, 2));  // doesn't fit; new container
+  DiscardResult(cs.Append(Bytes(600, 2)));  // doesn't fit; new container
   EXPECT_EQ(cs.stats().containers, 2u);
   // Oversized chunk still stored (own container).
   auto loc = cs.Append(Bytes(5000, 3));
@@ -50,7 +53,7 @@ TEST(ContainerStoreTest, InvalidReadsThrow) {
   bad = loc;
   bad.length = 1000;
   EXPECT_THROW(cs.Read(bad), Error);
-  EXPECT_THROW(cs.Append({}), Error);
+  EXPECT_THROW(DiscardResult(cs.Append({})), Error);
 }
 
 // --------------------------- index / object store ---------------------------
@@ -165,6 +168,41 @@ TEST(StorageServerTest, DeduplicatesIdenticalChunks) {
   EXPECT_EQ(stats.unique_chunks, 1u);
   EXPECT_EQ(stats.physical_bytes, 1000u);
   EXPECT_EQ(stats.logical_bytes, 3000u);
+  EXPECT_EQ(srv.GetChunks({fp})[0], data);
+}
+
+// Regression: PutChunks used to drop FingerprintIndex::Insert's return
+// value, so a lost lookup→append→insert race would silently orphan the
+// appended copy. The compound step is now serialized under the ingest lock
+// and a rejected insert throws. Hammer the same chunk from many threads:
+// every call must succeed, and exactly one physical copy may exist.
+TEST(StorageServerTest, ConcurrentIdenticalPutsStoreExactlyOneCopy) {
+  server::StorageServer srv;
+  DeterministicRng rng(3);
+  Bytes data = rng.Generate(512);
+  auto fp = chunk::Fingerprint::Of(data);
+
+  constexpr int kThreads = 8;
+  constexpr int kPutsPerThread = 25;
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> stored{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPutsPerThread; ++i) {
+        auto r = srv.PutChunks({{fp, data}});
+        stored += r.stored;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(stored.load(), 1u);
+  auto stats = srv.stats();
+  EXPECT_EQ(stats.logical_chunks,
+            static_cast<std::uint64_t>(kThreads) * kPutsPerThread);
+  EXPECT_EQ(stats.unique_chunks, 1u);
+  EXPECT_EQ(stats.physical_bytes, data.size());
   EXPECT_EQ(srv.GetChunks({fp})[0], data);
 }
 

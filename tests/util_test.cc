@@ -164,6 +164,14 @@ TEST(ThreadPoolTest, RunsSubmittedTasks) {
   EXPECT_EQ(count.load(), 100);
 }
 
+// The reason Submit is [[nodiscard]]: the returned future is the ONLY
+// channel for a task's exception. Dropping it swallows the error.
+TEST(ThreadPoolTest, SubmitFutureRethrowsTaskException) {
+  ThreadPool pool(2);
+  auto fut = pool.Submit([] { throw Error("task failed"); });
+  EXPECT_THROW(fut.get(), Error);
+}
+
 TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(1000);

@@ -1,13 +1,23 @@
 #!/usr/bin/env bash
-# Local CI gate: build + test matrix across sanitizer modes, plus the
-# crypto-hygiene lint. Run from anywhere inside the repo:
+# Local CI gate: build + test matrix across sanitizer and static-analysis
+# modes, plus the Python lints. Run from anywhere inside the repo:
 #
-#   tools/ci/check.sh              # full matrix: plain, asan+ubsan, tsan
-#   tools/ci/check.sh plain        # one mode only
-#   tools/ci/check.sh asan tsan    # subset
+#   tools/ci/check.sh                  # full matrix: plain, asan+ubsan, tsan, tsa
+#   tools/ci/check.sh plain            # one mode only
+#   tools/ci/check.sh asan tsa         # subset
+#
+# Modes:
+#   plain     release build + full ctest. -Werror=unused-result is ALWAYS on
+#             (top-level CMakeLists), so this doubles as the nodiscard gate.
+#   nodiscard alias for the build half of plain — compile-only proof that no
+#             [[nodiscard]] result is dropped anywhere in the tree.
+#   asan      AddressSanitizer + UBSan, halt_on_error.
+#   tsan      ThreadSanitizer, halt_on_error.
+#   tsa       clang -Wthread-safety -Werror static lock-discipline check
+#             (compile-only; skipped with a notice when clang++ is absent).
 #
 # Build trees land in build-ci-<mode>/ (gitignored). Every mode must end
-# with 100% tests passed and zero sanitizer findings; sanitizers run with
+# with 100% tests passed and zero findings; sanitizers run with
 # halt_on_error so a finding fails the test that triggered it.
 set -euo pipefail
 
@@ -16,7 +26,7 @@ cd "${REPO_ROOT}"
 
 MODES=("$@")
 if [[ ${#MODES[@]} -eq 0 ]]; then
-  MODES=(plain asan tsan)
+  MODES=(plain asan tsan tsa)
 fi
 
 GENERATOR_ARGS=()
@@ -29,10 +39,18 @@ run_mode() {
   local build_dir="build-ci-${mode}"
   local cmake_args=()
   local -a test_env=()
+  local build_only=0
 
   case "${mode}" in
     plain)
       cmake_args=(-DREED_SANITIZE=none)
+      ;;
+    nodiscard)
+      # The unused-result gate is unconditional, so a plain build IS the
+      # check; this mode just skips the test phase for a faster answer.
+      cmake_args=(-DREED_SANITIZE=none)
+      build_dir="build-ci-plain"
+      build_only=1
       ;;
     asan)
       cmake_args=(-DREED_SANITIZE=address,undefined)
@@ -43,8 +61,21 @@ run_mode() {
       cmake_args=(-DREED_SANITIZE=thread)
       test_env=("TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1")
       ;;
+    tsa)
+      if ! command -v clang++ > /dev/null 2>&1; then
+        echo "=== [tsa] SKIPPED: clang++ not found ==="
+        echo "    The thread-safety annotations are no-ops under GCC; install"
+        echo "    clang to run the static lock-discipline analysis."
+        return 0
+      fi
+      cmake_args=(-DREED_THREAD_SAFETY=ON -DCMAKE_CXX_COMPILER=clang++)
+      # Compile-only: the analysis happens during the build. The annotation
+      # fixture ctests (tsa_annotation_*) run under the plain modes too once
+      # clang is present, so skipping ctest here avoids double work.
+      build_only=1
+      ;;
     *)
-      echo "unknown mode: ${mode} (expected plain|asan|tsan)" >&2
+      echo "unknown mode: ${mode} (expected plain|nodiscard|asan|tsan|tsa)" >&2
       exit 2
       ;;
   esac
@@ -55,6 +86,11 @@ run_mode() {
 
   echo "=== [${mode}] build ==="
   cmake --build "${build_dir}" -j
+
+  if [[ ${build_only} -eq 1 ]]; then
+    echo "=== [${mode}] build-only mode: done ==="
+    return 0
+  fi
 
   echo "=== [${mode}] test ==="
   # Long-pole gtest binaries (ABE pairing math, the client property suite)
@@ -67,6 +103,10 @@ run_mode() {
 echo "=== crypto-hygiene lint ==="
 python3 tools/lint/crypto_lint.py --self-test
 python3 tools/lint/crypto_lint.py --root . src
+
+echo "=== module-layering lint ==="
+python3 tools/lint/layering_lint.py --self-test
+python3 tools/lint/layering_lint.py --root . src
 
 for mode in "${MODES[@]}"; do
   run_mode "${mode}"

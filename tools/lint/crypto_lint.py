@@ -16,6 +16,9 @@ an encrypted-deduplication system:
                       *ikm*, *kek*, *prk*, *okm*) whose scope ends without
                       SecureZero/ScopedWipe, a return, or a std::move —
                       key material must not linger in dead stack/heap memory.
+  memset-wipe         memset used to wipe a key-named buffer — a dead-store
+                      memset is exactly what the optimizer elides, leaving
+                      the key in memory. Use reed::SecureZero/ScopedWipe.
 
 False positives that survive a manual audit go in the allowlist file
 (default: tools/lint/allowlist.txt) as `<relpath>:<rule>:<token>` lines.
@@ -41,7 +44,8 @@ BENIGN_TOKENS = re.compile(
     re.IGNORECASE,
 )
 
-RULES = ("ban-rand", "secret-memcmp", "secret-eq", "unzeroized-key-local")
+RULES = ("ban-rand", "secret-memcmp", "secret-eq", "unzeroized-key-local",
+         "memset-wipe")
 
 
 def strip_comments_and_strings(text):
@@ -136,6 +140,9 @@ KEY_LOCAL_TOKEN_RE = re.compile(rf"({KEY_LOCAL_TOKENS})", re.IGNORECASE)
 SCALAR_TAIL_RE = re.compile(
     r"(?:\.|->)(size|empty|length|count|version|ByteLength)\(\)$"
 )
+# First argument of a memset call (incl. the builtin), up to the comma.
+MEMSET_RE = re.compile(
+    r"\b(?:std::|__builtin_)?memset\s*\(\s*([^,()]*(?:\([^()]*\))?[^,]*),")
 
 
 def looks_secret_buffer(expr):
@@ -169,6 +176,15 @@ def lint_text(path, raw):
                 f"{m.group(1)}() short-circuits on the first differing byte "
                 "— use reed::SecureCompare for keys/MACs (allowlist audited "
                 "non-secret uses)"))
+        m = MEMSET_RE.search(line)
+        if m:
+            dest = m.group(1).strip()
+            if KEY_LOCAL_TOKEN_RE.search(dest) and not BENIGN_TOKENS.search(dest):
+                findings.append(Finding(
+                    path, lineno, "memset-wipe", dest,
+                    f"memset wiping key-named buffer `{dest}` is a dead "
+                    "store the optimizer can elide — use reed::SecureZero "
+                    "or ScopedWipe"))
         for m in EQ_RE.finditer(line):
             lhs, _, rhs = m.groups()
             if looks_secret_buffer(lhs) or looks_secret_buffer(rhs):

@@ -1,0 +1,21 @@
+// Fixture: memset used as a key wipe. The compiler sees a dead store to a
+// buffer whose lifetime ends and removes it — the key stays in memory.
+#include <cstring>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+Bytes Derive();
+void Use(const Bytes& k);
+
+void WipeWithMemset() {
+  // The memset below is not a recognized wipe, so the local is flagged too.
+  Bytes file_key = Derive();  // LINT-EXPECT: unzeroized-key-local
+  Use(file_key);
+  std::memset(file_key.data(), 0, file_key.size());  // LINT-EXPECT: memset-wipe
+}
+
+void WipeArrayWithMemset() {
+  unsigned char master_secret[32];
+  memset(master_secret, 0, sizeof(master_secret));  // LINT-EXPECT: memset-wipe
+}

@@ -1,0 +1,4 @@
+// Fixture: same upward edge as the `upward` case, suppressed by the
+// per-case allowlist.txt.
+#pragma once
+#include "rsa/keys.h"

@@ -1,0 +1,2 @@
+// Fixture: layer-2 module.
+#pragma once

@@ -1,0 +1,4 @@
+// Fixture: net(2) -> store(3) is an upward edge, and with store/loc.h it
+// closes a module cycle.
+#pragma once
+#include "store/loc.h"

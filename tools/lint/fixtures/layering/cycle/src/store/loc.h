@@ -1,0 +1,3 @@
+// Fixture: store(3) -> net(2) is fine on its own; the cycle is the bug.
+#pragma once
+#include "net/wire.h"

@@ -1,0 +1,4 @@
+// Fixture: sanctioned intra-layer edge chunk(1) -> crypto(1).
+#pragma once
+#include "crypto/hash.h"
+#include "util/helpers.h"

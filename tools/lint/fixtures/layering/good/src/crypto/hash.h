@@ -1,0 +1,3 @@
+// Fixture: downward edge crypto(1) -> util(0).
+#pragma once
+#include "util/helpers.h"

@@ -1,0 +1,4 @@
+// Fixture: downward edges store(3) -> chunk(1)/crypto(1).
+#pragma once
+#include "chunk/chunker.h"
+#include "crypto/hash.h"

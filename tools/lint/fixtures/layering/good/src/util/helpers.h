@@ -1,0 +1,2 @@
+// Fixture: layer-0 module with no dependencies.
+#pragma once

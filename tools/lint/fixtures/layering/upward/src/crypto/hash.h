@@ -1,0 +1,3 @@
+// Fixture: crypto(1) -> rsa(2) is an upward edge.
+#pragma once
+#include "rsa/keys.h"

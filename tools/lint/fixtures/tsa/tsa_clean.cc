@@ -1,0 +1,34 @@
+// Fixture: correct lock discipline. Must compile cleanly under
+//   clang++ -std=c++20 -fsyntax-only -Isrc -Wthread-safety -Werror=thread-safety
+// (ctest: tsa_annotation_clean, registered when clang++ is available).
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    reed::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int Get() {
+    reed::MutexLock lock(mu_);
+    return value_;
+  }
+
+  // Caller holds the lock; the annotation makes that contract checkable.
+  int GetLocked() REED_REQUIRES(mu_) { return value_; }
+
+ private:
+  reed::Mutex mu_;
+  int value_ REED_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Get() == 1 ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+// Fixture: NEGATIVE compile test — accesses a guarded member without its
+// mutex. clang -Wthread-safety -Werror=thread-safety must REJECT this file;
+// the ctest entry (tsa_annotation_violation) is registered WILL_FAIL. If this
+// ever compiles under the TSA flags, the annotation shim is broken (e.g. the
+// macros expand to nothing under clang).
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (deliberate): touches value_ with mu_ not held.
+  void Increment() { ++value_; }
+
+ private:
+  reed::Mutex mu_;
+  int value_ REED_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

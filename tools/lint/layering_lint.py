@@ -1,0 +1,306 @@
+#!/usr/bin/env python3
+"""Module-layering lint for REED sources.
+
+Parses `#include "module/..."` edges under src/ and enforces the DESIGN.md §2
+module DAG — the normative layering statement for the tree:
+
+    layer 0   util
+    layer 1   crypto  bigint  chunk
+    layer 2   rsa  pairing  aont  net
+    layer 3   abe  keymanager  store
+    layer 4   server  client
+    layer 5   core
+    leaf      trace   (may include lower layers; nothing may include it)
+
+A module may include modules in strictly lower layers. Three same-layer edges
+are part of the sanctioned DAG (bigint→crypto and chunk→crypto: both sit on
+util but bigint/chunk consume hashing; client→server: the client drives
+in-process servers directly in library mode); any other same-layer or upward
+edge is a finding, as is any cycle and any edge into the `trace` leaf.
+
+Rules:
+  upward-edge      include of a higher-layer module, or a same-layer module
+                   outside INTRA_LAYER_EDGES
+  leaf-dependency  some module includes trace/ — trace is a terminal consumer
+  unknown-module   quoted include whose first path component is not a module
+                   (new modules must be added to LAYERS here and DESIGN.md §2)
+  include-cycle    the module graph has a cycle (reported once per cycle)
+
+Findings are module-edge granular. Audited exceptions go in the allowlist
+file (default: tools/lint/layering_allowlist.txt) as `<rule>:<src>-><dst>`
+lines (`include-cycle:a->b->a` for cycles). The tree is expected to pass with
+an EMPTY allowlist — an entry is a temporary, dated concession.
+
+Usage:
+  layering_lint.py [--root REPO] [--allowlist FILE] [PATHS...]  # lint (default: src)
+  layering_lint.py --self-test                                  # run fixture suite
+"""
+
+import argparse
+import os
+import re
+import sys
+
+LAYERS = {
+    "util": 0,
+    "crypto": 1, "bigint": 1, "chunk": 1,
+    "rsa": 2, "pairing": 2, "aont": 2, "net": 2,
+    "abe": 3, "keymanager": 3, "store": 3,
+    "server": 4, "client": 4,
+    "core": 5,
+    "trace": 5,
+}
+
+# Modules nothing inside src/ may depend on.
+LEAF_MODULES = {"trace"}
+
+# Same-layer edges that are part of the sanctioned DAG (see module map above).
+INTRA_LAYER_EDGES = {
+    ("bigint", "crypto"),
+    ("chunk", "crypto"),
+    ("client", "server"),
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+class Finding:
+    def __init__(self, path, line, rule, edge, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.edge = edge  # "src->dst" (or "a->b->a" for cycles)
+        self.message = message
+
+    def key(self):
+        return f"{self.rule}:{self.edge}"
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def collect_sources(root, paths):
+    files = []
+    for p in paths:
+        full = os.path.join(root, p)
+        if os.path.isfile(full):
+            files.append(full)
+            continue
+        if not os.path.isdir(full):
+            # A typo'd path silently scanning zero files would report clean.
+            raise SystemExit(f"layering_lint: path does not exist: {full}")
+        for dirpath, _, names in os.walk(full):
+            for n in sorted(names):
+                if n.endswith((".cc", ".cpp", ".h", ".hpp")):
+                    files.append(os.path.join(dirpath, n))
+    return sorted(files)
+
+
+def module_of(rel_to_src):
+    parts = rel_to_src.split(os.sep)
+    return parts[0] if len(parts) > 1 else None
+
+
+def scan_edges(root, src_prefix, files):
+    """Returns (edges, findings) where edges maps (src_mod, dst_mod) to the
+    first (path, line) evidencing it. unknown-module findings are emitted
+    here; graph rules run on the edge set afterwards."""
+    edges = {}
+    findings = []
+    src_root = os.path.join(root, src_prefix)
+    for full in files:
+        rel = os.path.relpath(full, root)
+        rel_src = os.path.relpath(full, src_root)
+        src_mod = module_of(rel_src)
+        if src_mod is None or src_mod not in LAYERS:
+            # File outside any module directory (or an unknown one): flag the
+            # file itself once via its includes below; still scan them.
+            pass
+        with open(full, encoding="utf-8", errors="replace") as f:
+            for lineno, line in enumerate(f, start=1):
+                m = INCLUDE_RE.match(line)
+                if not m:
+                    continue
+                target = m.group(1)
+                if "/" not in target:
+                    continue  # same-directory include, no module edge
+                dst_mod = target.split("/")[0]
+                if dst_mod not in LAYERS:
+                    findings.append(Finding(
+                        rel, lineno, "unknown-module",
+                        f"{src_mod or '?'}->{dst_mod}",
+                        f'include "{target}" names unknown module '
+                        f"`{dst_mod}` — add it to LAYERS in layering_lint.py "
+                        "and DESIGN.md §2, or fix the path"))
+                    continue
+                if src_mod is None or src_mod not in LAYERS:
+                    continue
+                if dst_mod == src_mod:
+                    continue
+                edges.setdefault((src_mod, dst_mod), (rel, lineno))
+    return edges, findings
+
+
+def check_edges(edges):
+    findings = []
+    for (src, dst), (path, lineno) in sorted(edges.items()):
+        if dst in LEAF_MODULES:
+            findings.append(Finding(
+                path, lineno, "leaf-dependency", f"{src}->{dst}",
+                f"`{src}` includes leaf module `{dst}` — {dst} consumes the "
+                "tree, nothing may depend on it"))
+            continue
+        ls, ld = LAYERS[src], LAYERS[dst]
+        if ld > ls:
+            findings.append(Finding(
+                path, lineno, "upward-edge", f"{src}->{dst}",
+                f"`{src}` (layer {ls}) includes `{dst}` (layer {ld}) — "
+                "upward edge violates the module DAG"))
+        elif ld == ls and (src, dst) not in INTRA_LAYER_EDGES:
+            findings.append(Finding(
+                path, lineno, "upward-edge", f"{src}->{dst}",
+                f"`{src}` and `{dst}` share layer {ls} and the edge is not "
+                "in the sanctioned intra-layer set"))
+    return findings
+
+
+def find_cycles(edges):
+    """Returns each elementary cycle once, canonicalized to start from its
+    lexicographically smallest module. Iterative DFS keeps it simple; the
+    module graph is tiny."""
+    graph = {}
+    for (src, dst) in edges:
+        graph.setdefault(src, []).append(dst)
+    cycles = set()
+
+    def dfs(node, path, on_path):
+        for nxt in sorted(graph.get(node, [])):
+            if nxt in on_path:
+                cyc = path[path.index(nxt):]
+                pivot = cyc.index(min(cyc))
+                cycles.add(tuple(cyc[pivot:] + cyc[:pivot]))
+            else:
+                dfs(nxt, path + [nxt], on_path | {nxt})
+
+    for start in sorted(graph):
+        dfs(start, [start], {start})
+
+    findings = []
+    for cyc in sorted(cycles):
+        loop = "->".join(cyc + (cyc[0],))
+        first_edge = (cyc[0], cyc[1 % len(cyc)])
+        path, lineno = edges.get(first_edge, ("<graph>", 0))
+        findings.append(Finding(
+            path, lineno, "include-cycle", loop,
+            f"module include cycle: {loop}"))
+    return findings
+
+
+def load_allowlist(path):
+    entries = {}
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            entries[line] = 0
+    return entries
+
+
+def lint_tree(root, paths, allowlist_path, src_prefix="src", quiet=False):
+    files = collect_sources(root, paths)
+    edges, findings = scan_edges(root, src_prefix, files)
+    findings.extend(check_edges(edges))
+    findings.extend(find_cycles(edges))
+
+    allow = load_allowlist(allowlist_path)
+    reported = []
+    for finding in findings:
+        if finding.key() in allow:
+            allow[finding.key()] += 1
+        else:
+            reported.append(finding)
+
+    if quiet:
+        return reported
+    for finding in reported:
+        print(finding)
+    for k, hits in allow.items():
+        if hits == 0:
+            print(f"note: stale allowlist entry (no longer matches): {k}")
+    if reported:
+        print(f"layering_lint: {len(reported)} finding(s)")
+        return 1
+    used = sum(1 for hits in allow.values() if hits)
+    print(f"layering_lint: clean — {len(edges)} module edge(s) conform "
+          f"({used} allowlisted exception(s) in use)")
+    return 0
+
+
+# --------------------------- fixture self-test ---------------------------
+
+# Each fixture case is a mini source tree under fixtures/layering/<case>/src
+# with an optional per-case allowlist.txt. Expected finding keys are exact.
+EXPECTED = {
+    "good": set(),
+    "cycle": {"upward-edge:net->store", "include-cycle:net->store->net"},
+    "upward": {"upward-edge:crypto->rsa"},
+    "allowlisted": set(),
+}
+
+
+def run_self_test(root):
+    fixture_root = os.path.join(root, "tools", "lint", "fixtures", "layering")
+    if not os.path.isdir(fixture_root):
+        print(f"layering_lint --self-test: no fixtures under {fixture_root}")
+        return 1
+    failures = []
+    cases = sorted(os.listdir(fixture_root))
+    for case in cases:
+        case_dir = os.path.join(fixture_root, case)
+        if not os.path.isdir(case_dir):
+            continue
+        if case not in EXPECTED:
+            failures.append(f"{case}: fixture directory has no EXPECTED entry")
+            continue
+        allowlist = os.path.join(case_dir, "allowlist.txt")
+        reported = lint_tree(case_dir, ["src"], allowlist, quiet=True)
+        got = {f.key() for f in reported}
+        if got != EXPECTED[case]:
+            failures.append(f"{case}: expected {sorted(EXPECTED[case]) or '[clean]'}, "
+                            f"got {sorted(got) or '[clean]'}")
+    missing = [c for c in EXPECTED if not os.path.isdir(os.path.join(fixture_root, c))]
+    for c in missing:
+        failures.append(f"{c}: expected fixture directory is missing")
+    for f in failures:
+        print("FAIL " + f)
+    total = len(EXPECTED)
+    print(f"layering_lint --self-test: {total - len(failures)}/{total} "
+          "fixture cases pass")
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--allowlist", default=None,
+                    help="allowlist file (default: tools/lint/"
+                         "layering_allowlist.txt)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="lint the fixture trees and check expectations")
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files/directories relative to --root (default: src)")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    if args.self_test:
+        return run_self_test(root)
+    allowlist = args.allowlist or os.path.join(
+        root, "tools", "lint", "layering_allowlist.txt")
+    return lint_tree(root, args.paths or ["src"], allowlist)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

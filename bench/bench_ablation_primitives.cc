@@ -225,7 +225,7 @@ void BM_AbeEncrypt(benchmark::State& state) {
     users.push_back("u" + std::to_string(i));
   }
   abe::PolicyNode policy = abe::PolicyNode::OrOfUsers(users);
-  Bytes payload = FixedData(200, 23);
+  Secret payload(FixedData(200, 23));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         f.cpabe->EncryptBytes(f.setup.pk, policy, payload, rng));
@@ -242,8 +242,9 @@ void BM_AbeDecrypt(benchmark::State& state) {
     users.push_back("u" + std::to_string(i));
   }
   abe::PolicyNode policy = abe::PolicyNode::OrOfUsers(users);
-  Bytes payload = FixedData(200, 25);
-  Bytes ct = f.cpabe->EncryptBytes(f.setup.pk, policy, payload, rng);
+  Secret payload(FixedData(200, 25));
+  Bytes ct = Declassify(f.cpabe->EncryptBytes(f.setup.pk, policy, payload, rng),
+                        "bench: ABE ciphertext for the decrypt loop");
   abe::PrivateKey sk = f.cpabe->KeyGen(f.setup.pk, f.setup.mk, {"user:u0"}, rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(f.cpabe->DecryptBytes(sk, ct));
@@ -259,7 +260,7 @@ void BM_ReedEncrypt(benchmark::State& state) {
   std::size_t chunk_size = static_cast<std::size_t>(state.range(1));
   aont::ReedCipher cipher(scheme);
   Bytes chunk = FixedData(chunk_size, 30);
-  Bytes key = FixedData(32, 31);
+  Secret key(FixedData(32, 31));
   for (auto _ : state) {
     benchmark::DoNotOptimize(cipher.Encrypt(chunk, key));
   }
@@ -276,7 +277,7 @@ void BM_ReedDecrypt(benchmark::State& state) {
   auto scheme = static_cast<aont::Scheme>(state.range(0));
   aont::ReedCipher cipher(scheme);
   Bytes chunk = FixedData(8192, 32);
-  Bytes key = FixedData(32, 33);
+  Secret key(FixedData(32, 33));
   aont::SealedChunk sealed = cipher.Encrypt(chunk, key);
   for (auto _ : state) {
     benchmark::DoNotOptimize(cipher.Decrypt(sealed.trimmed_package, sealed.stub));
@@ -312,7 +313,7 @@ void BM_StubSizeSweep(benchmark::State& state) {
   std::size_t stub_size = static_cast<std::size_t>(state.range(0));
   aont::ReedCipher cipher(aont::Scheme::kEnhanced, stub_size);
   Bytes chunk = FixedData(8192, 35);
-  Bytes key = FixedData(32, 36);
+  Secret key(FixedData(32, 36));
   for (auto _ : state) {
     benchmark::DoNotOptimize(cipher.Encrypt(chunk, key));
   }

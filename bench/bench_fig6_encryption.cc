@@ -27,10 +27,10 @@ double MeasureEncryptionOnce(aont::Scheme scheme, ByteSpan data,
   chunk::RabinChunker chunker(chunk::PaperChunking(avg_chunk_size));
   auto refs = chunker.Split(data);
   // Derive per-chunk MLE keys locally (already-fetched keys, per paper).
-  std::vector<Bytes> keys(refs.size());
+  std::vector<Secret> keys(refs.size());
   for (std::size_t i = 0; i < refs.size(); ++i) {
-    keys[i] = crypto::Sha256::HashToBytes(
-        data.subspan(refs[i].offset, refs[i].length));
+    keys[i] = Secret(crypto::Sha256::HashToBytes(
+        data.subspan(refs[i].offset, refs[i].length)));
   }
 
   aont::ReedCipher cipher(scheme);

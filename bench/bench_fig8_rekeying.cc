@@ -76,9 +76,11 @@ struct RekeyBench {
     rsa::KeyState state = owner.GenesisState(rng);
 
     std::size_t num_chunks = file_bytes / 8192;
-    Bytes stub_data = crypto::DeterministicRng(7).Generate(num_chunks * 64);
+    crypto::DeterministicRng stub_rng(7);
+    Secret stub_data = stub_rng.GenerateSecret(num_chunks * 64);
     Bytes stub_blob =
-        aont::EncryptStubFile(stub_data, state.DeriveFileKey(), rng);
+        Declassify(aont::EncryptStubFile(stub_data, state.DeriveFileKey(), rng),
+                   "bench: stub-file ciphertext upload");
     storage->PutObject(server::StoreId::kData, "stub/" + id, stub_blob);
 
     store::KeyStateRecord record;
@@ -87,8 +89,10 @@ struct RekeyBench {
     record.stub_key_version = state.version;
     abe::PolicyNode policy = abe::PolicyNode::OrOfUsers(users);
     policy.SerializeTo(record.policy);
-    record.wrapped_state = cpabe->EncryptBytes(
-        setup.pk, policy, state.Serialize(derivation.pub), rng);
+    record.wrapped_state = Declassify(
+        cpabe->EncryptBytes(setup.pk, policy, state.Serialize(derivation.pub),
+                            rng),
+        "bench: ABE-wrapped key-state upload");
     record.derivation_public_key = rsa::SerializePublicKey(derivation.pub);
     storage->PutObject(server::StoreId::kKey, "keystate/" + id,
                        record.Serialize());
@@ -102,7 +106,7 @@ struct RekeyBench {
     // Download + unwrap the key state.
     store::KeyStateRecord record = store::KeyStateRecord::Deserialize(
         storage->GetObject(server::StoreId::kKey, "keystate/" + id));
-    Bytes state_blob = cpabe->DecryptBytes(owner_key, record.wrapped_state);
+    Secret state_blob = cpabe->DecryptBytes(owner_key, record.wrapped_state);
     rsa::KeyState current =
         rsa::KeyState::Deserialize(state_blob, derivation.pub);
 
@@ -113,19 +117,23 @@ struct RekeyBench {
     record.key_version = next.version;
     record.policy.clear();
     policy.SerializeTo(record.policy);
-    record.wrapped_state = cpabe->EncryptBytes(
-        setup.pk, policy, next.Serialize(derivation.pub), rng);
+    record.wrapped_state = Declassify(
+        cpabe->EncryptBytes(setup.pk, policy, next.Serialize(derivation.pub),
+                            rng),
+        "bench: rewrapped key-state upload");
 
     if (active) {
       rsa::KeyRegressionMember member(derivation.pub);
       rsa::KeyState stub_state =
           member.UnwindTo(current, record.stub_key_version);
-      Bytes stub_data = aont::DecryptStubFile(
+      Secret stub_data = aont::DecryptStubFile(
           storage->GetObject(server::StoreId::kData, "stub/" + id),
           stub_state.DeriveFileKey());
       storage->PutObject(
           server::StoreId::kData, "stub/" + id,
-          aont::EncryptStubFile(stub_data, next.DeriveFileKey(), rng));
+          Declassify(
+              aont::EncryptStubFile(stub_data, next.DeriveFileKey(), rng),
+              "bench: re-encrypted stub-file upload"));
       record.stub_key_version = next.version;
     }
     storage->PutObject(server::StoreId::kKey, "keystate/" + id,
@@ -221,9 +229,11 @@ int main(int argc, char** argv) {
             bench.PrepareFile("gg-" + std::to_string(i), 1ull << 30, users));
       }
       Stopwatch sw;
-      Bytes wrap_key = bench.rng.Generate(32);
-      Bytes wrapped_group = bench.cpabe->EncryptBytes(bench.setup.pk, policy,
-                                                      wrap_key, bench.rng);
+      Secret wrap_key = bench.rng.GenerateSecret(32);
+      Bytes wrapped_group = Declassify(
+          bench.cpabe->EncryptBytes(bench.setup.pk, policy, wrap_key,
+                                    bench.rng),
+          "bench: ABE-wrapped group wrap-key upload");
       bench.storage->PutObject(server::StoreId::kKey, "groupwrap/bench",
                                wrapped_group);
       rsa::KeyRegressionOwner owner(bench.derivation);
@@ -231,14 +241,16 @@ int main(int argc, char** argv) {
         store::KeyStateRecord record = store::KeyStateRecord::Deserialize(
             bench.storage->GetObject(server::StoreId::kKey,
                                      "keystate/gg-" + std::to_string(i)));
-        Bytes state_blob =
+        Secret state_blob =
             bench.cpabe->DecryptBytes(bench.owner_key, record.wrapped_state);
         rsa::KeyState next = owner.Wind(
             rsa::KeyState::Deserialize(state_blob, bench.derivation.pub));
         record.key_version = next.version;
         record.group_wrap_id = "groupwrap/bench";
-        record.wrapped_state = aont::WrapKeyBlob(
-            next.Serialize(bench.derivation.pub), wrap_key, bench.rng);
+        record.wrapped_state = Declassify(
+            aont::WrapKeyBlob(next.Serialize(bench.derivation.pub), wrap_key,
+                              bench.rng),
+            "bench: group-wrapped key-state upload");
         bench.storage->PutObject(server::StoreId::kKey,
                                  "keystate/gg-" + std::to_string(i),
                                  record.Serialize());

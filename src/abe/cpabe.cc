@@ -192,8 +192,8 @@ std::optional<Fp2> CpAbe::DecryptElement(const PrivateKey& sk,
   return ct.c_tilde * *a * e_cd.Inverse();
 }
 
-Bytes CpAbe::EncryptBytes(const PublicKey& pk, const PolicyNode& policy,
-                          ByteSpan plaintext, crypto::Rng& rng) const {
+Secret CpAbe::EncryptBytes(const PublicKey& pk, const PolicyNode& policy,
+                           const Secret& plaintext, crypto::Rng& rng) const {
   // Random GT element via e(g,g)^z; its hash keys the symmetric layer.
   BigInt z = pairing_->RandomScalar(rng);
   Fp2 m = pairing_->Pair(pk.g, pk.g).Pow(z);
@@ -207,7 +207,8 @@ Bytes CpAbe::EncryptBytes(const PublicKey& pk, const PolicyNode& policy,
   ScopedWipe wipe_mac(mac_key);
 
   Bytes iv = rng.Generate(kIvSize);
-  Bytes payload = crypto::AesCtrEncrypt(enc_key, iv, plaintext);
+  Bytes payload =
+      crypto::AesCtrEncrypt(enc_key, iv, plaintext.ExposeForCrypto());
 
   Bytes out;
   Bytes ct_bytes = SerializeCiphertext(ct);
@@ -217,10 +218,10 @@ Bytes CpAbe::EncryptBytes(const PublicKey& pk, const PolicyNode& policy,
   Append(out, payload);
   Bytes mac_input = Concat(iv, payload);
   Append(out, crypto::HmacSha256ToBytes(mac_key, mac_input));
-  return out;
+  return Secret(std::move(out));
 }
 
-Bytes CpAbe::DecryptBytes(const PrivateKey& sk, ByteSpan blob) const {
+Secret CpAbe::DecryptBytes(const PrivateKey& sk, ByteSpan blob) const {
   if (blob.size() < 4) throw Error("CpAbe::DecryptBytes: truncated");
   std::uint32_t ct_len = GetU32(blob);
   if (blob.size() < 4 + ct_len + kIvSize + kMacSize) {
@@ -248,7 +249,7 @@ Bytes CpAbe::DecryptBytes(const PrivateKey& sk, ByteSpan blob) const {
   if (!SecureCompare(expect, mac)) {
     throw Error("CpAbe::DecryptBytes: MAC verification failed");
   }
-  return crypto::AesCtrEncrypt(enc_key, iv, payload);
+  return Secret(crypto::AesCtrEncrypt(enc_key, iv, payload));
 }
 
 // --------------------------- serialization ---------------------------
@@ -310,7 +311,7 @@ Ciphertext CpAbe::DeserializeCiphertext(ByteSpan blob) const {
   return ct;
 }
 
-Bytes CpAbe::SerializePrivateKey(const PrivateKey& sk) const {
+Secret CpAbe::SerializePrivateKey(const PrivateKey& sk) const {
   const pairing::FpField* f = pairing_->field();
   Bytes out;
   Append(out, sk.d.ToBytes(f));
@@ -321,10 +322,11 @@ Bytes CpAbe::SerializePrivateKey(const PrivateKey& sk) const {
     Append(out, comp.d.ToBytes(f));
     Append(out, comp.d_prime.ToBytes(f));
   }
-  return out;
+  return Secret(std::move(out));
 }
 
-PrivateKey CpAbe::DeserializePrivateKey(ByteSpan blob) const {
+PrivateKey CpAbe::DeserializePrivateKey(const Secret& secret_blob) const {
+  ByteSpan blob = secret_blob.ExposeForCrypto();
   const pairing::FpField* f = pairing_->field();
   std::size_t pt = G1Point::SerializedSize(f);
   std::size_t off = 0;
@@ -377,17 +379,19 @@ PublicKey CpAbe::DeserializePublicKey(ByteSpan blob) const {
   return pk;
 }
 
-Bytes CpAbe::SerializeMasterKey(const MasterKey& mk) const {
+Secret CpAbe::SerializeMasterKey(const MasterKey& mk) const {
   const pairing::FpField* f = pairing_->field();
   Bytes out;
   Bytes beta = mk.beta.ToBytes();
+  ScopedWipe wipe_beta(beta);
   AppendU32(out, static_cast<std::uint32_t>(beta.size()));
   Append(out, beta);
   Append(out, mk.g_alpha.ToBytes(f));
-  return out;
+  return Secret(std::move(out));
 }
 
-MasterKey CpAbe::DeserializeMasterKey(ByteSpan blob) const {
+MasterKey CpAbe::DeserializeMasterKey(const Secret& secret_blob) const {
+  ByteSpan blob = secret_blob.ExposeForCrypto();
   const pairing::FpField* f = pairing_->field();
   if (blob.size() < 4) throw Error("MasterKey: truncated");
   std::uint32_t beta_len = GetU32(blob);

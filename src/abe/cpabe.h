@@ -25,6 +25,7 @@
 #include "abe/policy.h"
 #include "crypto/random.h"
 #include "pairing/pairing.h"
+#include "util/secret.h"
 #include "util/thread_annotations.h"
 
 namespace reed::abe {
@@ -94,22 +95,27 @@ class CpAbe {
                                     const Ciphertext& ct) const;
 
   // Hybrid encryption of arbitrary byte strings (ABE + AES-CTR + HMAC).
-  [[nodiscard]] Bytes EncryptBytes(const PublicKey& pk, const PolicyNode& policy,
-                     ByteSpan plaintext, crypto::Rng& rng) const;
+  // The plaintext is secret by definition (REED wraps key states here); the
+  // ciphertext is returned still tainted — declaring it public happens at
+  // the client's sanctioned Declassify crossing, not implicitly here.
+  [[nodiscard]] Secret EncryptBytes(const PublicKey& pk, const PolicyNode& policy,
+                     const Secret& plaintext, crypto::Rng& rng) const;
   // Throws Error on unauthorized key or tampered ciphertext.
-  [[nodiscard]] Bytes DecryptBytes(const PrivateKey& sk, ByteSpan blob) const;
+  [[nodiscard]] Secret DecryptBytes(const PrivateKey& sk, ByteSpan blob) const;
 
   // Serialization (ciphertexts are stored in the cloud key store).
   [[nodiscard]] Bytes SerializeCiphertext(const Ciphertext& ct) const;
   [[nodiscard]] Ciphertext DeserializeCiphertext(ByteSpan blob) const;
-  [[nodiscard]] Bytes SerializePrivateKey(const PrivateKey& sk) const;
-  [[nodiscard]] PrivateKey DeserializePrivateKey(ByteSpan blob) const;
+  // User private keys and the master key are secret material: their blobs
+  // are Secret-typed, so persisting one takes a visible Declassify.
+  [[nodiscard]] Secret SerializePrivateKey(const PrivateKey& sk) const;
+  [[nodiscard]] PrivateKey DeserializePrivateKey(const Secret& blob) const;
   [[nodiscard]] Bytes SerializePublicKey(const PublicKey& pk) const;
   [[nodiscard]] PublicKey DeserializePublicKey(ByteSpan blob) const;
   // Master-key serialization for the attribute authority's state file
-  // (reedctl init-org). Secret material.
-  [[nodiscard]] Bytes SerializeMasterKey(const MasterKey& mk) const;
-  [[nodiscard]] MasterKey DeserializeMasterKey(ByteSpan blob) const;
+  // (reedctl init-org).
+  [[nodiscard]] Secret SerializeMasterKey(const MasterKey& mk) const;
+  [[nodiscard]] MasterKey DeserializeMasterKey(const Secret& blob) const;
 
  private:
   // H(attribute) with a per-instance memo: attribute points recur across

@@ -39,26 +39,33 @@ SealedChunk ReedCipher::SplitPackage(Bytes package) const {
   }
   SealedChunk out;
   std::size_t trim = package.size() - stub_size_;
-  out.stub.assign(package.begin() + trim, package.end());
+  out.stub = Secret(Bytes(package.begin() + trim, package.end()));
+  // resize() does not touch the bytes past the new size — wipe the stub's
+  // copy out of the package buffer before handing the trim off as public.
+  SecureZero(MutableByteSpan(package).subspan(trim));
   package.resize(trim);
   out.trimmed_package = std::move(package);
   return out;
 }
 
-SealedChunk ReedCipher::Encrypt(ByteSpan chunk, ByteSpan mle_key) const {
-  if (mle_key.size() != kMleKeySize) {
+SealedChunk ReedCipher::Encrypt(ByteSpan chunk, const Secret& mle_key) const {
+  ByteSpan key = mle_key.ExposeForCrypto();
+  if (key.size() != kMleKeySize) {
     throw Error("ReedCipher: MLE key must be 32 bytes");
   }
   if (chunk.empty()) throw Error("ReedCipher: empty chunk");
-  return scheme_ == Scheme::kBasic ? EncryptBasic(chunk, mle_key)
-                                   : EncryptEnhanced(chunk, mle_key);
+  return scheme_ == Scheme::kBasic ? EncryptBasic(chunk, key)
+                                   : EncryptEnhanced(chunk, key);
 }
 
-Bytes ReedCipher::Decrypt(ByteSpan trimmed_package, ByteSpan stub) const {
+Bytes ReedCipher::Decrypt(ByteSpan trimmed_package, const Secret& stub) const {
   if (stub.size() != stub_size_) {
     throw Error("ReedCipher: stub size mismatch");
   }
-  Bytes package = Concat(trimmed_package, stub);
+  // The reassembled package embeds the stub (and, mid-reversal, the MLE
+  // key); wipe it on every exit path.
+  Bytes package = Concat(trimmed_package, stub.ExposeForCrypto());
+  ScopedWipe wipe_package(package);
   if (package.size() < kAontTailSize + 1) {
     throw Error("ReedCipher: package too small");
   }
@@ -186,24 +193,29 @@ Bytes OpenAuthenticated(ByteSpan blob, ByteSpan key,
 
 }  // namespace
 
-Bytes WrapKeyBlob(ByteSpan plaintext, ByteSpan key, crypto::Rng& rng) {
-  return SealAuthenticated(plaintext, key, rng, "reed/wrap-enc",
-                           "reed/wrap-mac");
+Secret WrapKeyBlob(const Secret& plaintext, const Secret& key,
+                   crypto::Rng& rng) {
+  return Secret(SealAuthenticated(plaintext.ExposeForCrypto(),
+                                  key.ExposeForCrypto(), rng, "reed/wrap-enc",
+                                  "reed/wrap-mac"));
 }
 
-Bytes UnwrapKeyBlob(ByteSpan blob, ByteSpan key) {
-  return OpenAuthenticated(blob, key, "reed/wrap-enc", "reed/wrap-mac",
-                           "UnwrapKeyBlob");
+Secret UnwrapKeyBlob(ByteSpan blob, const Secret& key) {
+  return Secret(OpenAuthenticated(blob, key.ExposeForCrypto(), "reed/wrap-enc",
+                                  "reed/wrap-mac", "UnwrapKeyBlob"));
 }
 
-Bytes EncryptStubFile(ByteSpan stub_data, ByteSpan file_key, crypto::Rng& rng) {
-  return SealAuthenticated(stub_data, file_key, rng, "reed/stub-enc",
-                           "reed/stub-mac");
+Secret EncryptStubFile(const Secret& stub_data, const Secret& file_key,
+                       crypto::Rng& rng) {
+  return Secret(SealAuthenticated(stub_data.ExposeForCrypto(),
+                                  file_key.ExposeForCrypto(), rng,
+                                  "reed/stub-enc", "reed/stub-mac"));
 }
 
-Bytes DecryptStubFile(ByteSpan blob, ByteSpan file_key) {
-  return OpenAuthenticated(blob, file_key, "reed/stub-enc", "reed/stub-mac",
-                           "DecryptStubFile");
+Secret DecryptStubFile(ByteSpan blob, const Secret& file_key) {
+  return Secret(OpenAuthenticated(blob, file_key.ExposeForCrypto(),
+                                  "reed/stub-enc", "reed/stub-mac",
+                                  "DecryptStubFile"));
 }
 
 }  // namespace reed::aont

@@ -20,6 +20,7 @@
 
 #include "aont/aont.h"
 #include "util/bytes.h"
+#include "util/secret.h"
 
 namespace reed::aont {
 
@@ -31,10 +32,13 @@ enum class Scheme { kBasic, kEnhanced };
 
 [[nodiscard]] const char* SchemeName(Scheme scheme);
 
-// A chunk after REED encryption, before stub-file encryption.
+// A chunk after REED encryption, before stub-file encryption. The trimmed
+// package is public (it deduplicates across users and goes to the server
+// as-is); the stub is Secret until EncryptStubFile seals it under the file
+// key — possession of a stub reverts its package.
 struct SealedChunk {
   Bytes trimmed_package;
-  Bytes stub;
+  Secret stub;
 };
 
 class ReedCipher {
@@ -45,16 +49,18 @@ class ReedCipher {
   std::size_t stub_size() const { return stub_size_; }
 
   // Deterministically seals `chunk` under its 32-byte MLE key.
-  [[nodiscard]] SealedChunk Encrypt(ByteSpan chunk, ByteSpan mle_key) const;
+  [[nodiscard]] SealedChunk Encrypt(ByteSpan chunk, const Secret& mle_key) const;
 
   // Reassembles the package and reverts it. Throws Error if either part
   // was tampered with (canary / hash-key verification).
-  [[nodiscard]] Bytes Decrypt(ByteSpan trimmed_package, ByteSpan stub) const;
+  [[nodiscard]] Bytes Decrypt(ByteSpan trimmed_package, const Secret& stub) const;
 
   // Package size for a given chunk size (trimmed + stub).
   [[nodiscard]] std::size_t PackageSize(std::size_t chunk_size) const;
 
  private:
+  // Internals operate on raw spans after the public entry points expose
+  // the Secret inputs (aont is a sanctioned ExposeForCrypto module).
   SealedChunk EncryptBasic(ByteSpan chunk, ByteSpan mle_key) const;
   Bytes DecryptBasic(ByteSpan package) const;
   SealedChunk EncryptEnhanced(ByteSpan chunk, ByteSpan mle_key) const;
@@ -68,13 +74,21 @@ class ReedCipher {
 // Stub-file protection under the (renewable) file key: AES-256-CTR with a
 // fresh IV plus an HMAC tag, with keys derived from the file key by label.
 // Re-encrypting this blob is the entire cost of active revocation.
-[[nodiscard]] Bytes EncryptStubFile(ByteSpan stub_data, ByteSpan file_key, crypto::Rng& rng);
-[[nodiscard]] Bytes DecryptStubFile(ByteSpan blob, ByteSpan file_key);
+//
+// The ciphertext is returned *still tainted* (Secret): declaring it public
+// is the uploader's policy decision, made at one of the two sanctioned
+// reed::Declassify crossings in the client (DESIGN.md §8) — not implicitly
+// here. The decrypt direction takes public wire bytes and returns Secret.
+[[nodiscard]] Secret EncryptStubFile(const Secret& stub_data,
+                                     const Secret& file_key, crypto::Rng& rng);
+[[nodiscard]] Secret DecryptStubFile(ByteSpan blob, const Secret& file_key);
 
 // Authenticated symmetric wrap for key material (same AES-CTR + HMAC
 // construction under distinct derivation labels). Used by the group
 // rekeying extension to wrap per-file key states under a group wrap key.
-[[nodiscard]] Bytes WrapKeyBlob(ByteSpan plaintext, ByteSpan key, crypto::Rng& rng);
-[[nodiscard]] Bytes UnwrapKeyBlob(ByteSpan blob, ByteSpan key);
+// Same taint convention as the stub-file pair above.
+[[nodiscard]] Secret WrapKeyBlob(const Secret& plaintext, const Secret& key,
+                                 crypto::Rng& rng);
+[[nodiscard]] Secret UnwrapKeyBlob(ByteSpan blob, const Secret& key);
 
 }  // namespace reed::aont

@@ -20,6 +20,28 @@ std::string RecipeName(const std::string& file_id) { return "recipe/" + file_id;
 std::string StubName(const std::string& file_id) { return "stub/" + file_id; }
 std::string StateName(const std::string& file_id) { return "keystate/" + file_id; }
 
+// The only two sanctioned secret -> public crossings in the tree
+// (DESIGN.md §8). Ciphertext produced by the aont/abe layers stays
+// Secret-typed until the uploader makes the policy call that it is safe on
+// the wire; these helpers are that call, one per crossing.
+
+// Crossing 1: the stub file, AES-CTR + HMAC ciphertext under the renewable
+// file key (paper §IV-A — re-encrypting this blob is the whole cost of
+// active revocation).
+Bytes PublicStubCiphertext(const Secret& sealed_stub_file) {
+  return Declassify(sealed_stub_file,
+                    "AES-CTR+HMAC ciphertext under the file key; "
+                    "stub-file upload (crossing 1 of 2)");
+}
+
+// Crossing 2: the key-state envelope — CP-ABE under the file policy, or the
+// symmetric wrap-key blob whose key is itself CP-ABE-protected (§IV-C).
+Bytes PublicKeyStateEnvelope(const Secret& wrapped) {
+  return Declassify(wrapped,
+                    "CP-ABE / wrap-key envelope over the key state; "
+                    "key-store upload (crossing 2 of 2)");
+}
+
 }  // namespace
 
 ReedClient::ReedClient(std::string user_id, ClientOptions options,
@@ -60,7 +82,7 @@ std::vector<chunk::ChunkRef> ReedClient::ChunkData(ByteSpan data) {
 
 std::vector<aont::SealedChunk> ReedClient::EncryptChunks(
     ByteSpan data, const std::vector<chunk::ChunkRef>& refs,
-    const std::vector<Bytes>& mle_keys) {
+    const std::vector<Secret>& mle_keys) {
   if (refs.size() != mle_keys.size()) {
     throw Error("ReedClient: chunk/key count mismatch");
   }
@@ -93,7 +115,7 @@ UploadResult ReedClient::UploadChunked(
     chunk_fps.push_back(
         chunk::Fingerprint::Of(data.subspan(ref.offset, ref.length)));
   }
-  std::vector<Bytes> mle_keys = keys_->GetKeys(chunk_fps, rng_);
+  std::vector<Secret> mle_keys = keys_->GetKeys(chunk_fps, rng_);
 
   // 3. REED encryption (multi-threaded).
   std::vector<aont::SealedChunk> sealed = EncryptChunks(data, refs, mle_keys);
@@ -104,24 +126,23 @@ UploadResult ReedClient::UploadChunked(
   recipe.file_size = data.size();
   recipe.scheme = static_cast<std::uint8_t>(options_.scheme);
   recipe.stub_size = static_cast<std::uint32_t>(options_.stub_size);
-  Bytes stub_data;
-  stub_data.reserve(refs.size() * options_.stub_size);
+  Secret stub_data;
+  stub_data.Reserve(refs.size() * options_.stub_size);
   std::vector<std::pair<chunk::Fingerprint, Bytes>> packages;
   packages.reserve(refs.size());
   for (std::size_t i = 0; i < refs.size(); ++i) {
     recipe.fingerprints.push_back(
         chunk::Fingerprint::Of(sealed[i].trimmed_package));
     recipe.chunk_sizes.push_back(static_cast<std::uint32_t>(refs[i].length));
-    Append(stub_data, sealed[i].stub);
+    stub_data.Append(sealed[i].stub);
     packages.emplace_back(recipe.fingerprints.back(),
                           std::move(sealed[i].trimmed_package));
   }
 
   // 5. File key from a fresh key state (version 0).
   rsa::KeyState state = regression_owner_.GenesisState(rng_);
-  Bytes file_key = state.DeriveFileKey();
-  ScopedWipe wipe_file_key(file_key);
-  Bytes stub_blob = aont::EncryptStubFile(stub_data, file_key, rng_);
+  Secret file_key = state.DeriveFileKey();
+  Secret stub_blob = aont::EncryptStubFile(stub_data, file_key, rng_);
 
   // 6. Wrap the key state under the file policy.
   std::vector<std::string> users = authorized_users;
@@ -134,8 +155,8 @@ UploadResult ReedClient::UploadChunked(
   record.key_version = state.version;
   record.stub_key_version = state.version;
   policy.SerializeTo(record.policy);
-  record.wrapped_state = abe_->EncryptBytes(
-      abe_pk_, policy, state.Serialize(regression_owner_.public_key()), rng_);
+  record.wrapped_state = PublicKeyStateEnvelope(abe_->EncryptBytes(
+      abe_pk_, policy, state.Serialize(regression_owner_.public_key()), rng_));
   record.derivation_public_key =
       rsa::SerializePublicKey(regression_owner_.public_key());
 
@@ -162,7 +183,8 @@ UploadResult ReedClient::UploadChunked(
   }
   storage_->PutObject(server::StoreId::kData, RecipeName(sid),
                       recipe.Serialize());
-  storage_->PutObject(server::StoreId::kData, StubName(sid), stub_blob);
+  storage_->PutObject(server::StoreId::kData, StubName(sid),
+                      PublicStubCiphertext(stub_blob));
   storage_->PutObject(server::StoreId::kKey, StateName(sid),
                       record.Serialize());
   result.stub_bytes = stub_blob.size();
@@ -176,16 +198,15 @@ store::KeyStateRecord ReedClient::FetchKeyStateRecord(
 }
 
 rsa::KeyState ReedClient::UnwrapKeyState(const store::KeyStateRecord& record) {
-  Bytes state_blob;
+  Secret state_blob;
   if (record.group_wrap_id.empty()) {
     state_blob = abe_->DecryptBytes(access_key_, record.wrapped_state);
   } else {
     // Group-wrapped: CP-ABE protects the group wrap key; the state itself
     // is wrapped symmetrically under it.
-    Bytes wrap_key = abe_->DecryptBytes(
+    Secret wrap_key = abe_->DecryptBytes(
         access_key_,
         storage_->GetObject(server::StoreId::kKey, record.group_wrap_id));
-    ScopedWipe wipe_wrap_key(wrap_key);
     state_blob = aont::UnwrapKeyBlob(record.wrapped_state, wrap_key);
   }
   rsa::RsaPublicKey derivation_key =
@@ -202,13 +223,12 @@ Bytes ReedClient::Download(const std::string& file_id) {
   rsa::KeyRegressionMember member(
       rsa::DeserializePublicKey(record.derivation_public_key));
   rsa::KeyState stub_state = member.UnwindTo(current, record.stub_key_version);
-  Bytes file_key = stub_state.DeriveFileKey();
-  ScopedWipe wipe_file_key(file_key);
+  Secret file_key = stub_state.DeriveFileKey();
 
   // 2. Recipe and stub file.
   store::FileRecipe recipe = store::FileRecipe::Deserialize(
       storage_->GetObject(server::StoreId::kData, RecipeName(sid)));
-  Bytes stub_data = aont::DecryptStubFile(
+  Secret stub_data = aont::DecryptStubFile(
       storage_->GetObject(server::StoreId::kData, StubName(sid)), file_key);
   if (stub_data.size() != recipe.chunk_count() * recipe.stub_size) {
     throw Error("ReedClient::Download: stub file size mismatch");
@@ -241,8 +261,7 @@ Bytes ReedClient::Download(const std::string& file_id) {
     std::vector<Bytes> packages = storage_->GetChunks(fps);
     pool_.ParallelFor(end - start, [&](std::size_t i) {
       std::size_t idx = start + i;
-      ByteSpan stub = ByteSpan(stub_data)
-                          .subspan(idx * recipe.stub_size, recipe.stub_size);
+      Secret stub = stub_data.Slice(idx * recipe.stub_size, recipe.stub_size);
       Bytes plain = cipher.Decrypt(packages[i], stub);
       if (plain.size() != recipe.chunk_sizes[idx]) {
         throw Error("ReedClient::Download: chunk size mismatch");
@@ -278,8 +297,8 @@ RekeyResult ReedClient::Rekey(const std::string& file_id,
   record.policy.clear();
   policy.SerializeTo(record.policy);
   record.group_wrap_id.clear();  // individual rekey always wraps directly
-  record.wrapped_state = abe_->EncryptBytes(
-      abe_pk_, policy, next.Serialize(regression_owner_.public_key()), rng_);
+  record.wrapped_state = PublicKeyStateEnvelope(abe_->EncryptBytes(
+      abe_pk_, policy, next.Serialize(regression_owner_.public_key()), rng_));
 
   RekeyResult result;
   result.new_version = next.version;
@@ -290,12 +309,13 @@ RekeyResult ReedClient::Rekey(const std::string& file_id,
     rsa::KeyRegressionMember member(regression_owner_.public_key());
     rsa::KeyState stub_state =
         member.UnwindTo(current, record.stub_key_version);
-    Bytes stub_data = aont::DecryptStubFile(
+    Secret stub_data = aont::DecryptStubFile(
         storage_->GetObject(server::StoreId::kData, StubName(sid)),
         stub_state.DeriveFileKey());
-    Bytes new_blob =
+    Secret new_blob =
         aont::EncryptStubFile(stub_data, next.DeriveFileKey(), rng_);
-    storage_->PutObject(server::StoreId::kData, StubName(sid), new_blob);
+    storage_->PutObject(server::StoreId::kData, StubName(sid),
+                        PublicStubCiphertext(new_blob));
     record.stub_key_version = next.version;
     result.stub_reencrypted = true;
     result.stub_bytes = new_blob.size();
@@ -318,11 +338,11 @@ std::vector<RekeyResult> ReedClient::RekeyGroup(
   abe::PolicyNode policy = abe::PolicyNode::OrOfUsers(users);
 
   // One CP-ABE encryption for the whole group: a fresh wrap key.
-  Bytes wrap_key = rng_.Generate(32);
-  ScopedWipe wipe_wrap_key(wrap_key);
+  Secret wrap_key = rng_.GenerateSecret(32);
   std::string wrap_id = "groupwrap/" + HexEncode(rng_.Generate(16));
   storage_->PutObject(server::StoreId::kKey, wrap_id,
-                      abe_->EncryptBytes(abe_pk_, policy, wrap_key, rng_));
+                      PublicKeyStateEnvelope(abe_->EncryptBytes(
+                          abe_pk_, policy, wrap_key, rng_)));
 
   rsa::KeyRegressionOwner& owner = regression_owner_;
   std::vector<RekeyResult> results;
@@ -340,8 +360,8 @@ std::vector<RekeyResult> ReedClient::RekeyGroup(
     record.policy.clear();
     policy.SerializeTo(record.policy);
     record.group_wrap_id = wrap_id;
-    record.wrapped_state = aont::WrapKeyBlob(
-        next.Serialize(owner.public_key()), wrap_key, rng_);
+    record.wrapped_state = PublicKeyStateEnvelope(
+        aont::WrapKeyBlob(next.Serialize(owner.public_key()), wrap_key, rng_));
 
     RekeyResult result;
     result.new_version = next.version;
@@ -349,12 +369,13 @@ std::vector<RekeyResult> ReedClient::RekeyGroup(
       rsa::KeyRegressionMember member(owner.public_key());
       rsa::KeyState stub_state =
           member.UnwindTo(current, record.stub_key_version);
-      Bytes stub_data = aont::DecryptStubFile(
+      Secret stub_data = aont::DecryptStubFile(
           storage_->GetObject(server::StoreId::kData, StubName(sid)),
           stub_state.DeriveFileKey());
-      Bytes new_blob =
+      Secret new_blob =
           aont::EncryptStubFile(stub_data, next.DeriveFileKey(), rng_);
-      storage_->PutObject(server::StoreId::kData, StubName(sid), new_blob);
+      storage_->PutObject(server::StoreId::kData, StubName(sid),
+                          PublicStubCiphertext(new_blob));
       record.stub_key_version = next.version;
       result.stub_reencrypted = true;
       result.stub_bytes = new_blob.size();

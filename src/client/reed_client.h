@@ -109,7 +109,7 @@ class ReedClient {
   // Encryption-only path (no upload) — used by the Fig. 6 benchmark.
   [[nodiscard]] std::vector<aont::SealedChunk> EncryptChunks(
       ByteSpan data, const std::vector<chunk::ChunkRef>& refs,
-      const std::vector<Bytes>& mle_keys);
+      const std::vector<Secret>& mle_keys);
 
   // Chunking helper exposing the client's configured chunker.
   [[nodiscard]] std::vector<chunk::ChunkRef> ChunkData(ByteSpan data);

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "util/bytes.h"
+#include "util/secret.h"
 
 namespace reed::crypto {
 
@@ -24,6 +25,7 @@ using AesKey = std::array<std::uint8_t, kAes256KeySize>;
 class Aes256 {
  public:
   explicit Aes256(ByteSpan key);  // key must be 32 bytes
+  explicit Aes256(const Secret& key) : Aes256(key.ExposeForCrypto()) {}
 
   // The expanded schedule is key-equivalent material: wipe it so freed
   // contexts never leave round keys in reusable memory.
@@ -60,6 +62,7 @@ class AesCtr {
   // iv must be 16 bytes; it forms the initial counter block (big-endian
   // increment over the trailing 32 bits, NIST SP 800-38A style).
   AesCtr(ByteSpan key, ByteSpan iv);
+  AesCtr(const Secret& key, ByteSpan iv) : AesCtr(key.ExposeForCrypto(), iv) {}
 
   // XORs the keystream into `data` in place, continuing from the current
   // stream position.
@@ -90,6 +93,25 @@ class AesCtr {
 [[nodiscard]] Bytes AesCtrEncrypt(ByteSpan key, ByteSpan iv, ByteSpan data);
 [[nodiscard]] inline Bytes AesCtrDecrypt(ByteSpan key, ByteSpan iv, ByteSpan data) {
   return AesCtrEncrypt(key, iv, data);
+}
+
+// Secret-typed key overloads: the cipher layer is where taint legitimately
+// meets raw bytes (layering lint, rule secret-expose).
+[[nodiscard]] inline Bytes AesCbcEncrypt(const Secret& key, ByteSpan iv,
+                                         ByteSpan plaintext) {
+  return AesCbcEncrypt(key.ExposeForCrypto(), iv, plaintext);
+}
+[[nodiscard]] inline Bytes AesCbcDecrypt(const Secret& key, ByteSpan iv,
+                                         ByteSpan ciphertext) {
+  return AesCbcDecrypt(key.ExposeForCrypto(), iv, ciphertext);
+}
+[[nodiscard]] inline Bytes AesCtrEncrypt(const Secret& key, ByteSpan iv,
+                                         ByteSpan data) {
+  return AesCtrEncrypt(key.ExposeForCrypto(), iv, data);
+}
+[[nodiscard]] inline Bytes AesCtrDecrypt(const Secret& key, ByteSpan iv,
+                                         ByteSpan data) {
+  return AesCtrEncrypt(key.ExposeForCrypto(), iv, data);
 }
 
 }  // namespace reed::crypto

@@ -7,6 +7,7 @@
 
 #include "crypto/sha256.h"
 #include "util/bytes.h"
+#include "util/secret.h"
 
 namespace reed::crypto {
 
@@ -19,5 +20,19 @@ namespace reed::crypto {
 
 // Convenience: 32-byte key with a string label for domain separation.
 [[nodiscard]] Bytes DeriveKey32(ByteSpan ikm, std::string_view label);
+
+// Secret-typed overloads: derived keys stay tainted; only the KDF layer
+// touches the raw input key material (layering lint, rule secret-expose).
+[[nodiscard]] inline Sha256Digest HmacSha256(const Secret& key, ByteSpan data) {
+  return HmacSha256(key.ExposeForCrypto(), data);
+}
+[[nodiscard]] inline Secret HkdfSha256(const Secret& ikm, ByteSpan salt,
+                                       ByteSpan info, std::size_t length) {
+  return Secret(HkdfSha256(ikm.ExposeForCrypto(), salt, info, length));
+}
+[[nodiscard]] inline Secret DeriveKey32(const Secret& ikm,
+                                        std::string_view label) {
+  return Secret(DeriveKey32(ikm.ExposeForCrypto(), label));
+}
 
 }  // namespace reed::crypto

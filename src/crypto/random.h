@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "util/bytes.h"
+#include "util/secret.h"
 
 namespace reed::crypto {
 
@@ -25,6 +26,11 @@ class Rng {
     Bytes out(n);
     Fill(out);
     return out;
+  }
+
+  // For fresh key material: the bytes are born tainted.
+  [[nodiscard]] Secret GenerateSecret(std::size_t n) {
+    return Secret(Generate(n));
   }
 
   [[nodiscard]] std::uint64_t NextU64() {

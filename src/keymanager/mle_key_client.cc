@@ -49,9 +49,9 @@ Bytes MleKeyClient::CallWithFailover(ByteSpan request) {
   throw Error("MleKeyClient: unreachable");
 }
 
-std::vector<Bytes> MleKeyClient::GetKeys(
+std::vector<Secret> MleKeyClient::GetKeys(
     const std::vector<chunk::Fingerprint>& fps, crypto::Rng& rng) {
-  std::vector<Bytes> keys(fps.size());
+  std::vector<Secret> keys(fps.size());
   std::vector<std::size_t> missing;
   missing.reserve(fps.size());
 
@@ -91,7 +91,7 @@ std::vector<Bytes> MleKeyClient::GetKeys(
     ++stats_.batches_sent;
 
     for (std::size_t i = start; i < end; ++i) {
-      Bytes key = blind_client_.Unblind(requests[i - start], sigs[i - start]);
+      Secret key = blind_client_.Unblind(requests[i - start], sigs[i - start]);
       if (options_.enable_cache) cache_.Put(fps[missing[i]], key);
       keys[missing[i]] = std::move(key);
     }
@@ -99,7 +99,7 @@ std::vector<Bytes> MleKeyClient::GetKeys(
   return keys;
 }
 
-Bytes MleKeyClient::GetKey(const chunk::Fingerprint& fp, crypto::Rng& rng) {
+Secret MleKeyClient::GetKey(const chunk::Fingerprint& fp, crypto::Rng& rng) {
   return GetKeys({fp}, rng).front();
 }
 

@@ -15,6 +15,7 @@
 #include "net/rpc.h"
 #include "rsa/blind_signature.h"
 #include "util/lru_cache.h"
+#include "util/secret.h"
 
 namespace reed::keymanager {
 
@@ -40,10 +41,12 @@ class MleKeyClient {
 
   // Returns one 32-byte MLE key per fingerprint, in order. Cache hits are
   // served locally; misses are blinded and batched to the key manager.
-  [[nodiscard]] std::vector<Bytes> GetKeys(const std::vector<chunk::Fingerprint>& fps,
-                             crypto::Rng& rng);
+  // Keys are Secret end to end: they are never uploaded or logged (paper
+  // §IV-D — decryption needs only trimmed package + stub).
+  [[nodiscard]] std::vector<Secret> GetKeys(const std::vector<chunk::Fingerprint>& fps,
+                              crypto::Rng& rng);
 
-  [[nodiscard]] Bytes GetKey(const chunk::Fingerprint& fp, crypto::Rng& rng);
+  [[nodiscard]] Secret GetKey(const chunk::Fingerprint& fp, crypto::Rng& rng);
 
   // Clears the key cache (the trace experiment resets it between users).
   void ClearCache();
@@ -66,7 +69,8 @@ class MleKeyClient {
   std::vector<std::shared_ptr<net::RpcChannel>> replicas_;
   Options options_;
   // Entry cost: 32-byte fingerprint key + 32-byte MLE key + bookkeeping.
-  LruCache<chunk::Fingerprint, Bytes, chunk::FingerprintHash> cache_;
+  // Secret values wipe themselves on LRU eviction.
+  LruCache<chunk::Fingerprint, Secret, chunk::FingerprintHash> cache_;
   Stats stats_;
 };
 

@@ -8,10 +8,15 @@
 // of bounds.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "util/bytes.h"
+
+namespace reed {
+class Secret;  // util/secret.h — never serialized without Declassify
+}  // namespace reed
 
 namespace reed::net {
 
@@ -21,7 +26,15 @@ class Writer {
   void U32(std::uint32_t v) { AppendU32(buf_, v); }
   void U64(std::uint64_t v) { AppendU64(buf_, v); }
 
+  // Rejects payloads whose size does not fit the u32 length prefix; the
+  // old silent cast produced a frame whose prefix disagreed with its body.
+  // Public and static so the limit is unit-testable without allocating 4GB.
+  static void CheckBlobSize(std::size_t size) {
+    if (size > UINT32_MAX) throw Error("Writer: blob too large");
+  }
+
   void Blob(ByteSpan data) {
+    CheckBlobSize(data.size());
     U32(static_cast<std::uint32_t>(data.size()));
     Append(buf_, data);
   }
@@ -30,6 +43,13 @@ class Writer {
 
   // Raw bytes without a length prefix (for fixed-width fields).
   void Raw(ByteSpan data) { Append(buf_, data); }
+
+  // Secrets never cross the wire: route through reed::Declassify (with a
+  // reason) at one of the sanctioned crossings, or encrypt first. Deleting
+  // these here gives a direct error instead of a conversion-failure cascade.
+  void Blob(const Secret&) = delete;
+  void Str(const Secret&) = delete;
+  void Raw(const Secret&) = delete;
 
   [[nodiscard]] Bytes Take() { return std::move(buf_); }
   const Bytes& bytes() const { return buf_; }

@@ -46,8 +46,8 @@ BlsBlindClient::BlindedRequest BlsBlindClient::Blind(ByteSpan message,
   return req;
 }
 
-Bytes BlsBlindClient::Unblind(const BlindedRequest& request,
-                              const G1Point& signature) const {
+Secret BlsBlindClient::Unblind(const BlindedRequest& request,
+                               const G1Point& signature) const {
   // s = s' − r·pk = x·h
   G1Point s = signature.Add(pk_.ScalarMul(request.r).Neg());
   // Verify e(s, g) == e(h, pk): bilinearity gives e(x·h, g) = e(h, g)^x =
@@ -56,7 +56,7 @@ Bytes BlsBlindClient::Unblind(const BlindedRequest& request,
         pairing_->Pair(request.h, pk_))) {
     throw Error("BlsBlindClient: signature verification failed");
   }
-  return crypto::Sha256::HashToBytes(s.ToBytes(pairing_->field()));
+  return Secret(crypto::Sha256::HashToBytes(s.ToBytes(pairing_->field())));
 }
 
 }  // namespace reed::pairing

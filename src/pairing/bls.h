@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "pairing/pairing.h"
+#include "util/secret.h"
 
 namespace reed::pairing {
 
@@ -53,9 +54,9 @@ class BlsBlindClient {
 
   BlindedRequest Blind(ByteSpan message, crypto::Rng& rng) const;
 
-  // Unblinds and verifies via the pairing equation; returns H(signature).
-  // Throws Error when verification fails.
-  Bytes Unblind(const BlindedRequest& request, const G1Point& signature) const;
+  // Unblinds and verifies via the pairing equation; returns H(signature)
+  // as a Secret (it is an MLE key). Throws Error when verification fails.
+  Secret Unblind(const BlindedRequest& request, const G1Point& signature) const;
 
  private:
   std::shared_ptr<const TypeAPairing> pairing_;

@@ -22,15 +22,15 @@ BlindedRequest BlindSignatureClient::Blind(ByteSpan fingerprint,
   }
 }
 
-Bytes BlindSignatureClient::Unblind(const BlindedRequest& request,
-                                    const BigInt& signature) const {
+Secret BlindSignatureClient::Unblind(const BlindedRequest& request,
+                                     const BigInt& signature) const {
   BigInt s = BigInt::MulMod(signature, request.r_inv, key_.n);
   // Verify s^e == h before trusting the key manager's answer.
   if (BigInt::PowMod(s, key_.e, key_.n) != request.h) {
     throw Error("BlindSignatureClient: signature verification failed");
   }
   // MLE key = H(h^d): a fixed-width encoding keeps hashing canonical.
-  return crypto::Sha256::HashToBytes(s.ToBytesPadded(key_.ByteLength()));
+  return Secret(crypto::Sha256::HashToBytes(s.ToBytesPadded(key_.ByteLength())));
 }
 
 BigInt BlindSignatureServer::Sign(const BigInt& blinded) const {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "rsa/rsa.h"
+#include "util/secret.h"
 
 namespace reed::rsa {
 
@@ -33,8 +34,9 @@ class BlindSignatureClient {
   [[nodiscard]] BlindedRequest Blind(ByteSpan fingerprint, crypto::Rng& rng) const;
 
   // Unblinds the manager's signature and verifies it; returns the 32-byte
-  // MLE key H(h^d). Throws Error if the signature does not verify.
-  [[nodiscard]] Bytes Unblind(const BlindedRequest& request, const BigInt& signature) const;
+  // MLE key H(h^d) as a Secret. Throws Error if the signature does not
+  // verify.
+  [[nodiscard]] Secret Unblind(const BlindedRequest& request, const BigInt& signature) const;
 
  private:
   RsaPublicKey key_;

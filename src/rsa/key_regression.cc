@@ -4,34 +4,36 @@
 
 namespace reed::rsa {
 
-Bytes KeyState::Serialize(const RsaPublicKey& derivation_key) const {
+Secret KeyState::Serialize(const RsaPublicKey& derivation_key) const {
   Bytes out;
   AppendU64(out, version);
   Append(out, value.ToBytesPadded(derivation_key.ByteLength()));
-  return out;
+  return Secret(std::move(out));
 }
 
-KeyState KeyState::Deserialize(ByteSpan blob, const RsaPublicKey& derivation_key) {
+KeyState KeyState::Deserialize(const Secret& blob,
+                               const RsaPublicKey& derivation_key) {
+  ByteSpan raw = blob.ExposeForCrypto();
   std::size_t want = 8 + derivation_key.ByteLength();
-  if (blob.size() != want) {
+  if (raw.size() != want) {
     throw Error("KeyState::Deserialize: bad blob length");
   }
   KeyState st;
-  st.version = GetU64(blob);
-  st.value = BigInt::FromBytes(blob.subspan(8));
+  st.version = GetU64(raw);
+  st.value = BigInt::FromBytes(raw.subspan(8));
   if (st.value >= derivation_key.n) {
     throw Error("KeyState::Deserialize: state out of range");
   }
   return st;
 }
 
-Bytes KeyState::DeriveFileKey() const {
+Secret KeyState::DeriveFileKey() const {
   // `input` carries the raw key-regression state — wipe it on every path.
   Bytes input = ToBytes("reed/file-key");
   ScopedWipe wipe_input(input);
   AppendU64(input, version);
   Append(input, value.ToBytes());
-  return crypto::Sha256::HashToBytes(input);
+  return Secret(crypto::Sha256::HashToBytes(input));
 }
 
 KeyState KeyRegressionOwner::GenesisState(crypto::Rng& rng) const {

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "rsa/rsa.h"
+#include "util/secret.h"
 
 namespace reed::rsa {
 
@@ -21,12 +22,15 @@ struct KeyState {
   std::uint64_t version = 0;
   BigInt value;
 
-  // Serialized (version || padded value); the ABE layer wraps this blob.
-  [[nodiscard]] Bytes Serialize(const RsaPublicKey& derivation_key) const;
-  [[nodiscard]] static KeyState Deserialize(ByteSpan blob, const RsaPublicKey& derivation_key);
+  // Serialized (version || padded value) as a Secret; the blob grants
+  // access to this and every past file key, so it only crosses the wire
+  // inside an ABE or wrap-key envelope. The ABE layer wraps this blob.
+  [[nodiscard]] Secret Serialize(const RsaPublicKey& derivation_key) const;
+  [[nodiscard]] static KeyState Deserialize(const Secret& blob,
+                                            const RsaPublicKey& derivation_key);
 
   // The symmetric file key for this state: H(state), as in §IV-C.
-  [[nodiscard]] Bytes DeriveFileKey() const;
+  [[nodiscard]] Secret DeriveFileKey() const;
 };
 
 // Owner side: holds the private derivation key and can wind forward.

@@ -104,7 +104,7 @@ BigInt ReadField(ByteSpan blob, std::size_t& off) {
 }
 }  // namespace
 
-Bytes SerializeKeyPair(const RsaKeyPair& keys) {
+Secret SerializeKeyPair(const RsaKeyPair& keys) {
   Bytes out;
   AppendField(out, keys.pub.n);
   AppendField(out, keys.pub.e);
@@ -114,10 +114,11 @@ Bytes SerializeKeyPair(const RsaKeyPair& keys) {
   AppendField(out, keys.priv.dp);
   AppendField(out, keys.priv.dq);
   AppendField(out, keys.priv.qinv);
-  return out;
+  return Secret(std::move(out));
 }
 
-RsaKeyPair DeserializeKeyPair(ByteSpan blob) {
+RsaKeyPair DeserializeKeyPair(const Secret& secret_blob) {
+  ByteSpan blob = secret_blob.ExposeForCrypto();
   std::size_t off = 0;
   RsaKeyPair keys;
   keys.pub.n = ReadField(blob, off);

@@ -12,6 +12,7 @@
 
 #include "bigint/bigint.h"
 #include "crypto/random.h"
+#include "util/secret.h"
 
 namespace reed::rsa {
 
@@ -56,8 +57,9 @@ struct RsaKeyPair {
 [[nodiscard]] RsaPublicKey DeserializePublicKey(ByteSpan blob);
 
 // Full key-pair serialization (all CRT components) — identity bundles and
-// key-manager state files use this. Treat the blob as secret material.
-[[nodiscard]] Bytes SerializeKeyPair(const RsaKeyPair& keys);
-[[nodiscard]] RsaKeyPair DeserializeKeyPair(ByteSpan blob);
+// key-manager state files use this. The blob IS the private key, so it is
+// Secret-typed: persisting it requires a visible Declassify at the caller.
+[[nodiscard]] Secret SerializeKeyPair(const RsaKeyPair& keys);
+[[nodiscard]] RsaKeyPair DeserializeKeyPair(const Secret& blob);
 
 }  // namespace reed::rsa

@@ -1,0 +1,134 @@
+// Compile-time secret/public information-flow typing.
+//
+// reed::Secret wraps a byte buffer that holds confidential material — MLE
+// keys, file keys, key-regression states, pre-encryption CAONT stubs, ABE
+// master/user keys. The type is the policy:
+//
+//   * The buffer zeroizes on destruction (and on every overwrite) via the
+//     secure.h wipe, so secrets never linger in dead stack/heap memory.
+//   * operator==, stream insertion, and implicit conversion to ByteSpan are
+//     deleted, so a Secret cannot reach net::Writer::Blob/Str/Raw, a log
+//     stream, or memcmp by accident. The only escape hatch is the explicit,
+//     greppable reed::Declassify(secret, "reason") — `grep -rn Declassify
+//     src/` must list exactly the sanctioned wire crossings (the file-key-
+//     encrypted stub upload and the CP-ABE-wrapped key state; DESIGN.md §8).
+//   * ExposeForCrypto() hands the raw bytes to cipher/KDF/bignum kernels.
+//     The layering lint (tools/lint/layering_lint.py, rule secret-expose)
+//     restricts callers to the crypto/aont/rsa/abe modules; everything above
+//     them operates on Secret values only.
+//
+// Comparison between secrets uses ConstantTimeEquals (SecureCompare under
+// the hood); there is deliberately no ordering, hashing, or printing.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "util/bytes.h"
+#include "util/secure.h"
+
+namespace reed {
+
+class Secret {
+ public:
+  Secret() = default;
+
+  // Takes ownership of `data`; the moved-from vector is left empty. Marked
+  // explicit so public Bytes never silently become secret (taint direction
+  // matters for the lint: secret->public needs Declassify, public->secret
+  // needs this visible constructor).
+  explicit Secret(Bytes data) : data_(std::move(data)) {}
+
+  // Copies a view into fresh owned storage (e.g. a sub-range of a larger
+  // secret buffer, or a fixed-width field mid-parse).
+  [[nodiscard]] static Secret CopyOf(ByteSpan data) {
+    return Secret(Bytes(data.begin(), data.end()));
+  }
+
+  ~Secret() { SecureZero(data_); }
+
+  Secret(const Secret& other) : data_(other.data_) {}
+  Secret(Secret&& other) noexcept : data_(std::move(other.data_)) {
+    other.data_.clear();
+  }
+  Secret& operator=(const Secret& other) {
+    if (this != &other) {
+      SecureZero(data_);
+      data_ = other.data_;
+    }
+    return *this;
+  }
+  Secret& operator=(Secret&& other) noexcept {
+    if (this != &other) {
+      SecureZero(data_);
+      data_ = std::move(other.data_);
+      other.data_.clear();
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  // Equality is never operator== (std::vector's short-circuits, and an
+  // accidental comparison against attacker-supplied bytes is a timing
+  // oracle). Length mismatch returns false; length is considered public.
+  [[nodiscard]] bool ConstantTimeEquals(const Secret& other) const {
+    return SecureCompare(data_, other.data_);
+  }
+  [[nodiscard]] bool ConstantTimeEquals(ByteSpan other) const {
+    return SecureCompare(data_, other);
+  }
+
+  // Appends another secret's bytes (e.g. concatenating per-chunk stubs into
+  // the stub file before file-key encryption).
+  void Append(const Secret& other) {
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  }
+
+  void Reserve(std::size_t n) { data_.reserve(n); }
+
+  // Copies out a sub-range as a new Secret (per-chunk stub slicing on the
+  // download path). Throws on out-of-range like util/bytes.h Slice.
+  [[nodiscard]] Secret Slice(std::size_t offset, std::size_t len) const {
+    if (offset + len < offset || offset + len > data_.size()) {
+      throw Error("Secret::Slice out of range");
+    }
+    return CopyOf(ByteSpan(data_).subspan(offset, len));
+  }
+
+  // Raw view for cipher/KDF/bignum kernels ONLY. The layering lint's
+  // secret-expose rule rejects this call outside crypto/aont/rsa/abe.
+  [[nodiscard]] ByteSpan ExposeForCrypto() const { return data_; }
+
+  // The type wall: everything below is a compile error, by design.
+  bool operator==(const Secret&) const = delete;
+  bool operator!=(const Secret&) const = delete;
+  operator ByteSpan() const = delete;   // NOLINT(google-explicit-constructor)
+  operator Bytes() const = delete;      // NOLINT(google-explicit-constructor)
+
+  friend Bytes Declassify(const Secret& secret, const char* reason);
+
+ private:
+  Bytes data_;
+};
+
+// The single sanctioned secret -> public conversion. `reason` is a
+// mandatory, non-empty literal explaining why these bytes are safe to treat
+// as public (e.g. "ciphertext under the file key; stub upload"). Every call
+// site is a policy decision and must survive `grep -rn Declassify src/`
+// review — the tree sanctions exactly two (DESIGN.md §8).
+[[nodiscard]] inline Bytes Declassify(const Secret& secret,
+                                      const char* reason) {
+  if (reason == nullptr || *reason == '\0') {
+    throw Error("Declassify requires a non-empty reason");
+  }
+  return secret.data_;
+}
+
+// Stream insertion is deleted at namespace scope so `std::cout << secret`
+// fails to compile no matter which operator<< overload set is in scope.
+template <typename Stream>
+Stream& operator<<(Stream&, const Secret&) = delete;
+
+}  // namespace reed

@@ -180,9 +180,10 @@ TEST_F(CpAbeTest, HybridBytesRoundTrip) {
   DeterministicRng rng(6);
   PrivateKey alice = abe_->KeyGen(setup_->pk, setup_->mk, {"user:alice"}, rng);
   PolicyNode policy = PolicyNode::OrOfUsers({"alice"});
-  Bytes secret = ToBytes("the file key state for backup-2013-03-19.tar");
-  Bytes blob = abe_->EncryptBytes(setup_->pk, policy, secret, rng);
-  EXPECT_EQ(abe_->DecryptBytes(alice, blob), secret);
+  Secret secret(ToBytes("the file key state for backup-2013-03-19.tar"));
+  Bytes blob = Declassify(abe_->EncryptBytes(setup_->pk, policy, secret, rng),
+                          "test: hybrid ABE ciphertext");
+  EXPECT_TRUE(abe_->DecryptBytes(alice, blob).ConstantTimeEquals(secret));
 }
 
 TEST_F(CpAbeTest, HybridRejectsUnauthorizedAndTampered) {
@@ -190,7 +191,9 @@ TEST_F(CpAbeTest, HybridRejectsUnauthorizedAndTampered) {
   PrivateKey alice = abe_->KeyGen(setup_->pk, setup_->mk, {"user:alice"}, rng);
   PrivateKey eve = abe_->KeyGen(setup_->pk, setup_->mk, {"user:eve"}, rng);
   PolicyNode policy = PolicyNode::OrOfUsers({"alice"});
-  Bytes blob = abe_->EncryptBytes(setup_->pk, policy, ToBytes("secret"), rng);
+  Bytes blob = Declassify(
+      abe_->EncryptBytes(setup_->pk, policy, Secret(ToBytes("secret")), rng),
+      "test: hybrid ABE ciphertext to tamper with");
 
   EXPECT_THROW(abe_->DecryptBytes(eve, blob), Error);
   Bytes tampered = blob;
@@ -226,8 +229,10 @@ TEST_F(CpAbeTest, KeySerializationRoundTrip) {
   PublicKey pk_back = abe_->DeserializePublicKey(abe_->SerializePublicKey(setup_->pk));
   // Round-tripped public key still encrypts correctly.
   PolicyNode policy = PolicyNode::OrOfUsers({"alice"});
-  Bytes blob = abe_->EncryptBytes(pk_back, policy, ToBytes("hello"), rng);
-  EXPECT_EQ(abe_->DecryptBytes(back, blob), ToBytes("hello"));
+  Bytes blob = Declassify(
+      abe_->EncryptBytes(pk_back, policy, Secret(ToBytes("hello")), rng),
+      "test: ciphertext under the round-tripped public key");
+  EXPECT_TRUE(abe_->DecryptBytes(back, blob).ConstantTimeEquals(ToBytes("hello")));
 }
 
 TEST_F(CpAbeTest, MasterKeySerializationRoundTrip) {
@@ -238,9 +243,11 @@ TEST_F(CpAbeTest, MasterKeySerializationRoundTrip) {
   EXPECT_EQ(mk.beta, setup_->mk.beta);
   PrivateKey sk = abe_->KeyGen(setup_->pk, mk, {"user:dave"}, rng);
   PolicyNode policy = PolicyNode::OrOfUsers({"dave"});
-  Bytes blob = abe_->EncryptBytes(setup_->pk, policy, ToBytes("data"), rng);
-  EXPECT_EQ(abe_->DecryptBytes(sk, blob), ToBytes("data"));
-  EXPECT_THROW(abe_->DeserializeMasterKey(Bytes(3, 0)), Error);
+  Bytes blob = Declassify(
+      abe_->EncryptBytes(setup_->pk, policy, Secret(ToBytes("data")), rng),
+      "test: ciphertext under the restored master key's issuer");
+  EXPECT_TRUE(abe_->DecryptBytes(sk, blob).ConstantTimeEquals(ToBytes("data")));
+  EXPECT_THROW(abe_->DeserializeMasterKey(Secret(Bytes(3, 0))), Error);
 }
 
 TEST_F(CpAbeTest, RevocationByPolicyChange) {
@@ -248,15 +255,19 @@ TEST_F(CpAbeTest, RevocationByPolicyChange) {
   // the revoked user.
   DeterministicRng rng(10);
   PrivateKey bob = abe_->KeyGen(setup_->pk, setup_->mk, {"user:bob"}, rng);
-  Bytes state = ToBytes("key-state-v1");
+  Secret state(ToBytes("key-state-v1"));
 
-  Bytes v1 = abe_->EncryptBytes(
-      setup_->pk, PolicyNode::OrOfUsers({"alice", "bob"}), state, rng);
-  EXPECT_EQ(abe_->DecryptBytes(bob, v1), state);
+  Bytes v1 = Declassify(
+      abe_->EncryptBytes(setup_->pk, PolicyNode::OrOfUsers({"alice", "bob"}),
+                         state, rng),
+      "test: v1 key-state envelope");
+  EXPECT_TRUE(abe_->DecryptBytes(bob, v1).ConstantTimeEquals(state));
 
-  Bytes state2 = ToBytes("key-state-v2");
-  Bytes v2 = abe_->EncryptBytes(setup_->pk, PolicyNode::OrOfUsers({"alice"}),
-                                state2, rng);
+  Secret state2(ToBytes("key-state-v2"));
+  Bytes v2 = Declassify(
+      abe_->EncryptBytes(setup_->pk, PolicyNode::OrOfUsers({"alice"}), state2,
+                         rng),
+      "test: v2 key-state envelope excluding bob");
   EXPECT_THROW(abe_->DecryptBytes(bob, v2), Error);
 }
 

@@ -18,10 +18,12 @@ Bytes TestChunk(std::size_t size, std::uint64_t seed = 1) {
   return rng.Generate(size);
 }
 
-Bytes TestKey(std::uint64_t seed = 2) {
+Bytes TestKeyBytes(std::uint64_t seed = 2) {
   DeterministicRng rng(seed);
   return rng.Generate(kMleKeySize);
 }
+
+Secret TestKey(std::uint64_t seed = 2) { return Secret(TestKeyBytes(seed)); }
 
 // --------------------------- AONT / CAONT ---------------------------
 
@@ -80,7 +82,7 @@ TEST(SelfXorTest, KnownValues) {
 }
 
 TEST(MaskTest, DeterministicAndKeyDependent) {
-  Bytes k1 = TestKey(5), k2 = TestKey(6);
+  Bytes k1 = TestKeyBytes(5), k2 = TestKeyBytes(6);
   EXPECT_EQ(Mask(k1, 100), Mask(k1, 100));
   EXPECT_NE(Mask(k1, 100), Mask(k2, 100));
   // Prefix property: longer mask extends the shorter one.
@@ -98,7 +100,7 @@ class ReedCipherTest : public ::testing::TestWithParam<Scheme> {
 TEST_P(ReedCipherTest, RoundTripVariousSizes) {
   for (std::size_t size : {128u, 2048u, 8192u, 16384u, 8191u}) {
     Bytes chunk = TestChunk(size, size);
-    Bytes key = TestKey(size + 1);
+    Secret key = TestKey(size + 1);
     SealedChunk sealed = cipher_.Encrypt(chunk, key);
     EXPECT_EQ(sealed.stub.size(), kDefaultStubSize);
     EXPECT_EQ(sealed.trimmed_package.size() + sealed.stub.size(),
@@ -112,11 +114,11 @@ TEST_P(ReedCipherTest, DeterministicForDedup) {
   // is the property that lets the server dedup trimmed packages across
   // users (paper §IV-A).
   Bytes chunk = TestChunk(8192);
-  Bytes key = TestKey();
+  Secret key = TestKey();
   SealedChunk a = cipher_.Encrypt(chunk, key);
   SealedChunk b = cipher_.Encrypt(chunk, key);
   EXPECT_EQ(a.trimmed_package, b.trimmed_package);
-  EXPECT_EQ(a.stub, b.stub);
+  EXPECT_TRUE(a.stub.ConstantTimeEquals(b.stub));
 }
 
 TEST_P(ReedCipherTest, DifferentKeysGiveDifferentPackages) {
@@ -136,7 +138,9 @@ TEST_P(ReedCipherTest, TamperedTrimmedPackageDetected) {
 TEST_P(ReedCipherTest, TamperedStubDetected) {
   Bytes chunk = TestChunk(4096);
   SealedChunk sealed = cipher_.Encrypt(chunk, TestKey());
-  sealed.stub[3] ^= 0x80;
+  Bytes stub_bytes = Declassify(sealed.stub, "test: flip a stub bit");
+  stub_bytes[3] ^= 0x80;
+  sealed.stub = Secret(std::move(stub_bytes));
   EXPECT_THROW(cipher_.Decrypt(sealed.trimmed_package, sealed.stub), Error);
 }
 
@@ -155,13 +159,15 @@ TEST_P(ReedCipherTest, PairedBitFlipsStillDetected) {
 TEST_P(ReedCipherTest, WrongStubSizeRejected) {
   Bytes chunk = TestChunk(2048);
   SealedChunk sealed = cipher_.Encrypt(chunk, TestKey());
-  Bytes short_stub(sealed.stub.begin(), sealed.stub.end() - 1);
+  Bytes short_bytes = Declassify(sealed.stub, "test: truncate the stub");
+  short_bytes.pop_back();
+  Secret short_stub(std::move(short_bytes));
   EXPECT_THROW(cipher_.Decrypt(sealed.trimmed_package, short_stub), Error);
 }
 
 TEST_P(ReedCipherTest, InvalidInputsRejected) {
   EXPECT_THROW(cipher_.Encrypt({}, TestKey()), Error);
-  EXPECT_THROW(cipher_.Encrypt(TestChunk(100), Bytes(16, 0)), Error);
+  EXPECT_THROW(cipher_.Encrypt(TestChunk(100), Secret(Bytes(16, 0))), Error);
 }
 
 TEST_P(ReedCipherTest, ConfigurableStubSize) {
@@ -185,11 +191,11 @@ TEST(ReedSchemeContrastTest, BasicLeaksUnderMleKeyCompromise) {
   // With the MLE key, the basic scheme's trimmed package can be unmasked
   // directly (§IV-B): most plaintext bytes are recoverable without the stub.
   Bytes chunk = TestChunk(8192);
-  Bytes key = TestKey();
+  Bytes key_bytes = TestKeyBytes();  // the attacker's compromised MLE key
   ReedCipher basic(Scheme::kBasic);
-  SealedChunk sealed = basic.Encrypt(chunk, key);
+  SealedChunk sealed = basic.Encrypt(chunk, TestKey());
 
-  Bytes mask = Mask(key, sealed.trimmed_package.size());
+  Bytes mask = Mask(key_bytes, sealed.trimmed_package.size());
   Bytes recovered = sealed.trimmed_package;
   XorInto(recovered, mask);
   // The attacker recovers the chunk prefix exactly.
@@ -201,11 +207,11 @@ TEST(ReedSchemeContrastTest, EnhancedResistsMleKeyCompromise) {
   // The enhanced scheme masks with h = H(C1 ‖ K_M), which depends on the
   // (stub-protected) package content — the MLE key alone unmasks nothing.
   Bytes chunk = TestChunk(8192);
-  Bytes key = TestKey();
+  Bytes key_bytes = TestKeyBytes();
   ReedCipher enhanced(Scheme::kEnhanced);
-  SealedChunk sealed = enhanced.Encrypt(chunk, key);
+  SealedChunk sealed = enhanced.Encrypt(chunk, TestKey());
 
-  Bytes mask = Mask(key, sealed.trimmed_package.size());
+  Bytes mask = Mask(key_bytes, sealed.trimmed_package.size());
   Bytes attempt = sealed.trimmed_package;
   XorInto(attempt, mask);
   // Must NOT match the MLE ciphertext, let alone the plaintext.
@@ -215,7 +221,7 @@ TEST(ReedSchemeContrastTest, EnhancedResistsMleKeyCompromise) {
 
 TEST(ReedSchemeContrastTest, SchemesProduceIncompatiblePackages) {
   Bytes chunk = TestChunk(4096);
-  Bytes key = TestKey();
+  Secret key = TestKey();
   ReedCipher basic(Scheme::kBasic);
   ReedCipher enhanced(Scheme::kEnhanced);
   SealedChunk sb = basic.Encrypt(chunk, key);
@@ -228,39 +234,45 @@ TEST(ReedSchemeContrastTest, SchemesProduceIncompatiblePackages) {
 
 TEST(StubFileTest, RoundTripAndRekey) {
   DeterministicRng rng(7);
-  Bytes stubs = rng.Generate(64 * 100);  // 100 chunk stubs
-  Bytes key1 = rng.Generate(32);
-  Bytes key2 = rng.Generate(32);
+  Secret stubs = rng.GenerateSecret(64 * 100);  // 100 chunk stubs
+  Secret key1 = rng.GenerateSecret(32);
+  Secret key2 = rng.GenerateSecret(32);
 
-  Bytes blob1 = EncryptStubFile(stubs, key1, rng);
-  EXPECT_EQ(DecryptStubFile(blob1, key1), stubs);
+  Bytes blob1 = Declassify(EncryptStubFile(stubs, key1, rng),
+                           "test: stub-file ciphertext under key1");
+  EXPECT_TRUE(DecryptStubFile(blob1, key1).ConstantTimeEquals(stubs));
 
   // Rekey: decrypt with old key, re-encrypt with new key — the active
   // revocation step.
-  Bytes blob2 = EncryptStubFile(DecryptStubFile(blob1, key1), key2, rng);
-  EXPECT_EQ(DecryptStubFile(blob2, key2), stubs);
+  Bytes blob2 = Declassify(
+      EncryptStubFile(DecryptStubFile(blob1, key1), key2, rng),
+      "test: rekeyed stub-file ciphertext under key2");
+  EXPECT_TRUE(DecryptStubFile(blob2, key2).ConstantTimeEquals(stubs));
   EXPECT_THROW(DecryptStubFile(blob2, key1), Error);  // old key revoked
 }
 
 TEST(WrapKeyBlobTest, RoundTripAndDomainSeparation) {
   DeterministicRng rng(9);
-  Bytes key = rng.Generate(32);
-  Bytes secret = ToBytes("serialized key state v3");
-  Bytes blob = WrapKeyBlob(secret, key, rng);
-  EXPECT_EQ(UnwrapKeyBlob(blob, key), secret);
+  Secret key = rng.GenerateSecret(32);
+  Secret secret(ToBytes("serialized key state v3"));
+  Bytes blob = Declassify(WrapKeyBlob(secret, key, rng),
+                          "test: wrapped key-state envelope");
+  EXPECT_TRUE(UnwrapKeyBlob(blob, key).ConstantTimeEquals(secret));
   // Wrong key rejected.
-  EXPECT_THROW(UnwrapKeyBlob(blob, rng.Generate(32)), Error);
+  EXPECT_THROW(UnwrapKeyBlob(blob, rng.GenerateSecret(32)), Error);
   // Domain separation: a stub-file blob under the same key does not open
   // as a key blob (different HKDF labels).
-  Bytes stub_blob = EncryptStubFile(secret, key, rng);
+  Bytes stub_blob = Declassify(EncryptStubFile(secret, key, rng),
+                               "test: stub-file ciphertext for domain check");
   EXPECT_THROW(UnwrapKeyBlob(stub_blob, key), Error);
   EXPECT_THROW(DecryptStubFile(blob, key), Error);
 }
 
 TEST(WrapKeyBlobTest, TamperDetected) {
   DeterministicRng rng(10);
-  Bytes key = rng.Generate(32);
-  Bytes blob = WrapKeyBlob(ToBytes("secret"), key, rng);
+  Secret key = rng.GenerateSecret(32);
+  Bytes blob = Declassify(WrapKeyBlob(Secret(ToBytes("secret")), key, rng),
+                          "test: wrapped envelope to tamper with");
   blob[blob.size() / 2] ^= 1;
   EXPECT_THROW(UnwrapKeyBlob(blob, key), Error);
   EXPECT_THROW(UnwrapKeyBlob(Bytes(10, 0), key), Error);
@@ -268,9 +280,10 @@ TEST(WrapKeyBlobTest, TamperDetected) {
 
 TEST(StubFileTest, TamperDetected) {
   DeterministicRng rng(8);
-  Bytes stubs = rng.Generate(640);
-  Bytes key = rng.Generate(32);
-  Bytes blob = EncryptStubFile(stubs, key, rng);
+  Secret stubs = rng.GenerateSecret(640);
+  Secret key = rng.GenerateSecret(32);
+  Bytes blob = Declassify(EncryptStubFile(stubs, key, rng),
+                          "test: stub-file ciphertext to tamper with");
   blob[20] ^= 1;
   EXPECT_THROW(DecryptStubFile(blob, key), Error);
   EXPECT_THROW(DecryptStubFile(Bytes(10, 0), key), Error);

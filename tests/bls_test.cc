@@ -43,9 +43,9 @@ TEST_F(BlsTest, DeterministicKeysAcrossBlindings) {
   auto r1 = client_->Blind(msg, rng);
   auto r2 = client_->Blind(msg, rng);
   EXPECT_FALSE(r1.blinded == r2.blinded);  // different blinding factors
-  Bytes k1 = client_->Unblind(r1, signer_->Sign(r1.blinded));
-  Bytes k2 = client_->Unblind(r2, signer_->Sign(r2.blinded));
-  EXPECT_EQ(k1, k2);
+  Secret k1 = client_->Unblind(r1, signer_->Sign(r1.blinded));
+  Secret k2 = client_->Unblind(r2, signer_->Sign(r2.blinded));
+  EXPECT_TRUE(k1.ConstantTimeEquals(k2));
   EXPECT_EQ(k1.size(), 32u);
 }
 
@@ -53,8 +53,9 @@ TEST_F(BlsTest, DistinctMessagesDistinctKeys) {
   DeterministicRng rng(4);
   auto ra = client_->Blind(ToBytes("chunk-A"), rng);
   auto rb = client_->Blind(ToBytes("chunk-B"), rng);
-  EXPECT_NE(client_->Unblind(ra, signer_->Sign(ra.blinded)),
-            client_->Unblind(rb, signer_->Sign(rb.blinded)));
+  EXPECT_FALSE(
+      client_->Unblind(ra, signer_->Sign(ra.blinded))
+          .ConstantTimeEquals(client_->Unblind(rb, signer_->Sign(rb.blinded))));
 }
 
 TEST_F(BlsTest, BlindingHidesTheMessagePoint) {
@@ -96,12 +97,12 @@ TEST_F(BlsTest, MatchesDirectSignature) {
 
   Bytes msg = ToBytes("some-fp");
   auto req = client.Blind(msg, rng);
-  Bytes via_blind = client.Unblind(req, signer.Sign(req.blinded));
+  Secret via_blind = client.Unblind(req, signer.Sign(req.blinded));
 
   G1Point direct = pairing_->HashToGroup(msg).ScalarMul(kp.secret);
   Bytes via_direct =
       crypto::Sha256::HashToBytes(direct.ToBytes(pairing_->field()));
-  EXPECT_EQ(via_blind, via_direct);
+  EXPECT_TRUE(via_blind.ConstantTimeEquals(via_direct));
 }
 
 }  // namespace

@@ -134,8 +134,10 @@ TEST(FuzzTest, AbeCiphertextDeserializer) {
 TEST(FuzzTest, RsaKeyPairDeserializer) {
   DeterministicRng rng(7);
   rsa::RsaKeyPair kp = rsa::GenerateKeyPair(512, rng);
-  FuzzBlob(rsa::SerializeKeyPair(kp),
-           [](const Bytes& b) { (void)rsa::DeserializeKeyPair(b); }, 8, 200);
+  FuzzBlob(Declassify(rsa::SerializeKeyPair(kp),
+                      "test: fuzz corpus seed for the key-pair parser"),
+           [](const Bytes& b) { (void)rsa::DeserializeKeyPair(Secret(b)); }, 8,
+           200);
 }
 
 TEST(FuzzTest, TraceSnapshotDeserializer) {

@@ -103,7 +103,11 @@ TEST(MleKeyClientTest, KeysAreDeterministicAcrossClients) {
   auto fps = MakeFingerprints(5, 5);
   auto k1 = c1.GetKeys(fps, rng);
   auto k2 = c2.GetKeys(fps, rng);
-  EXPECT_EQ(k1, k2);  // same chunk -> same MLE key, across users
+  ASSERT_EQ(k1.size(), k2.size());
+  for (std::size_t i = 0; i < k1.size(); ++i) {
+    // Same chunk -> same MLE key, across users.
+    EXPECT_TRUE(k1[i].ConstantTimeEquals(k2[i]));
+  }
   for (const auto& k : k1) EXPECT_EQ(k.size(), 32u);
 }
 
@@ -157,12 +161,14 @@ TEST(MleKeyClientTest, MixedHitMissBatchesPreserveOrder) {
 
   auto first = client.GetKeys({fps[0], fps[2], fps[4]}, rng);
   auto all = client.GetKeys(fps, rng);
-  EXPECT_EQ(all[0], first[0]);
-  EXPECT_EQ(all[2], first[1]);
-  EXPECT_EQ(all[4], first[2]);
+  EXPECT_TRUE(all[0].ConstantTimeEquals(first[0]));
+  EXPECT_TRUE(all[2].ConstantTimeEquals(first[1]));
+  EXPECT_TRUE(all[4].ConstantTimeEquals(first[2]));
   // Distinct fingerprints map to distinct keys.
   for (int i = 0; i < 6; ++i) {
-    for (int j = i + 1; j < 6; ++j) EXPECT_NE(all[i], all[j]);
+    for (int j = i + 1; j < 6; ++j) {
+      EXPECT_FALSE(all[i].ConstantTimeEquals(all[j]));
+    }
   }
 }
 
@@ -181,7 +187,11 @@ TEST(MleKeyClientTest, FailsOverToHealthyReplica) {
   // Keys from a failover path match keys from a direct path.
   MleKeyClient direct("bob", km.public_key(), DirectChannel(km),
                       MleKeyClient::Options{});
-  EXPECT_EQ(direct.GetKeys(fps, rng), keys);
+  auto direct_keys = direct.GetKeys(fps, rng);
+  ASSERT_EQ(direct_keys.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(direct_keys[i].ConstantTimeEquals(keys[i]));
+  }
 }
 
 TEST(MleKeyClientTest, AllReplicasDownThrows) {

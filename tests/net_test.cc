@@ -48,6 +48,18 @@ TEST(WireTest, TruncatedReadsThrow) {
   EXPECT_THROW(DiscardResult(r2.U8()), Error);
 }
 
+TEST(WireTest, BlobTooLargeThrowsInsteadOfTruncating) {
+  // The u32 length prefix caps a blob at UINT32_MAX bytes. The old code
+  // silently cast, producing a frame whose prefix disagreed with its body;
+  // now the boundary is a hard error. CheckBlobSize is static so the limit
+  // is testable without allocating a 4GB payload.
+  Writer::CheckBlobSize(0);
+  Writer::CheckBlobSize(UINT32_MAX);
+  EXPECT_THROW(Writer::CheckBlobSize(static_cast<std::size_t>(UINT32_MAX) + 1),
+               Error);
+  EXPECT_THROW(Writer::CheckBlobSize(SIZE_MAX), Error);
+}
+
 TEST(WireTest, ExpectEndCatchesTrailingBytes) {
   Writer w;
   w.U8(1);

@@ -68,7 +68,7 @@ TEST(RsaTest, FullDomainHashIsDeterministicAndInRange) {
 
 TEST(RsaTest, KeyPairSerializationRoundTrip) {
   RsaKeyPair kp = TestKeyPair();
-  Bytes blob = SerializeKeyPair(kp);
+  Secret blob = SerializeKeyPair(kp);
   RsaKeyPair back = DeserializeKeyPair(blob);
   EXPECT_EQ(back.pub.n, kp.pub.n);
   EXPECT_EQ(back.priv.d, kp.priv.d);
@@ -78,8 +78,7 @@ TEST(RsaTest, KeyPairSerializationRoundTrip) {
   BigInt m = BigInt::Random(rng, kp.pub.n);
   EXPECT_EQ(PrivateApply(back.priv, PublicApply(back.pub, m)), m);
   // Truncation and inconsistent components are rejected.
-  Bytes short_blob(blob.begin(), blob.end() - 5);
-  EXPECT_THROW(DeserializeKeyPair(short_blob), Error);
+  EXPECT_THROW(DeserializeKeyPair(blob.Slice(0, blob.size() - 5)), Error);
 }
 
 TEST(RsaTest, PublicKeySerializationRoundTrip) {
@@ -104,9 +103,9 @@ TEST(BlindSignatureTest, OprfYieldsDeterministicMleKeys) {
   BlindedRequest r1 = client.Blind(fp, rng);
   BlindedRequest r2 = client.Blind(fp, rng);
   EXPECT_NE(r1.blinded, r2.blinded);  // blinding hides the fingerprint
-  Bytes k1 = client.Unblind(r1, server.Sign(r1.blinded));
-  Bytes k2 = client.Unblind(r2, server.Sign(r2.blinded));
-  EXPECT_EQ(k1, k2);
+  Secret k1 = client.Unblind(r1, server.Sign(r1.blinded));
+  Secret k2 = client.Unblind(r2, server.Sign(r2.blinded));
+  EXPECT_TRUE(k1.ConstantTimeEquals(k2));
   EXPECT_EQ(k1.size(), 32u);
 }
 
@@ -117,8 +116,8 @@ TEST(BlindSignatureTest, DistinctFingerprintsGiveDistinctKeys) {
   DeterministicRng rng(105);
   BlindedRequest ra = client.Blind(ToBytes("chunk-A"), rng);
   BlindedRequest rb = client.Blind(ToBytes("chunk-B"), rng);
-  EXPECT_NE(client.Unblind(ra, server.Sign(ra.blinded)),
-            client.Unblind(rb, server.Sign(rb.blinded)));
+  EXPECT_FALSE(client.Unblind(ra, server.Sign(ra.blinded))
+                   .ConstantTimeEquals(client.Unblind(rb, server.Sign(rb.blinded))));
 }
 
 TEST(BlindSignatureTest, ForgedSignatureIsRejected) {
@@ -146,13 +145,13 @@ TEST(BlindSignatureTest, MatchesDirectFdhSignature) {
   DeterministicRng rng(107);
   Bytes fp = ToBytes("some-fp");
   BlindedRequest req = client.Blind(fp, rng);
-  Bytes via_oprf = client.Unblind(req, server.Sign(req.blinded));
+  Secret via_oprf = client.Unblind(req, server.Sign(req.blinded));
 
   BigInt h = FullDomainHash(fp, kp.pub.n);
   BigInt direct = PrivateApply(kp.priv, h);
   Bytes via_direct =
       crypto::Sha256::HashToBytes(direct.ToBytesPadded(kp.pub.ByteLength()));
-  EXPECT_EQ(via_oprf, via_direct);
+  EXPECT_TRUE(via_oprf.ConstantTimeEquals(via_direct));
 }
 
 // --------------------------- key regression ---------------------------
@@ -204,8 +203,8 @@ TEST(KeyRegressionTest, FileKeysDifferAcrossVersions) {
   rsa::KeyState st0 = owner.GenesisState(rng);
   rsa::KeyState st1 = owner.Wind(st0);
   EXPECT_EQ(st0.DeriveFileKey().size(), 32u);
-  EXPECT_NE(st0.DeriveFileKey(), st1.DeriveFileKey());
-  EXPECT_EQ(st0.DeriveFileKey(), st0.DeriveFileKey());
+  EXPECT_FALSE(st0.DeriveFileKey().ConstantTimeEquals(st1.DeriveFileKey()));
+  EXPECT_TRUE(st0.DeriveFileKey().ConstantTimeEquals(st0.DeriveFileKey()));
 }
 
 TEST(KeyRegressionTest, SerializationRoundTrip) {
@@ -213,12 +212,13 @@ TEST(KeyRegressionTest, SerializationRoundTrip) {
   KeyRegressionOwner owner(kp);
   DeterministicRng rng(112);
   rsa::KeyState st = owner.Wind(owner.GenesisState(rng));
-  Bytes blob = st.Serialize(kp.pub);
+  Secret blob = st.Serialize(kp.pub);
   rsa::KeyState back = rsa::KeyState::Deserialize(blob, kp.pub);
   EXPECT_EQ(back.version, st.version);
   EXPECT_EQ(back.value, st.value);
-  blob.pop_back();
-  EXPECT_THROW(rsa::KeyState::Deserialize(blob, kp.pub), Error);
+  EXPECT_THROW(
+      rsa::KeyState::Deserialize(blob.Slice(0, blob.size() - 1), kp.pub),
+      Error);
 }
 
 }  // namespace

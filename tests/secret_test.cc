@@ -1,0 +1,121 @@
+// Unit tests for the reed::Secret type wall (util/secret.h): ownership,
+// wiping semantics, constant-time equality, slicing, and the Declassify
+// contract. The compile-time half of the wall (deleted Writer overloads,
+// deleted operator<<) is covered by the WILL_FAIL fixtures under
+// tools/lint/fixtures/secret_wall/.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "util/secret.h"
+
+namespace reed {
+namespace {
+
+Bytes Seq(std::size_t n, std::uint8_t start = 1) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>(start + i);
+  return b;
+}
+
+TEST(SecretTest, ConstructionTakesOwnership) {
+  Bytes data = Seq(8);
+  Secret s(std::move(data));
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(s.ConstantTimeEquals(Seq(8)));
+}
+
+TEST(SecretTest, DefaultIsEmpty) {
+  Secret s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.ConstantTimeEquals(Secret()));
+}
+
+TEST(SecretTest, CopyOfCopiesOutOfLargerBuffer) {
+  Bytes big = Seq(32);
+  Secret s = Secret::CopyOf(ByteSpan(big.data() + 4, 8));
+  EXPECT_TRUE(s.ConstantTimeEquals(Seq(8, 5)));
+  // The source is untouched: CopyOf copies, it does not adopt.
+  EXPECT_EQ(big, Seq(32));
+}
+
+TEST(SecretTest, ConstantTimeEqualsSemantics) {
+  Secret a(Seq(16));
+  Secret b(Seq(16));
+  Secret c(Seq(16, 2));
+  Secret shorter(Seq(15));
+  EXPECT_TRUE(a.ConstantTimeEquals(b));
+  EXPECT_FALSE(a.ConstantTimeEquals(c));
+  EXPECT_FALSE(a.ConstantTimeEquals(shorter));  // length mismatch = false
+  Bytes raw = Seq(16);
+  EXPECT_TRUE(a.ConstantTimeEquals(ByteSpan(raw)));
+}
+
+TEST(SecretTest, MoveLeavesSourceEmpty) {
+  Secret a(Seq(8));
+  Secret b(std::move(a));
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): asserting wipe
+  EXPECT_TRUE(b.ConstantTimeEquals(Seq(8)));
+
+  Secret c;
+  c = std::move(b);
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move): asserting wipe
+  EXPECT_TRUE(c.ConstantTimeEquals(Seq(8)));
+}
+
+TEST(SecretTest, CopyAndAssignPreserveValue) {
+  Secret a(Seq(8));
+  Secret b(a);
+  EXPECT_TRUE(a.ConstantTimeEquals(b));
+  Secret c(Seq(4, 9));
+  c = a;  // assignment wipes c's old bytes, then copies
+  EXPECT_TRUE(c.ConstantTimeEquals(a));
+  c = c;  // self-assignment is a no-op, not a wipe
+  EXPECT_TRUE(c.ConstantTimeEquals(Seq(8)));
+}
+
+TEST(SecretTest, AppendConcatenates) {
+  Secret stub_file;
+  stub_file.Reserve(8);
+  stub_file.Append(Secret(Seq(4)));
+  stub_file.Append(Secret(Seq(4, 5)));
+  EXPECT_TRUE(stub_file.ConstantTimeEquals(Seq(8)));
+}
+
+TEST(SecretTest, SliceCopiesSubrange) {
+  Secret stub_file(Seq(64));
+  Secret chunk_stub = stub_file.Slice(16, 8);
+  EXPECT_TRUE(chunk_stub.ConstantTimeEquals(Seq(8, 17)));
+  // Full-range and empty slices are fine.
+  EXPECT_TRUE(stub_file.Slice(0, 64).ConstantTimeEquals(stub_file));
+  EXPECT_TRUE(stub_file.Slice(64, 0).empty());
+}
+
+TEST(SecretTest, SliceOutOfRangeThrows) {
+  Secret s(Seq(8));
+  EXPECT_THROW((void)s.Slice(0, 9), Error);
+  EXPECT_THROW((void)s.Slice(9, 0), Error);
+  // Offset+len overflow must not wrap around to "in range".
+  EXPECT_THROW((void)s.Slice(4, SIZE_MAX), Error);
+}
+
+TEST(SecretTest, DeclassifyReturnsBytesAndRequiresReason) {
+  Secret s(Seq(8));
+  Bytes out = Declassify(s, "test: auditing the declassify contract");
+  EXPECT_EQ(out, Seq(8));
+  EXPECT_THROW((void)Declassify(s, ""), Error);
+  EXPECT_THROW((void)Declassify(s, nullptr), Error);
+}
+
+TEST(SecretTest, ExposeForCryptoViewsWithoutCopy) {
+  Secret s(Seq(8));
+  ByteSpan view = s.ExposeForCrypto();
+  ASSERT_EQ(view.size(), 8u);
+  EXPECT_EQ(view[0], 1);
+  EXPECT_EQ(view[7], 8);
+}
+
+}  // namespace
+}  // namespace reed

@@ -2,7 +2,7 @@
 # Local CI gate: build + test matrix across sanitizer and static-analysis
 # modes, plus the Python lints. Run from anywhere inside the repo:
 #
-#   tools/ci/check.sh                  # full matrix: plain, asan+ubsan, tsan, tsa
+#   tools/ci/check.sh                  # full matrix: plain, asan+ubsan, tsan, tsa, taint, tidy
 #   tools/ci/check.sh plain            # one mode only
 #   tools/ci/check.sh asan tsa         # subset
 #
@@ -15,6 +15,11 @@
 #   tsan      ThreadSanitizer, halt_on_error.
 #   tsa       clang -Wthread-safety -Werror static lock-discipline check
 #             (compile-only; skipped with a notice when clang++ is absent).
+#   taint     secret information-flow checks: taint_lint over src/ plus the
+#             Secret type-wall fixture compiles (clean must build, the
+#             secret-to-wire/secret-log leaks must NOT).
+#   tidy      clang-tidy over the compile database, warnings-as-errors
+#             (skipped with a notice when clang-tidy is absent).
 #
 # Build trees land in build-ci-<mode>/ (gitignored). Every mode must end
 # with 100% tests passed and zero findings; sanitizers run with
@@ -26,7 +31,7 @@ cd "${REPO_ROOT}"
 
 MODES=("$@")
 if [[ ${#MODES[@]} -eq 0 ]]; then
-  MODES=(plain asan tsan tsa)
+  MODES=(plain asan tsan tsa taint tidy)
 fi
 
 GENERATOR_ARGS=()
@@ -40,6 +45,7 @@ run_mode() {
   local cmake_args=()
   local -a test_env=()
   local build_only=0
+  local tidy_after=0
 
   case "${mode}" in
     plain)
@@ -74,8 +80,40 @@ run_mode() {
       # clang is present, so skipping ctest here avoids double work.
       build_only=1
       ;;
+    taint)
+      # No build tree needed: the lint is pure Python and the type-wall
+      # fixtures are -fsyntax-only compiles against src/ headers.
+      echo "=== [taint] secret information-flow lint ==="
+      python3 tools/lint/taint_lint.py --self-test
+      python3 tools/lint/taint_lint.py --root . src
+      echo "=== [taint] Secret type-wall fixtures ==="
+      local cxx="${CXX:-g++}"
+      local wall_flags=(-std=c++20 -fsyntax-only -Isrc)
+      "${cxx}" "${wall_flags[@]}" tools/lint/fixtures/secret_wall/taint_clean.cc
+      echo "    taint_clean.cc: compiles (OK)"
+      for leak in taint_secret_to_wire taint_secret_log; do
+        if "${cxx}" "${wall_flags[@]}" \
+            "tools/lint/fixtures/secret_wall/${leak}.cc" 2> /dev/null; then
+          echo "    ${leak}.cc: COMPILED — the Secret type wall is broken" >&2
+          return 1
+        fi
+        echo "    ${leak}.cc: rejected by the compiler (OK)"
+      done
+      return 0
+      ;;
+    tidy)
+      if ! command -v clang-tidy > /dev/null 2>&1; then
+        echo "=== [tidy] SKIPPED: clang-tidy not found ==="
+        echo "    Install clang-tidy to run the static-analysis pass; the"
+        echo "    compile database is still exported by the plain mode."
+        return 0
+      fi
+      cmake_args=(-DREED_SANITIZE=none -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)
+      tidy_after=1
+      build_only=1
+      ;;
     *)
-      echo "unknown mode: ${mode} (expected plain|nodiscard|asan|tsan|tsa)" >&2
+      echo "unknown mode: ${mode} (expected plain|nodiscard|asan|tsan|tsa|taint|tidy)" >&2
       exit 2
       ;;
   esac
@@ -86,6 +124,23 @@ run_mode() {
 
   echo "=== [${mode}] build ==="
   cmake --build "${build_dir}" -j
+
+  if [[ ${tidy_after} -eq 1 ]]; then
+    echo "=== [${mode}] clang-tidy (warnings-as-errors) ==="
+    # The checks ride in .clang-tidy when present; -warnings-as-errors='*'
+    # turns any finding into a failure either way.
+    local -a tidy_sources
+    mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
+    if command -v run-clang-tidy > /dev/null 2>&1; then
+      run-clang-tidy -p "${build_dir}" -quiet -warnings-as-errors='*' \
+          "${tidy_sources[@]}"
+    else
+      clang-tidy -p "${build_dir}" --quiet -warnings-as-errors='*' \
+          "${tidy_sources[@]}"
+    fi
+    echo "=== [${mode}] clang-tidy clean ==="
+    return 0
+  fi
 
   if [[ ${build_only} -eq 1 ]]; then
     echo "=== [${mode}] build-only mode: done ==="
@@ -107,6 +162,10 @@ python3 tools/lint/crypto_lint.py --root . src
 echo "=== module-layering lint ==="
 python3 tools/lint/layering_lint.py --self-test
 python3 tools/lint/layering_lint.py --root . src
+
+echo "=== secret information-flow lint ==="
+python3 tools/lint/taint_lint.py --self-test
+python3 tools/lint/taint_lint.py --root . src
 
 for mode in "${MODES[@]}"; do
   run_mode "${mode}"

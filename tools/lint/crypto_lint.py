@@ -19,6 +19,11 @@ an encrypted-deduplication system:
   memset-wipe         memset used to wipe a key-named buffer — a dead-store
                       memset is exactly what the optimizer elides, leaving
                       the key in memory. Use reed::SecureZero/ScopedWipe.
+  raw-key-compare     ==/!= or memcmp where an operand is *key*-named (key,
+                      secret, ikm, kek, prk, okm) — the sharper subset of
+                      secret-eq/secret-memcmp: comparing raw key material
+                      with short-circuiting primitives is always a bug. Use
+                      reed::SecureCompare or Secret::ConstantTimeEquals.
 
 False positives that survive a manual audit go in the allowlist file
 (default: tools/lint/allowlist.txt) as `<relpath>:<rule>:<token>` lines.
@@ -45,7 +50,7 @@ BENIGN_TOKENS = re.compile(
 )
 
 RULES = ("ban-rand", "secret-memcmp", "secret-eq", "unzeroized-key-local",
-         "memset-wipe")
+         "memset-wipe", "raw-key-compare")
 
 
 def strip_comments_and_strings(text):
@@ -137,6 +142,7 @@ DECL_RE = re.compile(
 )
 SECRET_EQ_TOKEN_RE = re.compile(rf"(?:^|_)({SECRET_EQ_TOKENS})s?(?:_|$)", re.IGNORECASE)
 KEY_LOCAL_TOKEN_RE = re.compile(rf"({KEY_LOCAL_TOKENS})", re.IGNORECASE)
+RAW_KEY_TOKEN_RE = re.compile(rf"(?:^|_)({KEY_LOCAL_TOKENS})s?(?:_|$)", re.IGNORECASE)
 SCALAR_TAIL_RE = re.compile(
     r"(?:\.|->)(size|empty|length|count|version|ByteLength)\(\)$"
 )
@@ -155,6 +161,15 @@ def looks_secret_buffer(expr):
     if BENIGN_TOKENS.search(leaf):
         return False
     return True
+
+
+def looks_raw_key(expr):
+    """True when a comparison operand names raw key material specifically."""
+    if SCALAR_TAIL_RE.search(expr):
+        return False
+    leaf = expr.split(".")[-1].split("->")[-1]
+    return bool(RAW_KEY_TOKEN_RE.search(leaf)) and \
+        not BENIGN_TOKENS.search(leaf)
 
 
 def lint_text(path, raw):
@@ -176,6 +191,16 @@ def lint_text(path, raw):
                 f"{m.group(1)}() short-circuits on the first differing byte "
                 "— use reed::SecureCompare for keys/MACs (allowlist audited "
                 "non-secret uses)"))
+            key_args = [t for t in re.findall(r"[A-Za-z_]\w*", line[m.end():])
+                        if RAW_KEY_TOKEN_RE.search(t)
+                        and not BENIGN_TOKENS.search(t)]
+            if key_args:
+                findings.append(Finding(
+                    path, lineno, "raw-key-compare", key_args[0],
+                    f"{m.group(1)}() on key-named `{key_args[0]}` — comparing"
+                    " raw key material with a short-circuiting primitive is "
+                    "always a bug; use reed::SecureCompare or "
+                    "Secret::ConstantTimeEquals"))
         m = MEMSET_RE.search(line)
         if m:
             dest = m.group(1).strip()
@@ -193,6 +218,14 @@ def lint_text(path, raw):
                     path, lineno, "secret-eq", tok,
                     f"comparison of secret-named buffer `{tok}` with "
                     "==/!= is not constant time — use reed::SecureCompare"))
+            if looks_raw_key(lhs) or looks_raw_key(rhs):
+                tok = lhs if looks_raw_key(lhs) else rhs
+                findings.append(Finding(
+                    path, lineno, "raw-key-compare", tok,
+                    f"==/!= on key-named `{tok}` — comparing raw key "
+                    "material with a short-circuiting primitive is always a "
+                    "bug; use reed::SecureCompare or "
+                    "Secret::ConstantTimeEquals"))
 
     findings.extend(find_unzeroized_locals(path, lines))
     return findings
@@ -320,7 +353,8 @@ def run_self_test(root):
         rel = os.path.relpath(full, root)
         with open(full, encoding="utf-8") as f:
             raw = f.read()
-        expected = sorted(EXPECT_RE.findall(raw))
+        # Fixtures are shared with taint_lint; only our own rule names count.
+        expected = sorted(r for r in EXPECT_RE.findall(raw) if r in RULES)
         got = sorted(f.rule for f in lint_text(rel, raw))
         if expected != got:
             failures.append(f"{rel}: expected {expected or '[clean]'}, "

@@ -1,0 +1,22 @@
+// Fixture: raw key material compared with short-circuiting primitives.
+// raw-key-compare is the sharper subset of secret-eq/secret-memcmp — it
+// fires only on *key*-named operands (key, secret, ikm, kek, prk, okm),
+// where a constant-time compare is non-negotiable.
+#include <cstring>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+bool SameSessionKey(const Bytes& session_key, const Bytes& peer_key) {
+  // LINT-EXPECT: secret-eq
+  // LINT-EXPECT: raw-key-compare
+  // LINT-EXPECT: secret-compare
+  return session_key == peer_key;
+}
+
+bool SameKek(const unsigned char* kek_bytes, const unsigned char* expected) {
+  // LINT-EXPECT: secret-memcmp
+  // LINT-EXPECT: raw-key-compare
+  // LINT-EXPECT: secret-compare
+  return std::memcmp(kek_bytes, expected, 32) == 0;
+}

@@ -10,6 +10,8 @@ bool CheckTag(const Bytes& mac_tag, const Bytes& expected_mac) {
 
 bool CheckKey(const Bytes& file_key, const Bytes& derived) {
   // LINT-EXPECT: secret-eq
+  // LINT-EXPECT: raw-key-compare
+  // LINT-EXPECT: secret-compare
   if (file_key != derived) return false;
   return true;
 }

@@ -1,0 +1,18 @@
+// Fixture: short-circuiting comparison of secret-named buffers. Both lints
+// fire here: crypto_lint's secret-eq/secret-memcmp and taint_lint's
+// secret-compare (each self-test filters the markers to its own rules).
+#include <cstring>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+bool SameKey(const Bytes& file_key, const Bytes& derived) {
+  // LINT-EXPECT: secret-eq
+  // LINT-EXPECT: raw-key-compare
+  // LINT-EXPECT: secret-compare
+  if (file_key != derived) return false;
+  // LINT-EXPECT: secret-memcmp
+  // LINT-EXPECT: raw-key-compare
+  // LINT-EXPECT: secret-compare
+  return std::memcmp(file_key.data(), derived.data(), 32) == 0;
+}

@@ -1,0 +1,13 @@
+// Fixture: key material reaching logging sinks.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+void Debug(const Bytes& mle_key, const char* wrap_secret_hex) {
+  // LINT-EXPECT: secret-log
+  std::printf("%02x\n", mle_key[0]);
+  // LINT-EXPECT: secret-log
+  std::cout << wrap_secret_hex;
+}

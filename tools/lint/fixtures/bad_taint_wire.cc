@@ -1,0 +1,17 @@
+// Fixture: secret-named identifiers passed straight to Writer methods —
+// secrets cross the wire only through an audited reed::Declassify call.
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+struct Writer {
+  void Blob(const Bytes& b);
+  void Raw(const Bytes& b);
+};
+
+void Upload(Writer& w, const Bytes& file_key, const Bytes& stub_data) {
+  // LINT-EXPECT: secret-to-wire
+  w.Blob(file_key);
+  // LINT-EXPECT: secret-to-wire
+  w.Raw(stub_data);
+}

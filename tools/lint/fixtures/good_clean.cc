@@ -27,6 +27,11 @@ bool CheckTag(const Bytes& mac, const Bytes& expect) {
   return reed::SecureCompare(mac, expect);
 }
 
+// Raw key material compared the constant-time way — never flagged.
+bool SameSessionKey(const Bytes& session_key, const Bytes& peer_key) {
+  return reed::SecureCompare(session_key, peer_key);
+}
+
 // Scalar attributes of secrets compare freely.
 bool SameLength(const Bytes& mac, const Bytes& key) {
   return mac.size() == key.size() && !key.empty();

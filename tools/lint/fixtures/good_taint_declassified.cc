@@ -1,0 +1,24 @@
+// Fixture: sanctioned wire crossing — the Declassify call makes the flow
+// greppable and audited, so the sink is clean. Scalar projections of
+// secret-named identifiers (size/empty) never taint a sink either.
+#include <cstdio>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+namespace reed {
+class Secret;
+Bytes Declassify(const Secret& secret, const char* reason);
+}  // namespace reed
+
+struct Writer {
+  void Blob(const Bytes& b);
+};
+
+void Upload(Writer& w, const reed::Secret& stub_blob) {
+  w.Blob(reed::Declassify(stub_blob, "stub-file ciphertext upload"));
+}
+
+void Report(const Bytes& stub_data) {
+  std::printf("%zu\n", stub_data.size());
+}

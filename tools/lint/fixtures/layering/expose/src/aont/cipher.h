@@ -1,0 +1,7 @@
+// Fixture: aont(2) is a sanctioned ExposeForCrypto module — not flagged.
+#pragma once
+#include "util/secret.h"
+
+inline void Seal(const reed::Secret& mle_key) {
+  (void)mle_key.ExposeForCrypto();
+}

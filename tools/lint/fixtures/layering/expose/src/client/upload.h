@@ -1,0 +1,8 @@
+// Fixture: client(4) unwraps a Secret with ExposeForCrypto — only the
+// crypto-layer modules (util, crypto, aont, rsa, abe) may do that.
+#pragma once
+#include "util/secret.h"
+
+inline void Upload(const reed::Secret& file_key) {
+  (void)file_key.ExposeForCrypto();
+}

@@ -1,0 +1,25 @@
+// Fixture: the Secret type wall, used correctly — this TU must compile.
+// Declassify (with a reason) is the only door to the wire, and comparisons
+// go through ConstantTimeEquals. Compiled with -fsyntax-only against src/.
+#include "net/wire.h"
+#include "util/secret.h"
+
+namespace {
+
+reed::Bytes UploadStub(const reed::Secret& stub_blob) {
+  reed::net::Writer w;
+  w.U8(1);
+  w.Blob(reed::Declassify(stub_blob, "fixture: sanctioned stub upload"));
+  return w.Take();
+}
+
+bool SameKey(const reed::Secret& file_key, const reed::Secret& derived) {
+  return file_key.ConstantTimeEquals(derived);
+}
+
+}  // namespace
+
+int main() {
+  reed::Secret file_key(reed::Bytes(32, 0x2a));
+  return SameKey(file_key, file_key) && !UploadStub(file_key).empty() ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+// Fixture: a Secret streamed to a log. The deleted operator<< template in
+// util/secret.h must make this TU fail to compile (the ctest registers it
+// WILL_FAIL). taint_lint flags the same flow textually, hence the marker.
+#include <iostream>
+
+#include "util/secret.h"
+
+void Debug(const reed::Secret& mle_key) {
+  // LINT-EXPECT: secret-log
+  std::cout << mle_key << "\n";
+}

@@ -1,0 +1,13 @@
+// Fixture: a Secret passed straight to the wire serializer. The deleted
+// Writer::Blob(const Secret&) overload must make this TU fail to compile
+// (the ctest registers it WILL_FAIL). taint_lint flags the same flow
+// textually, hence the marker below.
+#include "net/wire.h"
+#include "util/secret.h"
+
+reed::Bytes Leak(const reed::Secret& file_key) {
+  reed::net::Writer w;
+  // LINT-EXPECT: secret-to-wire
+  w.Blob(file_key);
+  return w.Take();
+}

@@ -25,6 +25,10 @@ Rules:
   unknown-module   quoted include whose first path component is not a module
                    (new modules must be added to LAYERS here and DESIGN.md §2)
   include-cycle    the module graph has a cycle (reported once per cycle)
+  secret-expose    Secret::ExposeForCrypto() called outside the crypto layers
+                   (util, crypto, aont, rsa, abe) — only cipher/KDF/bignum
+                   kernels may unwrap a reed::Secret; everything above must
+                   pass Secrets along or go through reed::Declassify
 
 Findings are module-edge granular. Audited exceptions go in the allowlist
 file (default: tools/lint/layering_allowlist.txt) as `<rule>:<src>-><dst>`
@@ -40,6 +44,9 @@ import argparse
 import os
 import re
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from crypto_lint import strip_comments_and_strings  # noqa: E402
 
 LAYERS = {
     "util": 0,
@@ -61,7 +68,13 @@ INTRA_LAYER_EDGES = {
     ("client", "server"),
 }
 
+# Modules allowed to call Secret::ExposeForCrypto — the cipher/KDF/bignum
+# kernels plus util (secret.h defines it). Everyone else passes Secrets
+# along intact or crosses the wire via reed::Declassify.
+SECRET_EXPOSE_MODULES = {"util", "crypto", "aont", "rsa", "abe"}
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+EXPOSE_RE = re.compile(r"\bExposeForCrypto\s*\(")
 
 
 class Finding:
@@ -141,6 +154,28 @@ def scan_edges(root, src_prefix, files):
     return edges, findings
 
 
+def scan_expose(root, src_prefix, files):
+    """Flags ExposeForCrypto() calls in modules outside the crypto layers."""
+    findings = []
+    src_root = os.path.join(root, src_prefix)
+    for full in files:
+        rel = os.path.relpath(full, root)
+        src_mod = module_of(os.path.relpath(full, src_root))
+        if src_mod is None or src_mod in SECRET_EXPOSE_MODULES:
+            continue
+        with open(full, encoding="utf-8", errors="replace") as f:
+            code = strip_comments_and_strings(f.read())
+        for lineno, line in enumerate(code.split("\n"), start=1):
+            if EXPOSE_RE.search(line):
+                findings.append(Finding(
+                    rel, lineno, "secret-expose", src_mod,
+                    f"`{src_mod}` calls Secret::ExposeForCrypto — only "
+                    "crypto-layer modules "
+                    f"({', '.join(sorted(SECRET_EXPOSE_MODULES))}) may "
+                    "unwrap a Secret; pass it along or use reed::Declassify"))
+    return findings
+
+
 def check_edges(edges):
     findings = []
     for (src, dst), (path, lineno) in sorted(edges.items()):
@@ -214,6 +249,7 @@ def lint_tree(root, paths, allowlist_path, src_prefix="src", quiet=False):
     edges, findings = scan_edges(root, src_prefix, files)
     findings.extend(check_edges(edges))
     findings.extend(find_cycles(edges))
+    findings.extend(scan_expose(root, src_prefix, files))
 
     allow = load_allowlist(allowlist_path)
     reported = []
@@ -248,6 +284,7 @@ EXPECTED = {
     "cycle": {"upward-edge:net->store", "include-cycle:net->store->net"},
     "upward": {"upward-edge:crypto->rsa"},
     "allowlisted": set(),
+    "expose": {"secret-expose:client"},
 }
 
 

@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Secret information-flow lint for REED sources.
+
+Complements the compile-time `reed::Secret` type wall (src/util/secret.h)
+with a flow lint over identifier *names*: the type wall catches secrets that
+live inside `Secret`, this lint catches raw buffers that are secrets by
+naming convention but never got wrapped. A secret-named identifier reaching
+a sink is a finding:
+
+  secret-to-wire     a key/secret/stub-named identifier is an argument of
+                     net::Writer::Blob/Str/Raw — secrets cross the wire only
+                     as ciphertext, via an explicit reed::Declassify call.
+  secret-log         a key/secret/stub-named identifier appears in a
+                     printf/fprintf/puts family call or a cout/cerr/clog/LOG
+                     statement — key material must never be logged.
+  secret-compare     ==/!= or memcmp/bcmp on a key/secret/stub-named operand
+                     — short-circuiting comparison of secrets is a timing
+                     oracle. Use reed::SecureCompare or
+                     Secret::ConstantTimeEquals.
+
+A sink whose argument text contains `Declassify(` is sanctioned: Declassify
+is the single greppable escape hatch, and its call sites are audited by hand
+(`grep -rn "Declassify(" src/` must list exactly the two REED wire
+crossings; see DESIGN.md §8).
+
+Naming tokens are shared with crypto_lint.py (KEY_LOCAL_TOKENS/BENIGN_TOKENS)
+plus `stub` and `mle`: in REED the stub is the secret share of a package and
+MLE keys are the per-chunk secrets.
+
+False positives that survive a manual audit go in the allowlist file
+(default: tools/lint/taint_allowlist.txt) as `<relpath>:<rule>:<token>`
+lines. The tree is expected to pass with an EMPTY allowlist.
+
+Usage:
+  taint_lint.py [--root REPO] [--allowlist FILE] [PATHS...]   # lint (default: src)
+  taint_lint.py --self-test                                   # run fixture suite
+"""
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from crypto_lint import (  # noqa: E402  (shared helpers, single source of truth)
+    BENIGN_TOKENS,
+    KEY_LOCAL_TOKENS,
+    Finding,
+    collect_files,
+    load_allowlist,
+    strip_comments_and_strings,
+)
+
+RULES = ("secret-to-wire", "secret-log", "secret-compare")
+
+TAINT_TOKENS = KEY_LOCAL_TOKENS + r"|stub|mle"
+TAINT_TOKEN_RE = re.compile(rf"({TAINT_TOKENS})", re.IGNORECASE)
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+DECLASSIFY_RE = re.compile(r"\bDeclassify\s*\(")
+
+# Sinks. Argument text is taken to the end of the statement (or line) —
+# coarse, but wire/log calls in this tree are single-statement.
+WIRE_RE = re.compile(r"\b\w+\s*(?:\.|->)\s*(Blob|Str|Raw)\s*\(")
+LOG_CALL_RE = re.compile(
+    r"\b(printf|fprintf|snprintf|sprintf|vprintf|vfprintf|puts|fputs|"
+    r"perror|LOG)\s*\(")
+LOG_STREAM_RE = re.compile(r"\b(?:std::)?(cout|cerr|clog)\b")
+MEMCMP_RE = re.compile(r"\b(?:std::)?(memcmp|bcmp)\s*\(")
+EQ_RE = re.compile(
+    r"([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*(?:\(\))?)*)\s*(==|!=)\s*"
+    r"([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*(?:\(\))?)*)"
+)
+SCALAR_TAIL_RE = re.compile(
+    r"(?:\.|->)(size|empty|length|count|version|ByteLength)\(\)$"
+)
+
+
+def tainted_identifiers(text):
+    """Secret-named identifiers in a stretch of argument text, excluding
+    scalar projections like key.size()."""
+    out = []
+    for m in IDENT_RE.finditer(text):
+        name = m.group(0)
+        if not TAINT_TOKEN_RE.search(name) or BENIGN_TOKENS.search(name):
+            continue
+        tail = text[m.end():]
+        if re.match(r"\s*(?:\.|->)\s*(size|empty|length|count|version)\s*\(",
+                    tail):
+            continue
+        out.append(name)
+    return out
+
+
+def looks_tainted_operand(expr):
+    if SCALAR_TAIL_RE.search(expr):
+        return False
+    leaf = expr.split(".")[-1].split("->")[-1]
+    return bool(TAINT_TOKEN_RE.search(leaf)) and not BENIGN_TOKENS.search(leaf)
+
+
+def statement_tail(lines, lineno):
+    """Text from the sink call to the end of its statement (bounded)."""
+    joined = lines[lineno - 1]
+    i = lineno
+    while ";" not in joined and i < len(lines) and i < lineno + 4:
+        joined += " " + lines[i]
+        i += 1
+    return joined.split(";")[0]
+
+
+def lint_text(path, raw):
+    code = strip_comments_and_strings(raw)
+    lines = code.split("\n")
+    findings = []
+
+    for lineno, line in enumerate(lines, start=1):
+        m = WIRE_RE.search(line)
+        if m:
+            args = statement_tail(lines, lineno)[m.end():]
+            if not DECLASSIFY_RE.search(args):
+                for name in tainted_identifiers(args):
+                    findings.append(Finding(
+                        path, lineno, "secret-to-wire", name,
+                        f"secret-named `{name}` reaches net::Writer::"
+                        f"{m.group(1)} — wrap it in reed::Secret and cross "
+                        "the wire via an audited reed::Declassify call"))
+
+        if LOG_CALL_RE.search(line) or LOG_STREAM_RE.search(line):
+            stmt = statement_tail(lines, lineno)
+            if not DECLASSIFY_RE.search(stmt):
+                for name in tainted_identifiers(stmt):
+                    findings.append(Finding(
+                        path, lineno, "secret-log", name,
+                        f"secret-named `{name}` reaches a logging sink — "
+                        "key material must never be printed"))
+
+        m = MEMCMP_RE.search(line)
+        if m:
+            args = statement_tail(lines, lineno)[m.end():]
+            for name in tainted_identifiers(args):
+                findings.append(Finding(
+                    path, lineno, "secret-compare", name,
+                    f"{m.group(1)}() on secret-named `{name}` short-circuits "
+                    "— use reed::SecureCompare or Secret::ConstantTimeEquals"))
+                break  # one finding per memcmp call
+        for m in EQ_RE.finditer(line):
+            lhs, _, rhs = m.groups()
+            if looks_tainted_operand(lhs) or looks_tainted_operand(rhs):
+                tok = lhs if looks_tainted_operand(lhs) else rhs
+                findings.append(Finding(
+                    path, lineno, "secret-compare", tok,
+                    f"==/!= on secret-named `{tok}` is not constant time — "
+                    "use reed::SecureCompare or Secret::ConstantTimeEquals"))
+    return findings
+
+
+def run_lint(root, paths, allowlist_path):
+    allow = load_allowlist(allowlist_path)
+    reported = []
+    for full in collect_files(root, paths):
+        rel = os.path.relpath(full, root)
+        with open(full, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        for finding in lint_text(rel, raw):
+            if finding.key() in allow:
+                allow[finding.key()] += 1
+            else:
+                reported.append(finding)
+
+    for finding in reported:
+        print(finding)
+    for k, hits in allow.items():
+        if hits == 0:
+            print(f"note: stale allowlist entry (no longer matches): {k}")
+    if reported:
+        print(f"taint_lint: {len(reported)} finding(s)")
+        return 1
+    used = sum(1 for hits in allow.values() if hits)
+    print(f"taint_lint: clean ({used} allowlisted exception(s) in use)")
+    return 0
+
+
+# --------------------------- fixture self-test ---------------------------
+
+EXPECT_RE = re.compile(r"//\s*LINT-EXPECT:\s*([a-z\-]+)")
+
+
+def run_self_test(root):
+    fixture_dir = os.path.join(root, "tools", "lint", "fixtures")
+    failures = []
+    files = collect_files(root, [os.path.join("tools", "lint", "fixtures")])
+    if not files:
+        print(f"taint_lint --self-test: no fixtures under {fixture_dir}")
+        return 1
+    for full in files:
+        rel = os.path.relpath(full, root)
+        with open(full, encoding="utf-8") as f:
+            raw = f.read()
+        # Fixtures are shared with crypto_lint; only our own rule names count.
+        expected = sorted(r for r in EXPECT_RE.findall(raw) if r in RULES)
+        got = sorted(f.rule for f in lint_text(rel, raw))
+        if expected != got:
+            failures.append(f"{rel}: expected {expected or '[clean]'}, "
+                            f"got {got or '[clean]'}")
+    for f in failures:
+        print("FAIL " + f)
+    print(f"taint_lint --self-test: {len(files) - len(failures)}/{len(files)} "
+          "fixtures pass")
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--allowlist", default=None,
+                    help="allowlist file (default: tools/lint/"
+                         "taint_allowlist.txt)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="lint the fixture files and check expectations")
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files/directories relative to --root (default: src)")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    if args.self_test:
+        return run_self_test(root)
+    allowlist = args.allowlist or os.path.join(root, "tools", "lint",
+                                               "taint_allowlist.txt")
+    return run_lint(root, args.paths or ["src"], allowlist)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,14 +34,17 @@ int main(int argc, char** argv) {
     std::ifstream existing(state_path, std::ios::binary);
     if (existing.good()) {
       existing.close();
-      keys = rsa::DeserializeKeyPair(cli::ReadFile(state_path));
+      keys = rsa::DeserializeKeyPair(Secret(cli::ReadFile(state_path)));
       std::printf("loaded key pair from %s (%zu-bit modulus)\n",
                   state_path.c_str(), keys.pub.n.BitLength());
     } else {
       std::printf("generating %zu-bit system key pair...\n", opts.rsa_bits);
       crypto::ChaChaRng rng(crypto::SecureRandom::Generate(32));
       keys = rsa::GenerateKeyPair(opts.rsa_bits, rng);
-      cli::WriteFile(state_path, rsa::SerializeKeyPair(keys));
+      // --state is this daemon's persistent secret store by design.
+      cli::WriteFile(state_path,
+                     Declassify(rsa::SerializeKeyPair(keys),
+                                "system RSA key pair persisted to --state"));
     }
     cli::WriteFile(pub_path, rsa::SerializePublicKey(keys.pub));
 

@@ -47,7 +47,10 @@ int CmdInitOrg(const cli::Args& args) {
   net::Writer w;
   w.U32(kOrgMagic);
   w.Blob(cpabe.SerializePublicKey(setup.pk));
-  w.Blob(cpabe.SerializeMasterKey(setup.mk));
+  // The org file IS the authority's secret store; writing it out is the
+  // point of init-org (tools/ is outside the two in-tree wire crossings).
+  w.Blob(Declassify(cpabe.SerializeMasterKey(setup.mk),
+                    "ABE master key persisted to the local org file"));
   cli::WriteFile(out, w.bytes());
   std::printf("org created: %s (guard the master key inside!)\n", out.c_str());
   return 0;
@@ -64,7 +67,7 @@ OrgFile LoadOrg(const abe::CpAbe& cpabe, const std::string& path) {
   if (r.U32() != kOrgMagic) throw Error(path + " is not an org file");
   OrgFile org;
   org.pk = cpabe.DeserializePublicKey(r.Blob());
-  org.mk = cpabe.DeserializeMasterKey(r.Blob());
+  org.mk = cpabe.DeserializeMasterKey(Secret(r.Blob()));
   r.ExpectEnd();
   return org;
 }
@@ -86,8 +89,11 @@ int CmdIssue(const cli::Args& args) {
   w.U32(kIdMagic);
   w.Str(user);
   w.Blob(cpabe.SerializePublicKey(org.pk));
-  w.Blob(cpabe.SerializePrivateKey(sk));
-  w.Blob(rsa::SerializeKeyPair(derivation));
+  // The identity file is the user's local secret-key bundle.
+  w.Blob(Declassify(cpabe.SerializePrivateKey(sk),
+                    "ABE access key persisted to the local identity file"));
+  w.Blob(Declassify(rsa::SerializeKeyPair(derivation),
+                    "derivation key pair persisted to the local identity file"));
   cli::WriteFile(out, w.bytes());
   std::printf("issued identity for '%s': %s\n", user.c_str(), out.c_str());
   return 0;
@@ -107,8 +113,8 @@ Identity LoadIdentity(const abe::CpAbe& cpabe, const std::string& path) {
   Identity id;
   id.user = r.Str();
   id.pk = cpabe.DeserializePublicKey(r.Blob());
-  id.sk = cpabe.DeserializePrivateKey(r.Blob());
-  id.derivation = rsa::DeserializeKeyPair(r.Blob());
+  id.sk = cpabe.DeserializePrivateKey(Secret(r.Blob()));
+  id.derivation = rsa::DeserializeKeyPair(Secret(r.Blob()));
   r.ExpectEnd();
   return id;
 }

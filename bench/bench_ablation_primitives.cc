@@ -7,8 +7,14 @@
 //   * self-XOR tail vs hash tail (the enhanced scheme's §IV-B trick)
 //   * stub-size sweep: rekey payload vs storage overhead trade-off
 //
-//   ./bench_ablation_primitives [--benchmark_filter=...]
+//   ./bench_ablation_primitives [--benchmark_filter=...] [--json out.json]
+//   (--json X is shorthand for --benchmark_out=X --benchmark_out_format=json,
+//    matching the bench_fig* flag convention; --smoke caps iteration time)
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "abe/cpabe.h"
 #include "aont/reed_cipher.h"
@@ -327,4 +333,31 @@ BENCHMARK(BM_StubSizeSweep)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: translate the repo-wide --json/--smoke flags into
+// google-benchmark's native flags, then hand over to the library.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.emplace_back(std::string("--benchmark_out=") + argv[i + 1]);
+      args.emplace_back("--benchmark_out_format=json");
+      ++i;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.emplace_back("--benchmark_min_time=0.05s");
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      // Default google-benchmark timing is already the "full" scale.
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (auto& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,7 +11,7 @@
 // gently as chunk fragmentation spreads later backups across containers
 // (modeled here with a per-container-switch seek cost on server reads).
 //
-//   ./bench_fig10_trace [--full]
+//   ./bench_fig10_trace [--full|--smoke] [--json out.json]
 #include "bench/bench_util.h"
 #include "trace/trace.h"
 
@@ -20,11 +20,14 @@ using namespace reed::bench;
 
 int main(int argc, char** argv) {
   bool full = HasFlag(argc, argv, "--full");
+  bool smoke = HasFlag(argc, argv, "--smoke");
+  JsonReporter json("fig10_trace", argc, argv);
 
   trace::TraceOptions topts;
-  topts.num_users = 9;
-  topts.num_days = 7;  // paper: March 19-25, 2013
-  topts.user_snapshot_bytes = full ? (256ull << 20) : (8ull << 20);
+  topts.num_users = smoke ? 3 : 9;
+  topts.num_days = smoke ? 3 : 7;  // paper: March 19-25, 2013
+  topts.user_snapshot_bytes = full ? (256ull << 20)
+                                   : smoke ? (2ull << 20) : (8ull << 20);
   topts.daily_mod_rate = 0.010;
   topts.daily_growth_rate = 0.002;
   topts.cross_user_share = 0.30;
@@ -93,6 +96,9 @@ int main(int argc, char** argv) {
     t.Row({Fmt("%.0f", static_cast<double>(day + 1)),
            Fmt("%.1f", MbPerSec(day_bytes, up_secs)),
            Fmt("%.1f", MbPerSec(down_bytes, down_secs))});
+    json.Add("trace", {{"day", static_cast<double>(day + 1)},
+                       {"upload_mbps", MbPerSec(day_bytes, up_secs)},
+                       {"download_mbps", MbPerSec(down_bytes, down_secs)}});
   }
 
   auto stats = system.TotalStats();

@@ -7,7 +7,8 @@
 // byte); speed rises with batch size and saturates once the key manager's
 // OPRF compute — not round trips — is the bottleneck (≥256).
 //
-//   ./bench_fig5_keygen [--full]     (--full: 2 GB file as in the paper)
+//   ./bench_fig5_keygen [--full|--smoke] [--json out.json]
+//   (--full: 2 GB file as in the paper; --smoke: 4 MB CI scale)
 #include "bench/bench_util.h"
 #include "chunk/chunker.h"
 #include "keymanager/mle_key_client.h"
@@ -64,7 +65,10 @@ double MeasureKeygen(KeygenSetup& setup, ByteSpan data,
 
 int main(int argc, char** argv) {
   bool full = HasFlag(argc, argv, "--full");
-  std::size_t file_size = full ? (2ull << 30) : (32ull << 20);
+  bool smoke = HasFlag(argc, argv, "--smoke");
+  std::size_t file_size = full ? (2ull << 30) : smoke ? (4ull << 20)
+                                              : (32ull << 20);
+  JsonReporter json("fig5_keygen", argc, argv);
   std::printf("=== Figure 5 / Experiment A.1: MLE key generation ===\n");
   std::printf("file: %zu MB of globally unique chunks; key manager: 1024-bit "
               "RSA OPRF; link: 1 Gb/s, 1 ms RTT\n\n",
@@ -79,6 +83,8 @@ int main(int argc, char** argv) {
     for (std::size_t kb : {2, 4, 8, 16}) {
       double mbps = MeasureKeygen(setup, data, kb * 1024, 256);
       t.Row({Fmt("%.0f", static_cast<double>(kb)), Fmt("%.2f", mbps)});
+      json.Add("speed_vs_chunk", {{"chunk_size_kb", static_cast<double>(kb)},
+                                  {"speed_mbps", mbps}});
     }
   }
 
@@ -94,6 +100,8 @@ int main(int argc, char** argv) {
       double mbps = MeasureKeygen(setup, ByteSpan(data.data(), sample),
                                   8 * 1024, batch);
       t.Row({Fmt("%.0f", static_cast<double>(batch)), Fmt("%.2f", mbps)});
+      json.Add("speed_vs_batch", {{"batch_size", static_cast<double>(batch)},
+                                  {"speed_mbps", mbps}});
     }
   }
 

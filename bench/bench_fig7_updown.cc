@@ -16,7 +16,7 @@
 // of a quad-core i5 per machine, so "network-bound" tops out below the
 // paper's ~110 MB/s wire rate. Crossovers and orderings are preserved.
 //
-//   ./bench_fig7_updown [--full]
+//   ./bench_fig7_updown [--full|--smoke] [--json out.json]
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -112,29 +112,47 @@ AggregateResult MeasureAggregate(std::size_t num_clients,
 
 int main(int argc, char** argv) {
   bool full = HasFlag(argc, argv, "--full");
-  std::size_t file_size = full ? (2ull << 30) : (64ull << 20);
-  std::size_t agg_size = full ? (2ull << 30) : (16ull << 20);
+  bool smoke = HasFlag(argc, argv, "--smoke");
+  std::size_t file_size = full ? (2ull << 30) : smoke ? (4ull << 20)
+                                              : (64ull << 20);
+  std::size_t agg_size = full ? (2ull << 30) : smoke ? (2ull << 20)
+                                             : (16ull << 20);
+  std::vector<std::size_t> chunk_kbs =
+      smoke ? std::vector<std::size_t>{4, 8}
+            : std::vector<std::size_t>{2, 4, 8, 16};
+  std::vector<std::size_t> client_counts =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  JsonReporter json("fig7_updown", argc, argv);
   std::printf("=== Figure 7 / Experiment A.3: upload & download ===\n");
   std::printf("file: %zu MB; link: 1 Gb/s simulated; key cache on, batch 256, "
               "2 threads\n\n", file_size >> 20);
 
   std::printf("--- Fig 7(a)+(b): speeds vs chunk size ---\n");
   Table t({"chunk_kb", "scheme", "upload1_mbps", "upload2_mbps", "down_mbps"});
-  for (std::size_t kb : {2, 4, 8, 16}) {
+  for (std::size_t kb : chunk_kbs) {
     for (aont::Scheme scheme : {aont::Scheme::kBasic, aont::Scheme::kEnhanced}) {
       UpDown r = MeasureUpDown(scheme, kb, file_size);
       t.Row({Fmt("%.0f", static_cast<double>(kb)), aont::SchemeName(scheme),
              Fmt("%.1f", r.first_mbps), Fmt("%.1f", r.second_mbps),
              Fmt("%.1f", r.download_mbps)});
+      json.Add(std::string("updown_") + aont::SchemeName(scheme),
+               {{"chunk_kb", static_cast<double>(kb)},
+                {"upload1_mbps", r.first_mbps},
+                {"upload2_mbps", r.second_mbps},
+                {"down_mbps", r.download_mbps}});
     }
   }
 
   std::printf("\n--- Fig 7(c): aggregate upload speed vs #clients (enhanced, 8 KB) ---\n");
   Table t2({"clients", "upload1_mbps", "upload2_mbps"});
-  for (std::size_t n : {1, 2, 4, 8}) {
+  for (std::size_t n : client_counts) {
     AggregateResult r = MeasureAggregate(n, agg_size);
     t2.Row({Fmt("%.0f", static_cast<double>(n)), Fmt("%.1f", r.first_mbps),
             Fmt("%.1f", r.second_mbps)});
+    json.Add("aggregate", {{"clients", static_cast<double>(n)},
+                           {"upload1_mbps", r.first_mbps},
+                           {"upload2_mbps", r.second_mbps}});
   }
 
   std::printf("\npaper: 1st uploads 4-17 MB/s rising with chunk size;"

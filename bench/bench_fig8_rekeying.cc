@@ -20,7 +20,7 @@
 // exact size an N-GB file would have (N / 8 KB chunks x 64 B) — the same
 // objects ReedClient::Rekey reads and writes.
 //
-//   ./bench_fig8_rekeying [--full]
+//   ./bench_fig8_rekeying [--full|--smoke] [--json out.json]
 #include "abe/cpabe.h"
 #include "aont/reed_cipher.h"
 #include "bench/bench_util.h"
@@ -155,52 +155,78 @@ std::vector<std::string> Keep(const std::vector<std::string>& users,
 
 int main(int argc, char** argv) {
   bool full = HasFlag(argc, argv, "--full");
+  bool smoke = HasFlag(argc, argv, "--smoke");
+  JsonReporter json("fig8_rekeying", argc, argv);
   std::printf("=== Figure 8 / Experiment A.4: rekeying delay ===\n");
   std::printf("CP-ABE over a 160/512-bit Type-A pairing; 1024-bit key "
               "regression; 1 Gb/s link\n\n");
   RekeyBench bench;
   const std::uint64_t kGB = 1ull << 30;
+  // Smoke scale: fewer/smaller policies and a 256 MB base file keep every
+  // series shape while finishing in seconds.
+  std::vector<std::size_t> user_counts =
+      smoke ? std::vector<std::size_t>{20, 50}
+            : std::vector<std::size_t>{100, 200, 300, 400, 500};
+  std::size_t big_users = smoke ? 50 : 500;
+  std::uint64_t base_file = smoke ? kGB / 4 : 2 * kGB;
+  std::vector<double> ratios =
+      smoke ? std::vector<double>{0.1, 0.3, 0.5}
+            : std::vector<double>{0.05, 0.1, 0.2, 0.3, 0.4, 0.5};
 
   std::printf("--- Fig 8(a): delay vs total #users (2 GB file, 20%% revoked) ---\n");
   {
     Table t({"users", "lazy_s", "active_s"});
-    for (std::size_t n : {100, 200, 300, 400, 500}) {
+    for (std::size_t n : user_counts) {
       auto users = bench.Users(n);
-      bench.PrepareFile("a-lazy", 2 * kGB, users);
-      bench.PrepareFile("a-active", 2 * kGB, users);
+      bench.PrepareFile("a-lazy", base_file, users);
+      bench.PrepareFile("a-active", base_file, users);
       double lazy = bench.Rekey("a-lazy", Keep(users, 0.2), false);
       double active = bench.Rekey("a-active", Keep(users, 0.2), true);
       t.Row({Fmt("%.0f", static_cast<double>(n)), Fmt("%.2f", lazy),
              Fmt("%.2f", active)});
+      json.Add("users", {{"users", static_cast<double>(n)},
+                         {"lazy_s", lazy},
+                         {"active_s", active}});
     }
   }
 
   std::printf("\n--- Fig 8(b): delay vs revocation ratio (2 GB file, 500 users) ---\n");
   {
     Table t({"revoke_pct", "lazy_s", "active_s"});
-    auto users = bench.Users(500);
-    for (double pct : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5}) {
-      bench.PrepareFile("b-lazy", 2 * kGB, users);
-      bench.PrepareFile("b-active", 2 * kGB, users);
+    auto users = bench.Users(big_users);
+    for (double pct : ratios) {
+      bench.PrepareFile("b-lazy", base_file, users);
+      bench.PrepareFile("b-active", base_file, users);
       double lazy = bench.Rekey("b-lazy", Keep(users, pct), false);
       double active = bench.Rekey("b-active", Keep(users, pct), true);
       t.Row({Fmt("%.0f", pct * 100), Fmt("%.2f", lazy), Fmt("%.2f", active)});
+      json.Add("ratio", {{"revoke_pct", pct * 100},
+                         {"lazy_s", lazy},
+                         {"active_s", active}});
     }
   }
 
   std::printf("\n--- Fig 8(c): delay vs file size (500 users, 20%% revoked) ---\n");
   {
     Table t({"file_gb", "lazy_s", "active_s"});
-    auto users = bench.Users(500);
-    std::vector<std::uint64_t> sizes = {1, 2, 4, 8};
+    auto users = bench.Users(big_users);
+    std::vector<std::uint64_t> sizes =
+        smoke ? std::vector<std::uint64_t>{1, 2}
+              : std::vector<std::uint64_t>{1, 2, 4, 8};
     if (full) sizes.push_back(16);
     for (std::uint64_t gb : sizes) {
-      bench.PrepareFile("c-lazy", gb * kGB, users);
-      bench.PrepareFile("c-active", gb * kGB, users);
+      // Smoke keeps the x-axis labels but scales the materialized stub down
+      // with the same factor as the base file.
+      std::uint64_t bytes = smoke ? gb * kGB / 8 : gb * kGB;
+      bench.PrepareFile("c-lazy", bytes, users);
+      bench.PrepareFile("c-active", bytes, users);
       double lazy = bench.Rekey("c-lazy", Keep(users, 0.2), false);
       double active = bench.Rekey("c-active", Keep(users, 0.2), true);
       t.Row({Fmt("%.0f", static_cast<double>(gb)), Fmt("%.2f", lazy),
              Fmt("%.2f", active)});
+      json.Add("filesize", {{"file_gb", static_cast<double>(gb)},
+                            {"lazy_s", lazy},
+                            {"active_s", active}});
     }
   }
 
@@ -210,14 +236,18 @@ int main(int argc, char** argv) {
     // K files, 100 users, lazy revocation of 20%: individual rekeys pay K
     // CP-ABE encryptions; the group path pays one + K symmetric wraps.
     Table t({"files", "individual_s", "group_s", "speedup"});
-    auto users = bench.Users(100);
+    auto users = bench.Users(smoke ? 30 : 100);
     auto new_users = Keep(users, 0.2);
     abe::PolicyNode policy = abe::PolicyNode::OrOfUsers(new_users);
-    for (std::size_t k : {2, 8, 32}) {
+    std::uint64_t group_file = smoke ? kGB / 8 : kGB;
+    std::vector<std::size_t> group_sizes =
+        smoke ? std::vector<std::size_t>{2, 8}
+              : std::vector<std::size_t>{2, 8, 32};
+    for (std::size_t k : group_sizes) {
       // Individual: run the existing per-file flow k times.
       double individual = 0;
       for (std::size_t i = 0; i < k; ++i) {
-        bench.PrepareFile("gi-" + std::to_string(i), 1ull << 30, users);
+        bench.PrepareFile("gi-" + std::to_string(i), group_file, users);
       }
       for (std::size_t i = 0; i < k; ++i) {
         individual += bench.Rekey("gi-" + std::to_string(i), new_users, false);
@@ -226,7 +256,7 @@ int main(int argc, char** argv) {
       std::vector<rsa::KeyState> states;
       for (std::size_t i = 0; i < k; ++i) {
         states.push_back(
-            bench.PrepareFile("gg-" + std::to_string(i), 1ull << 30, users));
+            bench.PrepareFile("gg-" + std::to_string(i), group_file, users));
       }
       Stopwatch sw;
       Secret wrap_key = bench.rng.GenerateSecret(32);
@@ -258,6 +288,9 @@ int main(int argc, char** argv) {
       double group = sw.ElapsedSeconds();
       t.Row({Fmt("%.0f", static_cast<double>(k)), Fmt("%.2f", individual),
              Fmt("%.2f", group), Fmt("%.1fx", individual / group)});
+      json.Add("group", {{"files", static_cast<double>(k)},
+                         {"individual_s", individual},
+                         {"group_s", group}});
     }
   }
 

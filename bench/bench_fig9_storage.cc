@@ -14,7 +14,7 @@
 // the synthetic trace generator at laptop scale; per-day logical bytes are
 // ~4 MB/user instead of ~50 GB/user, every ratio is preserved.
 //
-//   ./bench_fig9_storage [--full]
+//   ./bench_fig9_storage [--full|--smoke] [--json out.json]
 #include <unordered_set>
 
 #include "aont/reed_cipher.h"
@@ -26,11 +26,14 @@ using namespace reed::bench;
 
 int main(int argc, char** argv) {
   bool full = HasFlag(argc, argv, "--full");
+  bool smoke = HasFlag(argc, argv, "--smoke");
+  JsonReporter json("fig9_storage", argc, argv);
 
   trace::TraceOptions topts;
   topts.num_users = 9;
-  topts.num_days = full ? 147 : 147;  // full day count either way
-  topts.user_snapshot_bytes = full ? (64ull << 20) : (4ull << 20);
+  topts.num_days = smoke ? 42 : 147;  // full day count unless smoke
+  topts.user_snapshot_bytes = full ? (64ull << 20)
+                                   : smoke ? (1ull << 20) : (4ull << 20);
   topts.daily_mod_rate = 0.010;
   topts.daily_growth_rate = 0.002;
   topts.cross_user_share = 0.30;
@@ -73,6 +76,11 @@ int main(int argc, char** argv) {
       t.Row({Fmt("%.0f", static_cast<double>(day + 1)),
              Fmt("%.3f", ToGiB(logical)), Fmt("%.3f", ToGiB(physical)),
              Fmt("%.3f", ToGiB(stub)), Fmt("%.2f", saving)});
+      json.Add("storage", {{"day", static_cast<double>(day + 1)},
+                           {"logical_gb", ToGiB(logical)},
+                           {"physical_gb", ToGiB(physical)},
+                           {"stub_gb", ToGiB(stub)},
+                           {"saving_pct", saving}});
     }
   }
 

@@ -3,10 +3,60 @@
 #include <algorithm>
 
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
 
 namespace reed::client {
 
 namespace {
+
+// Pipeline stage tracing (DESIGN.md §9): one histogram per upload/download
+// stage, matching the cost attribution in the paper's Figs. 5-7. Timings are
+// recorded per file operation (or per fetch batch), never per chunk, and the
+// metric pointers are resolved once per process — nothing here allocates on
+// the data path. Only durations and byte counts are recorded; all Secret
+// material stays inside the stages.
+struct StageMetrics {
+  obs::Histogram* chunking_us;
+  obs::Histogram* fingerprint_us;
+  obs::Histogram* keygen_us;
+  obs::Histogram* encode_us;
+  obs::Histogram* wrap_us;
+  obs::Histogram* store_us;
+  obs::Histogram* metadata_us;
+  obs::Counter* upload_files;
+  obs::Counter* upload_bytes;
+  obs::Counter* upload_chunks;
+  obs::Counter* upload_duplicates;
+  obs::Histogram* unwrap_us;
+  obs::Histogram* recipe_us;
+  obs::Histogram* fetch_us;
+  obs::Histogram* decode_us;
+  obs::Counter* download_files;
+  obs::Counter* download_bytes;
+};
+
+StageMetrics& Metrics() {
+  auto& reg = obs::Registry::Global();
+  static StageMetrics m{
+      &reg.GetHistogram("client.upload.chunking_us"),
+      &reg.GetHistogram("client.upload.fingerprint_us"),
+      &reg.GetHistogram("client.upload.keygen_us"),
+      &reg.GetHistogram("client.upload.encode_us"),
+      &reg.GetHistogram("client.upload.wrap_us"),
+      &reg.GetHistogram("client.upload.store_us"),
+      &reg.GetHistogram("client.upload.metadata_us"),
+      &reg.GetCounter("client.upload.files"),
+      &reg.GetCounter("client.upload.logical_bytes"),
+      &reg.GetCounter("client.upload.chunks"),
+      &reg.GetCounter("client.upload.duplicate_chunks"),
+      &reg.GetHistogram("client.download.unwrap_us"),
+      &reg.GetHistogram("client.download.recipe_us"),
+      &reg.GetHistogram("client.download.fetch_us"),
+      &reg.GetHistogram("client.download.decode_us"),
+      &reg.GetCounter("client.download.files"),
+      &reg.GetCounter("client.download.bytes")};
+  return m;
+}
 
 crypto::ChaChaRng MakeClientRng(std::uint64_t seed) {
   if (seed == 0) {
@@ -98,7 +148,10 @@ UploadResult ReedClient::Upload(const std::string& file_id, ByteSpan data,
                                 const std::vector<std::string>& authorized_users) {
   if (data.empty()) throw Error("ReedClient::Upload: empty file");
   // 1. Chunking, then the shared pipeline.
-  return UploadChunked(file_id, data, ChunkData(data), authorized_users);
+  obs::ScopedTimer chunk_timer(*Metrics().chunking_us);
+  std::vector<chunk::ChunkRef> refs = ChunkData(data);
+  (void)chunk_timer.Stop();
+  return UploadChunked(file_id, data, refs, authorized_users);
 }
 
 UploadResult ReedClient::UploadChunked(
@@ -109,18 +162,25 @@ UploadResult ReedClient::UploadChunked(
   const std::string sid = StorageId(file_id);
 
   // 2. Server-aided MLE key generation (batched OPRF + key cache).
+  obs::ScopedTimer fp_timer(*Metrics().fingerprint_us);
   std::vector<chunk::Fingerprint> chunk_fps;
   chunk_fps.reserve(refs.size());
   for (const auto& ref : refs) {
     chunk_fps.push_back(
         chunk::Fingerprint::Of(data.subspan(ref.offset, ref.length)));
   }
+  (void)fp_timer.Stop();
+  obs::ScopedTimer keygen_timer(*Metrics().keygen_us);
   std::vector<Secret> mle_keys = keys_->GetKeys(chunk_fps, rng_);
+  (void)keygen_timer.Stop();
 
   // 3. REED encryption (multi-threaded).
+  obs::ScopedTimer encode_timer(*Metrics().encode_us);
   std::vector<aont::SealedChunk> sealed = EncryptChunks(data, refs, mle_keys);
+  (void)encode_timer.Stop();
 
   // 4. Recipe + stub file assembly.
+  obs::ScopedTimer wrap_timer(*Metrics().wrap_us);
   store::FileRecipe recipe;
   recipe.file_id = sid;
   recipe.file_size = data.size();
@@ -159,8 +219,10 @@ UploadResult ReedClient::UploadChunked(
       abe_pk_, policy, state.Serialize(regression_owner_.public_key()), rng_));
   record.derivation_public_key =
       rsa::SerializePublicKey(regression_owner_.public_key());
+  (void)wrap_timer.Stop();
 
   // 7. Upload everything: trimmed packages in ~4 MB batches, then metadata.
+  obs::ScopedTimer store_timer(*Metrics().store_us);
   UploadResult result;
   result.logical_bytes = data.size();
   result.chunk_count = refs.size();
@@ -181,13 +243,20 @@ UploadResult ReedClient::UploadChunked(
     result.stored_bytes += stats.stored_bytes;
     start = end;
   }
+  (void)store_timer.Stop();
+  obs::ScopedTimer metadata_timer(*Metrics().metadata_us);
   storage_->PutObject(server::StoreId::kData, RecipeName(sid),
                       recipe.Serialize());
   storage_->PutObject(server::StoreId::kData, StubName(sid),
                       PublicStubCiphertext(stub_blob));
   storage_->PutObject(server::StoreId::kKey, StateName(sid),
                       record.Serialize());
+  (void)metadata_timer.Stop();
   result.stub_bytes = stub_blob.size();
+  Metrics().upload_files->Increment();
+  Metrics().upload_bytes->Add(result.logical_bytes);
+  Metrics().upload_chunks->Add(result.chunk_count);
+  Metrics().upload_duplicates->Add(result.duplicate_chunks);
   return result;
 }
 
@@ -218,14 +287,17 @@ Bytes ReedClient::Download(const std::string& file_id) {
   const std::string sid = StorageId(file_id);
   // 1. Key state: CP-ABE decrypt, then unwind to the version the stub file
   //    is encrypted under (lazy revocation leaves it at an older version).
+  obs::ScopedTimer unwrap_timer(*Metrics().unwrap_us);
   store::KeyStateRecord record = FetchKeyStateRecord(sid);
   rsa::KeyState current = UnwrapKeyState(record);
   rsa::KeyRegressionMember member(
       rsa::DeserializePublicKey(record.derivation_public_key));
   rsa::KeyState stub_state = member.UnwindTo(current, record.stub_key_version);
   Secret file_key = stub_state.DeriveFileKey();
+  (void)unwrap_timer.Stop();
 
   // 2. Recipe and stub file.
+  obs::ScopedTimer recipe_timer(*Metrics().recipe_us);
   store::FileRecipe recipe = store::FileRecipe::Deserialize(
       storage_->GetObject(server::StoreId::kData, RecipeName(sid)));
   Secret stub_data = aont::DecryptStubFile(
@@ -233,6 +305,7 @@ Bytes ReedClient::Download(const std::string& file_id) {
   if (stub_data.size() != recipe.chunk_count() * recipe.stub_size) {
     throw Error("ReedClient::Download: stub file size mismatch");
   }
+  (void)recipe_timer.Stop();
 
   // 3. Fetch trimmed packages in batches and revert chunks in parallel.
   aont::ReedCipher cipher(static_cast<aont::Scheme>(recipe.scheme),
@@ -258,7 +331,10 @@ Bytes ReedClient::Download(const std::string& file_id) {
     std::size_t end = std::min(recipe.chunk_count(), start + kFetchBatch);
     std::vector<chunk::Fingerprint> fps(recipe.fingerprints.begin() + start,
                                         recipe.fingerprints.begin() + end);
+    obs::ScopedTimer fetch_timer(*Metrics().fetch_us);
     std::vector<Bytes> packages = storage_->GetChunks(fps);
+    (void)fetch_timer.Stop();
+    obs::ScopedTimer decode_timer(*Metrics().decode_us);
     pool_.ParallelFor(end - start, [&](std::size_t i) {
       std::size_t idx = start + i;
       Secret stub = stub_data.Slice(idx * recipe.stub_size, recipe.stub_size);
@@ -268,7 +344,10 @@ Bytes ReedClient::Download(const std::string& file_id) {
       }
       std::copy(plain.begin(), plain.end(), file.begin() + chunk_offsets[idx]);
     });
+    (void)decode_timer.Stop();
   }
+  Metrics().download_files->Increment();
+  Metrics().download_bytes->Add(file.size());
   return file;
 }
 

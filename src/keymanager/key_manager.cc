@@ -2,7 +2,31 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+
 namespace reed::keymanager {
+namespace {
+
+// Process-wide OPRF serving metrics: batch count, signatures issued,
+// rate-limit rejections, and per-batch signing latency. The per-signature
+// cost is sign_us / signatures.
+struct OprfServerMetrics {
+  obs::Counter* batches;
+  obs::Counter* signatures;
+  obs::Counter* rejected;
+  obs::Histogram* sign_us;
+};
+
+OprfServerMetrics& Metrics() {
+  auto& reg = obs::Registry::Global();
+  static OprfServerMetrics m{&reg.GetCounter("oprf.server.batches"),
+                             &reg.GetCounter("oprf.server.signatures"),
+                             &reg.GetCounter("oprf.server.rejected"),
+                             &reg.GetHistogram("oprf.server.sign_us")};
+  return m;
+}
+
+}  // namespace
 
 KeyManager::KeyManager(const Options& options, crypto::Rng& rng)
     : KeyManager(rsa::GenerateKeyPair(options.rsa_bits, rng), options) {}
@@ -31,6 +55,7 @@ std::vector<BigInt> KeyManager::SignBatch(const std::string& client_id,
     if (!bucket->TryAcquire(now, static_cast<double>(blinded.size()))) {
       MutexLock lock(mu_);
       ++stats_.rejected;
+      Metrics().rejected->Increment();
       throw RateLimitedError("KeyManager: client " + client_id +
                              " exceeded its key-generation budget");
     }
@@ -38,14 +63,19 @@ std::vector<BigInt> KeyManager::SignBatch(const std::string& client_id,
 
   std::vector<BigInt> signatures;
   signatures.reserve(blinded.size());
-  for (const BigInt& b : blinded) {
-    signatures.push_back(server_.Sign(b));
+  {
+    obs::ScopedTimer sign_timer(*Metrics().sign_us);
+    for (const BigInt& b : blinded) {
+      signatures.push_back(server_.Sign(b));
+    }
   }
   {
     MutexLock lock(mu_);
     ++stats_.batches;
     stats_.signatures += signatures.size();
   }
+  Metrics().batches->Increment();
+  Metrics().signatures->Add(signatures.size());
   return signatures;
 }
 

@@ -1,10 +1,34 @@
 #include "keymanager/mle_key_client.h"
 
+#include "obs/metrics.h"
+
 namespace reed::keymanager {
 
 namespace {
 // LRU accounting charge per cached key: fingerprint + key + node overhead.
 constexpr std::size_t kCacheEntryCost = 32 + 32 + 64;
+
+// Process-wide mirrors of the per-instance Stats, plus OPRF batch
+// round-trip latency (blind -> sign -> unblind excluded; this is the wire
+// call only). Counters batch their adds per GetKeys call, never per chunk.
+struct OprfClientMetrics {
+  obs::Counter* cache_hits;
+  obs::Counter* cache_misses;
+  obs::Counter* batches;
+  obs::Counter* failovers;
+  obs::Histogram* roundtrip_us;
+};
+
+OprfClientMetrics& Metrics() {
+  auto& reg = obs::Registry::Global();
+  static OprfClientMetrics m{
+      &reg.GetCounter("oprf.client.cache_hits"),
+      &reg.GetCounter("oprf.client.cache_misses"),
+      &reg.GetCounter("oprf.client.batches"),
+      &reg.GetCounter("oprf.client.failovers"),
+      &reg.GetHistogram("oprf.client.roundtrip_us")};
+  return m;
+}
 }  // namespace
 
 MleKeyClient::MleKeyClient(std::string client_id,
@@ -44,6 +68,7 @@ Bytes MleKeyClient::CallWithFailover(ByteSpan request) {
       // exceptions, so they are never retried here.)
       if (i + 1 == replicas_.size()) throw;
       ++stats_.failovers;
+      Metrics().failovers->Increment();
     }
   }
   throw Error("MleKeyClient: unreachable");
@@ -69,6 +94,8 @@ std::vector<Secret> MleKeyClient::GetKeys(
     for (std::size_t i = 0; i < fps.size(); ++i) missing.push_back(i);
     stats_.cache_misses += missing.size();
   }
+  Metrics().cache_hits->Add(fps.size() - missing.size());
+  Metrics().cache_misses->Add(missing.size());
 
   std::size_t modulus_bytes = blind_client_.manager_key().ByteLength();
   for (std::size_t start = 0; start < missing.size();
@@ -85,10 +112,13 @@ std::vector<Secret> MleKeyClient::GetKeys(
     }
 
     Bytes request = KeyManager::EncodeRequest(client_id_, blinded, modulus_bytes);
+    obs::ScopedTimer rpc_timer(*Metrics().roundtrip_us);
     Bytes response = CallWithFailover(request);
+    (void)rpc_timer.Stop();
     std::vector<BigInt> sigs =
         KeyManager::DecodeResponse(response, modulus_bytes, blinded.size());
     ++stats_.batches_sent;
+    Metrics().batches->Increment();
 
     for (std::size_t i = start; i < end; ++i) {
       Secret key = blind_client_.Unblind(requests[i - start], sigs[i - start]);

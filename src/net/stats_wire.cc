@@ -1,0 +1,77 @@
+#include "net/stats_wire.h"
+
+namespace reed::net {
+namespace {
+
+// Smallest possible wire size of one entry of each kind: a zero-length name
+// (4 bytes of length prefix) plus the fixed integer fields. Used to reject
+// forged counts before any reserve().
+constexpr std::uint64_t kMinCounterBytes = 4 + 8;
+constexpr std::uint64_t kMinGaugeBytes = 4 + 8;
+constexpr std::uint64_t kMinHistogramBytes = 4 + 8 + 8 + 4;
+
+std::uint32_t CheckedCount(Reader& r, std::uint64_t min_entry_bytes) {
+  std::uint32_t n = r.U32();
+  if (static_cast<std::uint64_t>(n) * min_entry_bytes > r.remaining()) {
+    throw Error("stats snapshot: entry count exceeds payload");
+  }
+  return n;
+}
+
+}  // namespace
+
+void EncodeSnapshot(Writer& w, const obs::Snapshot& snapshot) {
+  w.U32(static_cast<std::uint32_t>(snapshot.counters.size()));
+  for (const auto& c : snapshot.counters) {
+    w.Str(c.name);
+    w.U64(c.value);
+  }
+  w.U32(static_cast<std::uint32_t>(snapshot.gauges.size()));
+  for (const auto& g : snapshot.gauges) {
+    w.Str(g.name);
+    w.U64(static_cast<std::uint64_t>(g.value));
+  }
+  w.U32(static_cast<std::uint32_t>(snapshot.histograms.size()));
+  for (const auto& h : snapshot.histograms) {
+    w.Str(h.name);
+    w.U64(h.count);
+    w.U64(h.sum);
+    w.U32(static_cast<std::uint32_t>(h.buckets.size()));
+    for (std::uint64_t b : h.buckets) w.U64(b);
+  }
+}
+
+obs::Snapshot DecodeSnapshot(Reader& r) {
+  obs::Snapshot snap;
+  std::uint32_t n_counters = CheckedCount(r, kMinCounterBytes);
+  snap.counters.reserve(n_counters);
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    obs::Snapshot::CounterValue c;
+    c.name = r.Str();
+    c.value = r.U64();
+    snap.counters.push_back(std::move(c));
+  }
+  std::uint32_t n_gauges = CheckedCount(r, kMinGaugeBytes);
+  snap.gauges.reserve(n_gauges);
+  for (std::uint32_t i = 0; i < n_gauges; ++i) {
+    obs::Snapshot::GaugeValue g;
+    g.name = r.Str();
+    g.value = static_cast<std::int64_t>(r.U64());
+    snap.gauges.push_back(std::move(g));
+  }
+  std::uint32_t n_hists = CheckedCount(r, kMinHistogramBytes);
+  snap.histograms.reserve(n_hists);
+  for (std::uint32_t i = 0; i < n_hists; ++i) {
+    obs::Snapshot::HistogramValue h;
+    h.name = r.Str();
+    h.count = r.U64();
+    h.sum = r.U64();
+    std::uint32_t n_buckets = CheckedCount(r, 8);
+    h.buckets.reserve(n_buckets);
+    for (std::uint32_t b = 0; b < n_buckets; ++b) h.buckets.push_back(r.U64());
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+}  // namespace reed::net

@@ -1,0 +1,26 @@
+// Wire encoding for obs::Snapshot — the payload of the storage server's
+// kGetStats RPC. Lives in net (not obs) so obs stays a leaf the whole tree
+// can depend on without pulling in the wire layer.
+//
+// Frame layout (all integers big-endian, names u32-length-prefixed):
+//   u32 counter_count,   then per counter:   str name, u64 value
+//   u32 gauge_count,     then per gauge:     str name, u64 value (2's compl.)
+//   u32 histogram_count, then per histogram: str name, u64 count, u64 sum,
+//                                            u32 bucket_count, u64 buckets[]
+// Everything in a snapshot is public by construction (metric names and
+// integer totals), so nothing here touches the Secret type wall.
+#pragma once
+
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace reed::net {
+
+void EncodeSnapshot(Writer& w, const obs::Snapshot& snapshot);
+
+// Reads one snapshot from the reader, leaving any bytes after it unread
+// (callers frame-check with ExpectEnd). Throws Error on truncation or on
+// forged counts that exceed the remaining payload.
+[[nodiscard]] obs::Snapshot DecodeSnapshot(Reader& r);
+
+}  // namespace reed::net

@@ -1,0 +1,150 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace reed::obs {
+namespace {
+
+// Shared registration walk for the three metric kinds: find-or-insert under
+// the lock, return a reference that stays valid for the process lifetime
+// (node-based map, pointee never moves).
+template <typename M>
+M& GetOrCreate(std::map<std::string, std::unique_ptr<M>, std::less<>>& metrics,
+               std::string_view name) {
+  auto it = metrics.find(name);
+  if (it == metrics.end()) {
+    it = metrics.emplace(std::string(name), std::make_unique<M>()).first;
+  }
+  return *it->second;
+}
+
+void AppendLine(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendLine(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min(static_cast<std::size_t>(n),
+                                      sizeof(buf) - 1));
+  out.push_back('\n');
+}
+
+}  // namespace
+
+const Snapshot::CounterValue* Snapshot::FindCounter(
+    std::string_view name) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const Snapshot::HistogramValue* Snapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // never destroyed: metrics may
+  return *instance;                            // be touched during shutdown
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  MutexLock lock(mu_);
+  return GetOrCreate(counters_, name);
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  MutexLock lock(mu_);
+  return GetOrCreate(gauges_, name);
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  MutexLock lock(mu_);
+  return GetOrCreate(histograms_, name);
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  MutexLock lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    Snapshot::HistogramValue hv;
+    hv.name = name;
+    hv.count = hist->count();
+    hv.sum = hist->sum();
+    hv.buckets.resize(Histogram::kNumBuckets);
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      hv.buckets[i] = hist->bucket(i);
+    }
+    snap.histograms.push_back(std::move(hv));
+  }
+  return snap;
+}
+
+void Registry::ResetAll() {
+  MutexLock lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, hist] : histograms_) hist->Reset();
+}
+
+std::string RenderText(const Snapshot& snapshot) {
+  std::string out;
+  if (!snapshot.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& c : snapshot.counters) {
+      AppendLine(out, "  %-44s %llu", c.name.c_str(),
+                 static_cast<unsigned long long>(c.value));
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& g : snapshot.gauges) {
+      AppendLine(out, "  %-44s %lld", g.name.c_str(),
+                 static_cast<long long>(g.value));
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out += "histograms:\n";
+    for (const auto& h : snapshot.histograms) {
+      AppendLine(out, "  %-44s count=%llu mean=%.1f", h.name.c_str(),
+                 static_cast<unsigned long long>(h.count), h.mean());
+      for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+        if (h.buckets[i] == 0) continue;
+        std::uint64_t lo = Histogram::BucketLowerBound(i);
+        std::uint64_t hi = Histogram::BucketLowerBound(i + 1);
+        if (i + 1 >= Histogram::kNumBuckets) {
+          AppendLine(out, "    [%llu, inf): %llu",
+                     static_cast<unsigned long long>(lo),
+                     static_cast<unsigned long long>(h.buckets[i]));
+        } else {
+          AppendLine(out, "    [%llu, %llu): %llu",
+                     static_cast<unsigned long long>(lo),
+                     static_cast<unsigned long long>(hi),
+                     static_cast<unsigned long long>(h.buckets[i]));
+        }
+      }
+    }
+  }
+  if (out.empty()) out = "(no metrics registered)\n";
+  return out;
+}
+
+}  // namespace reed::obs

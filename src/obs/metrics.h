@@ -1,0 +1,210 @@
+// Process-wide observability: named counters, gauges, and fixed-bucket
+// histograms behind a single registry, plus a ScopedTimer for stage tracing.
+//
+// The paper's evaluation (Figs. 5-10) attributes throughput to per-stage
+// costs — OPRF keygen vs. CAONT encode vs. wire transfer — so the data path
+// records where its time and bytes go. Design constraints:
+//
+//   * Hot path is allocation-free and lock-free: callers resolve a metric
+//     once (registry lookup, under mu_) and then touch only std::atomic
+//     slots. Registration is the slow path; Add/Record/Set are relaxed
+//     atomic ops on stable storage (verified by tests/obs_metrics_test.cc).
+//   * Metrics carry NO Secret material — only counts, byte totals, and
+//     durations. The registry API traffics exclusively in integers and
+//     plain metric-name strings, so nothing here can cross the Secret
+//     type wall (DESIGN.md §9).
+//   * Naming scheme is dotted lowercase: <module>.<component>.<metric>,
+//     with histogram units suffixed (_us for microseconds, _bytes).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace reed::obs {
+
+// Monotonic event counter. Relaxed ordering: totals are read by snapshots,
+// not used for synchronization.
+class Counter {
+ public:
+  void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+  void Add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-writer-wins instantaneous value (e.g. container count, index size).
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Power-of-two bucketed histogram for latencies (microseconds) and sizes
+// (bytes). Fixed bucket count keeps Record allocation-free; two decades of
+// dynamic range per decade of buckets is plenty for stage timings. Bucket 0
+// holds exact zeros; bucket i (i >= 1) holds [2^(i-1), 2^i), and the last
+// bucket absorbs everything above 2^(kNumBuckets-2).
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 32;
+
+  void Record(std::uint64_t v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static std::size_t BucketIndex(std::uint64_t v) {
+    if (v == 0) return 0;
+    return std::min<std::size_t>(kNumBuckets - 1,
+                                 static_cast<std::size_t>(std::bit_width(v)));
+  }
+  // Smallest value that lands in bucket i.
+  [[nodiscard]] static std::uint64_t BucketLowerBound(std::size_t i) {
+    if (i == 0) return 0;
+    return std::uint64_t{1} << (i - 1);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+// Point-in-time copy of every registered metric, safe to serialize or print
+// (plain integers and names — nothing Secret-typed can get in here).
+struct Snapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::vector<std::uint64_t> buckets;
+
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  // nullptr when the name is absent — convenience for tests and reedctl.
+  [[nodiscard]] const CounterValue* FindCounter(std::string_view name) const;
+  [[nodiscard]] const HistogramValue* FindHistogram(std::string_view name) const;
+};
+
+// Process-wide metric registry. Get* registers on first use (slow path, takes
+// mu_, allocates) and returns a stable reference: the metric objects live in
+// node-based maps and are never destroyed or moved, so callers may cache the
+// reference and hit it lock-free forever after.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] static Registry& Global();
+
+  [[nodiscard]] Counter& GetCounter(std::string_view name) REED_EXCLUDES(mu_);
+  [[nodiscard]] Gauge& GetGauge(std::string_view name) REED_EXCLUDES(mu_);
+  [[nodiscard]] Histogram& GetHistogram(std::string_view name)
+      REED_EXCLUDES(mu_);
+
+  [[nodiscard]] Snapshot TakeSnapshot() const REED_EXCLUDES(mu_);
+
+  // Zeroes every registered metric (tests; registered names survive).
+  void ResetAll() REED_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  // std::less<> enables string_view lookup with no temporary std::string.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      REED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      REED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      REED_GUARDED_BY(mu_);
+};
+
+// Records wall time (microseconds) into a histogram when it goes out of
+// scope — the stage-tracing primitive. Stop() ends the measurement early and
+// returns the recorded duration; the destructor then does nothing.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist)
+      : hist_(&hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    if (hist_ != nullptr) (void)Stop();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  std::uint64_t Stop() {
+    if (hist_ == nullptr) return 0;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(elapsed);
+    std::uint64_t v = us.count() < 0 ? 0 : static_cast<std::uint64_t>(us.count());
+    hist_->Record(v);
+    hist_ = nullptr;
+    return v;
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Human-readable dump (reedctl stats): counters and gauges one per line,
+// histograms as count/mean plus their non-empty buckets.
+[[nodiscard]] std::string RenderText(const Snapshot& snapshot);
+
+}  // namespace reed::obs

@@ -1,9 +1,53 @@
 #include "server/storage_server.h"
 
+#include <chrono>
 #include <set>
 #include <thread>
 
+#include "net/stats_wire.h"
+#include "obs/metrics.h"
+
 namespace reed::server {
+namespace {
+
+// Per-opcode RPC metrics (DESIGN.md §9): resolved once per process, then the
+// dispatch hot path touches only the cached atomic slots.
+struct RpcMetrics {
+  obs::Counter* calls;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::Histogram* latency_us;
+};
+
+RpcMetrics MakeRpcMetrics(const char* label) {
+  auto& reg = obs::Registry::Global();
+  std::string prefix = std::string("server.rpc.") + label;
+  return {&reg.GetCounter(prefix + ".calls"),
+          &reg.GetCounter(prefix + ".bytes_in"),
+          &reg.GetCounter(prefix + ".bytes_out"),
+          &reg.GetHistogram(prefix + ".latency_us")};
+}
+
+RpcMetrics& MetricsFor(Opcode op) {
+  static RpcMetrics put_chunks = MakeRpcMetrics("put_chunks");
+  static RpcMetrics get_chunks = MakeRpcMetrics("get_chunks");
+  static RpcMetrics put_object = MakeRpcMetrics("put_object");
+  static RpcMetrics get_object = MakeRpcMetrics("get_object");
+  static RpcMetrics has_object = MakeRpcMetrics("has_object");
+  static RpcMetrics get_stats = MakeRpcMetrics("get_stats");
+  static RpcMetrics unknown = MakeRpcMetrics("unknown");
+  switch (op) {
+    case Opcode::kPutChunks: return put_chunks;
+    case Opcode::kGetChunks: return get_chunks;
+    case Opcode::kPutObject: return put_object;
+    case Opcode::kGetObject: return get_object;
+    case Opcode::kHasObject: return has_object;
+    case Opcode::kGetStats: return get_stats;
+  }
+  return unknown;
+}
+
+}  // namespace
 
 StorageServer::StorageServer(std::string name)
     : StorageServer(std::move(name), Options()) {}
@@ -43,6 +87,13 @@ StorageServer::PutChunksResult StorageServer::PutChunks(
     ++result.stored;
     result.stored_bytes += data.size();
   }
+  // Batch-granular dedup counters (ratio = duplicate / logical): one pair of
+  // atomic adds per RPC, nothing per chunk.
+  auto& reg = obs::Registry::Global();
+  static obs::Counter& logical = reg.GetCounter("server.dedup.logical_chunks");
+  static obs::Counter& dups = reg.GetCounter("server.dedup.duplicate_chunks");
+  logical.Add(chunks.size());
+  dups.Add(result.duplicates);
   return result;
 }
 
@@ -100,10 +151,29 @@ StorageServer::Stats StorageServer::stats() const {
 }
 
 Bytes StorageServer::HandleRequest(ByteSpan request) {
+  static obs::Counter& rpc_errors =
+      obs::Registry::Global().GetCounter("server.rpc.errors");
   net::Writer resp;
+  RpcMetrics* rpc = nullptr;
+  auto started = std::chrono::steady_clock::now();
+  // Records response size and dispatch latency on every exit path, success
+  // and error alike, once the opcode is known.
+  auto finish = [&](Bytes out) {
+    if (rpc != nullptr) {
+      rpc->bytes_out->Add(out.size());
+      auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started);
+      rpc->latency_us->Record(
+          us.count() < 0 ? 0 : static_cast<std::uint64_t>(us.count()));
+    }
+    return out;
+  };
   try {
     net::Reader r(request);
     auto opcode = static_cast<Opcode>(r.U8());
+    rpc = &MetricsFor(opcode);
+    rpc->calls->Increment();
+    rpc->bytes_in->Add(request.size());
     switch (opcode) {
       case Opcode::kPutChunks: {
         std::uint32_t count = r.U32();
@@ -124,7 +194,7 @@ Bytes StorageServer::HandleRequest(ByteSpan request) {
         resp.U32(static_cast<std::uint32_t>(res.duplicates));
         resp.U32(static_cast<std::uint32_t>(res.stored));
         resp.U64(res.stored_bytes);
-        return resp.Take();
+        return finish(resp.Take());
       }
       case Opcode::kGetChunks: {
         std::uint32_t count = r.U32();
@@ -140,7 +210,7 @@ Bytes StorageServer::HandleRequest(ByteSpan request) {
         std::vector<Bytes> chunks = GetChunks(fps);
         resp.U8(0);
         for (const Bytes& c : chunks) resp.Blob(c);
-        return resp.Take();
+        return finish(resp.Take());
       }
       case Opcode::kPutObject: {
         auto store = static_cast<StoreId>(r.U8());
@@ -149,7 +219,7 @@ Bytes StorageServer::HandleRequest(ByteSpan request) {
         r.ExpectEnd();
         PutObject(store, name, std::move(value));
         resp.U8(0);
-        return resp.Take();
+        return finish(resp.Take());
       }
       case Opcode::kGetObject: {
         auto store = static_cast<StoreId>(r.U8());
@@ -158,7 +228,7 @@ Bytes StorageServer::HandleRequest(ByteSpan request) {
         Bytes value = GetObject(store, name);
         resp.U8(0);
         resp.Blob(value);
-        return resp.Take();
+        return finish(resp.Take());
       }
       case Opcode::kHasObject: {
         auto store = static_cast<StoreId>(r.U8());
@@ -166,15 +236,40 @@ Bytes StorageServer::HandleRequest(ByteSpan request) {
         r.ExpectEnd();
         resp.U8(0);
         resp.U8(HasObject(store, name) ? 1 : 0);
-        return resp.Take();
+        return finish(resp.Take());
+      }
+      case Opcode::kGetStats: {
+        r.ExpectEnd();
+        // Mirror this server's storage accounting into gauges so the wire
+        // snapshot carries them; with several in-process servers the gauges
+        // reflect the most recently queried one (counters and histograms
+        // aggregate process-wide regardless).
+        Stats s = stats();
+        auto& reg = obs::Registry::Global();
+        reg.GetGauge("server.store.logical_chunks")
+            .Set(static_cast<std::int64_t>(s.logical_chunks));
+        reg.GetGauge("server.store.logical_bytes")
+            .Set(static_cast<std::int64_t>(s.logical_bytes));
+        reg.GetGauge("server.store.unique_chunks")
+            .Set(static_cast<std::int64_t>(s.unique_chunks));
+        reg.GetGauge("server.store.physical_bytes")
+            .Set(static_cast<std::int64_t>(s.physical_bytes));
+        reg.GetGauge("server.store.data_object_bytes")
+            .Set(static_cast<std::int64_t>(s.data_object_bytes));
+        reg.GetGauge("server.store.key_object_bytes")
+            .Set(static_cast<std::int64_t>(s.key_object_bytes));
+        resp.U8(0);
+        net::EncodeSnapshot(resp, reg.TakeSnapshot());
+        return finish(resp.Take());
       }
     }
     throw Error("StorageServer: unknown opcode");
   } catch (const Error& e) {
+    rpc_errors.Increment();
     net::Writer err;
     err.U8(1);
     err.Str(e.what());
-    return err.Take();
+    return finish(err.Take());
   }
 }
 

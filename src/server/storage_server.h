@@ -9,6 +9,9 @@
 //   kGetChunks: fetch trimmed packages by fingerprint.
 //   kPutObject / kGetObject / kHasObject: named blobs in the data or key
 //               store.
+//   kGetStats:  dump the process-wide metrics registry (obs::Snapshot over
+//               net/stats_wire.h) plus this server's storage gauges — the
+//               payload behind `reedctl stats`.
 #pragma once
 
 #include <string>
@@ -26,6 +29,7 @@ enum class Opcode : std::uint8_t {
   kPutObject = 3,
   kGetObject = 4,
   kHasObject = 5,
+  kGetStats = 6,
 };
 
 enum class StoreId : std::uint8_t {

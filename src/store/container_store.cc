@@ -1,6 +1,27 @@
 #include "store/container_store.h"
 
+#include "obs/metrics.h"
+
 namespace reed::store {
+namespace {
+
+// Process-wide write-path metrics, resolved once: Append stays
+// allocation-free beyond its own payload copy.
+struct ContainerMetrics {
+  obs::Counter* appends;
+  obs::Counter* bytes;
+  obs::Counter* containers_opened;
+};
+
+ContainerMetrics& Metrics() {
+  auto& reg = obs::Registry::Global();
+  static ContainerMetrics m{&reg.GetCounter("store.container.appends"),
+                            &reg.GetCounter("store.container.bytes"),
+                            &reg.GetCounter("store.container.opened")};
+  return m;
+}
+
+}  // namespace
 
 ContainerStore::ContainerStore(std::size_t container_capacity)
     : capacity_(container_capacity) {
@@ -8,6 +29,7 @@ ContainerStore::ContainerStore(std::size_t container_capacity)
   containers_.emplace_back();
   containers_.back().reserve(capacity_);
   stats_.containers = 1;
+  Metrics().containers_opened->Increment();
 }
 
 ChunkLocation ContainerStore::Append(ByteSpan data) {
@@ -18,6 +40,7 @@ ChunkLocation ContainerStore::Append(ByteSpan data) {
     containers_.emplace_back();
     containers_.back().reserve(capacity_);
     ++stats_.containers;
+    Metrics().containers_opened->Increment();
     current = &containers_.back();
   }
   ChunkLocation loc;
@@ -27,6 +50,8 @@ ChunkLocation ContainerStore::Append(ByteSpan data) {
   reed::Append(*current, data);
   ++stats_.chunks;
   stats_.bytes += data.size();
+  Metrics().appends->Increment();
+  Metrics().bytes->Add(data.size());
   return loc;
 }
 

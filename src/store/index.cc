@@ -1,17 +1,43 @@
 #include "store/index.h"
 
+#include "obs/metrics.h"
+
 namespace reed::store {
+namespace {
+
+// Dedup accounting (DESIGN.md §9): on the ingest path every lookup-hit is a
+// duplicate chunk, so dedup ratio = hits / lookups there (restore-path
+// lookups always hit and inflate both the same way). Cached pointers keep
+// the per-chunk lookup/insert path allocation-free.
+struct IndexMetrics {
+  obs::Counter* lookups;
+  obs::Counter* hits;
+  obs::Counter* inserts;
+};
+
+IndexMetrics& Metrics() {
+  auto& reg = obs::Registry::Global();
+  static IndexMetrics m{&reg.GetCounter("store.index.lookups"),
+                        &reg.GetCounter("store.index.hits"),
+                        &reg.GetCounter("store.index.inserts")};
+  return m;
+}
+
+}  // namespace
 
 std::optional<ChunkLocation> FingerprintIndex::Lookup(
     const chunk::Fingerprint& fp) const {
+  Metrics().lookups->Increment();
   MutexLock lock(mu_);
   auto it = index_.find(fp);
   if (it == index_.end()) return std::nullopt;
+  Metrics().hits->Increment();
   return it->second;
 }
 
 bool FingerprintIndex::Insert(const chunk::Fingerprint& fp,
                               const ChunkLocation& loc) {
+  Metrics().inserts->Increment();
   MutexLock lock(mu_);
   return index_.emplace(fp, loc).second;
 }

@@ -1,0 +1,220 @@
+// Tests for the observability registry (src/obs/metrics.h): bucket
+// boundary math, snapshot consistency, concurrent increments (the TSan
+// matrix mode runs this binary too), and the hot-path contract — once a
+// metric is resolved, Increment/Add/Set/Record perform NO heap allocation
+// (counted via a replaced global operator new).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace {
+// Allocation counter for the no-allocation proof. The default operator
+// new[] forwards to operator new, so replacing the single-object form
+// counts array allocations too.
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace reed::obs {
+namespace {
+
+TEST(ObsCounter, IncrementAddReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, SetAddNegative) {
+  Gauge g;
+  g.Set(-7);
+  EXPECT_EQ(g.value(), -7);
+  g.Add(10);
+  EXPECT_EQ(g.value(), 3);
+}
+
+TEST(ObsHistogram, BucketBoundaries) {
+  // Bucket 0 is exact zeros; bucket i >= 1 covers [2^(i-1), 2^i); the last
+  // bucket absorbs overflow.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  for (std::size_t i = 1; i < Histogram::kNumBuckets - 1; ++i) {
+    std::uint64_t lo = Histogram::BucketLowerBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(lo), i) << "lower bound of bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(2 * lo - 1), i)
+        << "upper edge of bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(2 * lo), i + 1)
+        << "first value past bucket " << i;
+  }
+  // Values beyond the covered range all land in the final bucket.
+  EXPECT_EQ(Histogram::BucketIndex(~std::uint64_t{0}),
+            Histogram::kNumBuckets - 1);
+}
+
+TEST(ObsHistogram, RecordAccumulates) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(100);
+  h.Record(100);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 201u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(100)), 2u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(ObsRegistry, SameNameReturnsSameMetric) {
+  auto& reg = Registry::Global();
+  Counter& a = reg.GetCounter("test.registry.same");
+  Counter& b = reg.GetCounter("test.registry.same");
+  EXPECT_EQ(&a, &b);
+  Counter& c = reg.GetCounter("test.registry.other");
+  EXPECT_NE(&a, &c);
+  // A counter and a histogram may not collide, but distinct kinds keep
+  // distinct namespaces.
+  Histogram& h1 = reg.GetHistogram("test.registry.same_us");
+  Histogram& h2 = reg.GetHistogram("test.registry.same_us");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(ObsRegistry, SnapshotReflectsValues) {
+  auto& reg = Registry::Global();
+  reg.GetCounter("test.snap.counter").Add(5);
+  reg.GetGauge("test.snap.gauge").Set(-12);
+  reg.GetHistogram("test.snap.hist_us").Record(9);
+
+  Snapshot snap = reg.TakeSnapshot();
+  const auto* c = snap.FindCounter("test.snap.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 5u);
+  const auto* h = snap.FindHistogram("test.snap.hist_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_EQ(h->sum, 9u);
+  EXPECT_EQ(h->buckets.size(), Histogram::kNumBuckets);
+  EXPECT_DOUBLE_EQ(h->mean(), 9.0);
+  bool found_gauge = false;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "test.snap.gauge") {
+      EXPECT_EQ(g.value, -12);
+      found_gauge = true;
+    }
+  }
+  EXPECT_TRUE(found_gauge);
+  EXPECT_EQ(snap.FindCounter("test.snap.absent"), nullptr);
+
+  // Snapshots are point-in-time copies: later mutation must not show up.
+  reg.GetCounter("test.snap.counter").Add(100);
+  EXPECT_EQ(c->value, 5u);
+}
+
+TEST(ObsRegistry, ConcurrentIncrementsAreExact) {
+#ifdef REED_TSAN
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20'000;
+#else
+  constexpr int kThreads = 8;
+  constexpr int kIters = 100'000;
+#endif
+  auto& reg = Registry::Global();
+  Counter& c = reg.GetCounter("test.concurrent.counter");
+  Histogram& h = reg.GetHistogram("test.concurrent.hist_us");
+  c.Reset();
+  h.Reset();
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h, t] {
+      for (int i = 0; i < kIters; ++i) {
+        c.Increment();
+        h.Record(static_cast<std::uint64_t>(t));
+      }
+      // Concurrent registration of the same name must also be safe.
+      (void)Registry::Global().GetCounter("test.concurrent.racy_register");
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(ObsRegistry, HotPathDoesNotAllocate) {
+  auto& reg = Registry::Global();
+  // Resolution is the sanctioned slow path (registers, allocates).
+  Counter& c = reg.GetCounter("test.alloc.counter");
+  Gauge& g = reg.GetGauge("test.alloc.gauge");
+  Histogram& h = reg.GetHistogram("test.alloc.hist_us");
+
+  std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (std::uint64_t i = 0; i < 50'000; ++i) {
+    c.Increment();
+    c.Add(3);
+    g.Set(static_cast<std::int64_t>(i));
+    h.Record(i);
+  }
+  std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before)
+      << "metric updates allocated on the hot path";
+}
+
+TEST(ObsScopedTimer, RecordsOnceAndStopIsIdempotent) {
+  Histogram h;
+  {
+    ScopedTimer t(h);
+    std::uint64_t first = t.Stop();
+    EXPECT_EQ(t.Stop(), 0u) << "second Stop must be a no-op";
+    (void)first;
+  }  // destructor after Stop: no second sample
+  EXPECT_EQ(h.count(), 1u);
+  {
+    ScopedTimer t(h);
+  }  // destructor records
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(ObsRegistry, ResetAllZeroesButKeepsNames) {
+  auto& reg = Registry::Global();
+  Counter& c = reg.GetCounter("test.resetall.counter");
+  c.Add(99);
+  reg.ResetAll();
+  EXPECT_EQ(c.value(), 0u);
+  Snapshot snap = reg.TakeSnapshot();
+  ASSERT_NE(snap.FindCounter("test.resetall.counter"), nullptr);
+}
+
+TEST(ObsRenderText, MentionsEveryMetric) {
+  auto& reg = Registry::Global();
+  reg.GetCounter("test.render.counter").Add(7);
+  reg.GetHistogram("test.render.hist_us").Record(1000);
+  std::string text = RenderText(reg.TakeSnapshot());
+  EXPECT_NE(text.find("test.render.counter"), std::string::npos);
+  EXPECT_NE(text.find("test.render.hist_us"), std::string::npos);
+  EXPECT_NE(text.find('7'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reed::obs

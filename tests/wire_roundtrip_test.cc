@@ -12,7 +12,9 @@
 #include "chunk/fingerprint.h"
 #include "crypto/random.h"
 #include "keymanager/key_manager.h"
+#include "net/stats_wire.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "server/storage_server.h"
 #include "store/recipe.h"
 
@@ -178,6 +180,45 @@ class WireRoundTripTest : public ::testing::Test {
       w.U8(static_cast<std::uint8_t>(server::StoreId::kData));
       w.Str("recipe/f1");
       cases.push_back({"HasObject", w.Take(), ServerDecode()});
+    }
+    {
+      net::Writer w;
+      w.U8(static_cast<std::uint8_t>(server::Opcode::kGetStats));
+      cases.push_back({"GetStats", w.Take(), ServerDecode()});
+    }
+
+    // kGetStats response payload: a populated snapshot (counter + negative
+    // gauge + histogram) must survive the same truncation discipline as
+    // every request frame.
+    {
+      obs::Snapshot snap;
+      snap.counters.push_back({"server.rpc.put_chunks.calls", 17});
+      snap.gauges.push_back({"server.store.logical_bytes", -3});
+      obs::Snapshot::HistogramValue h;
+      h.name = "server.rpc.put_chunks.latency_us";
+      h.count = 2;
+      h.sum = 300;
+      h.buckets.assign(obs::Histogram::kNumBuckets, 0);
+      h.buckets[8] = 2;
+      snap.histograms.push_back(std::move(h));
+      net::Writer w;
+      net::EncodeSnapshot(w, snap);
+      cases.push_back({"StatsSnapshot", w.Take(),
+                       [](ByteSpan f) {
+                         return Parses([](ByteSpan b) {
+                           net::Reader r(b);
+                           obs::Snapshot s = net::DecodeSnapshot(r);
+                           r.ExpectEnd();
+                           if (s.counters.size() != 1 ||
+                               s.counters[0].value != 17 ||
+                               s.gauges.size() != 1 ||
+                               s.gauges[0].value != -3 ||
+                               s.histograms.size() != 1 ||
+                               s.histograms[0].sum != 300) {
+                             throw Error("bad roundtrip");
+                           }
+                         }, f);
+                       }});
     }
 
     return cases;

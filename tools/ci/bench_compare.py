@@ -1,0 +1,288 @@
+#!/usr/bin/env python3
+"""Compare bench_fig* --json output against a checked-in baseline.
+
+The bench binaries emit one JSON document per run:
+
+    {"bench": "fig5_keygen", "scale": "smoke",
+     "series": {"speed_vs_chunk": [{"chunk_size_kb": 2.0, "speed_mbps": 3.1},
+                                   ...]}}
+
+This tool merges per-bench documents into one baseline file and diffs a
+fresh run against it field by field:
+
+    bench_compare.py BENCH_baseline.json fresh.json [--tolerance 0.25]
+    bench_compare.py --merge merged.json fig5.json fig6.json ...
+    bench_compare.py --self-test
+
+When --merge sees the SAME bench more than once it folds the repetitions
+element-wise into one entry. Timing noise is one-sided — contention only
+ever makes a run slower — so the fold keeps the best observed value:
+min for duration fields (*_s, *_us), max for throughput (*_mbps), median
+for anything else (coordinates are identical across runs anyway).
+Best-of-N on both sides of the diff is what keeps the default 25% band
+usable at smoke scale (bench_smoke.sh runs each bench three times for
+exactly this reason).
+
+Comparison rules:
+  * every bench in the baseline must appear in the fresh file (extras in
+    the fresh file are reported but do not fail — new benches may land
+    before the baseline is regenerated);
+  * scales must match — comparing a --smoke run against a full-scale
+    baseline is always a bug, not a regression;
+  * per series: row counts and field names must match exactly;
+  * per numeric field: |fresh - base| / max(|base|, eps) must stay within
+    --tolerance (default 0.25). Coordinate fields (chunk sizes, day
+    numbers) are bit-identical run to run, so they pass trivially;
+    throughput fields get the tolerance band.
+
+Exit status: 0 clean, 1 regression/shape mismatch, 2 usage error.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+DEFAULT_TOLERANCE = 0.25
+EPS = 1e-12
+
+
+def normalize(doc, path):
+    """Return {bench_name: {"scale": str, "series": {...}}} for either a
+    single-bench document or a merged baseline document."""
+    if "benches" in doc:
+        benches = doc["benches"]
+        if not isinstance(benches, dict):
+            raise ValueError(f"{path}: 'benches' must be an object")
+        return benches
+    if "bench" in doc:
+        return {doc["bench"]: {"scale": doc.get("scale", "default"),
+                               "series": doc.get("series", {})}}
+    raise ValueError(f"{path}: neither 'bench' nor 'benches' key present")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return normalize(json.load(f), path)
+    except (OSError, json.JSONDecodeError) as err:
+        raise ValueError(f"{path}: {err}") from err
+
+
+def compare(baseline, fresh, tolerance):
+    """Return a list of human-readable failure strings (empty == pass)."""
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        cur = fresh[name]
+        if base.get("scale") != cur.get("scale"):
+            failures.append(
+                f"{name}: scale mismatch (baseline={base.get('scale')!r}, "
+                f"fresh={cur.get('scale')!r}) — regenerate the baseline at "
+                f"the scale CI runs")
+            continue
+        bseries, cseries = base.get("series", {}), cur.get("series", {})
+        for sname, brows in sorted(bseries.items()):
+            if sname not in cseries:
+                failures.append(f"{name}/{sname}: series missing from fresh run")
+                continue
+            crows = cseries[sname]
+            if len(brows) != len(crows):
+                failures.append(
+                    f"{name}/{sname}: row count {len(crows)} != baseline "
+                    f"{len(brows)}")
+                continue
+            for i, (brow, crow) in enumerate(zip(brows, crows)):
+                if set(brow) != set(crow):
+                    failures.append(
+                        f"{name}/{sname}[{i}]: fields {sorted(crow)} != "
+                        f"baseline {sorted(brow)}")
+                    continue
+                for field, bval in brow.items():
+                    cval = crow[field]
+                    rel = abs(cval - bval) / max(abs(bval), EPS)
+                    if rel > tolerance:
+                        failures.append(
+                            f"{name}/{sname}[{i}].{field}: {cval:g} vs "
+                            f"baseline {bval:g} ({rel:+.0%} > "
+                            f"{tolerance:.0%} tolerance)")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"note: {name} present in fresh run but not in baseline "
+              f"(not compared)")
+    return failures
+
+
+def fold_values(field, values):
+    """Best-observed fold across repetitions: noise only ever slows a run
+    down, so min is the stable estimator for durations and max for
+    throughputs; everything else (coordinates, ratios) takes the median."""
+    if field.endswith("_s") or field.endswith("_us"):
+        return min(values)
+    if field.endswith("_mbps"):
+        return max(values)
+    return statistics.median(values)
+
+
+def median_entry(name, entries):
+    """Fold repeated runs of one bench into one element-wise entry (see
+    fold_values for the per-field estimator).
+
+    All repetitions must agree on scale, series names, row counts, and
+    field names — disagreement means the bench is nondeterministic in
+    shape, which is a bug worth failing on."""
+    scales = {e.get("scale") for e in entries}
+    if len(scales) != 1:
+        raise ValueError(f"{name}: repetitions at mixed scales {sorted(scales)}")
+    series_names = {frozenset(e.get("series", {})) for e in entries}
+    if len(series_names) != 1:
+        raise ValueError(f"{name}: repetitions disagree on series names")
+    series = {}
+    for sname in entries[0].get("series", {}):
+        row_lists = [e["series"][sname] for e in entries]
+        if len({len(rows) for rows in row_lists}) != 1:
+            raise ValueError(f"{name}/{sname}: repetitions disagree on row count")
+        rows = []
+        for i in range(len(row_lists[0])):
+            fields = set(row_lists[0][i])
+            if any(set(rl[i]) != fields for rl in row_lists):
+                raise ValueError(
+                    f"{name}/{sname}[{i}]: repetitions disagree on fields")
+            rows.append({f: fold_values(f, [rl[i][f] for rl in row_lists])
+                         for f in sorted(fields)})
+        series[sname] = rows
+    return {"scale": entries[0].get("scale"), "series": series}
+
+
+def merge(out_path, in_paths):
+    groups = {}
+    for path in in_paths:
+        for name, entry in load(path).items():
+            groups.setdefault(name, []).append(entry)
+    benches = {}
+    for name, entries in groups.items():
+        benches[name] = (entries[0] if len(entries) == 1
+                         else median_entry(name, entries))
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump({"benches": benches}, f, indent=2, sort_keys=True)
+        f.write("\n")
+    reps = max(len(e) for e in groups.values())
+    print(f"merged {len(benches)} bench(es) into {out_path}"
+          + (f" (median of up to {reps} repetitions)" if reps > 1 else ""))
+
+
+# ---------------------------------------------------------------------------
+# Self-test fixtures: exercised by `--self-test` and registered as a ctest
+# (bench_compare_selftest) so the comparator itself is under test.
+# ---------------------------------------------------------------------------
+
+def _fixture(speed, scale="smoke"):
+    return {"bench": "figX", "scale": scale,
+            "series": {"s": [{"x": 1.0, "speed_mbps": speed}]}}
+
+
+def self_test():
+    base = normalize(_fixture(100.0), "<base>")
+
+    checks = [
+        ("identical run passes",
+         compare(base, normalize(_fixture(100.0), "<f>"), 0.25), 0),
+        ("10% drift within tolerance",
+         compare(base, normalize(_fixture(90.0), "<f>"), 0.25), 0),
+        ("50% regression fails",
+         compare(base, normalize(_fixture(50.0), "<f>"), 0.25), 1),
+        ("50% speedup also flagged (symmetric band)",
+         compare(base, normalize(_fixture(150.0), "<f>"), 0.25), 1),
+        ("scale mismatch fails",
+         compare(base, normalize(_fixture(100.0, scale="full"), "<f>"), 0.25), 1),
+        ("missing bench fails",
+         compare(base, {}, 0.25), 1),
+        ("wide tolerance admits the regression",
+         compare(base, normalize(_fixture(50.0), "<f>"), 0.60), 0),
+    ]
+    missing_series = {"figX": {"scale": "smoke", "series": {}}}
+    checks.append(("missing series fails", compare(base, missing_series, 0.25), 1))
+    short = {"figX": {"scale": "smoke", "series": {"s": []}}}
+    checks.append(("row-count mismatch fails", compare(base, short, 0.25), 1))
+    odd_fields = {"figX": {"scale": "smoke",
+                           "series": {"s": [{"x": 1.0, "other": 1.0}]}}}
+    checks.append(("field mismatch fails", compare(base, odd_fields, 0.25), 1))
+
+    reps = [normalize(_fixture(v), "<rep>")["figX"] for v in (80.0, 100.0, 400.0)]
+    med = median_entry("figX", reps)
+    fold_ok = (med["series"]["s"][0]["speed_mbps"] == 400.0  # max of _mbps
+               and fold_values("lazy_s", [3.0, 1.0, 2.0]) == 1.0  # min of _s
+               and fold_values("latency_us", [30, 10, 20]) == 10  # min of _us
+               and fold_values("ratio", [3.0, 1.0, 2.0]) == 2.0)  # median
+    checks.append(("repetition fold picks best/median per field",
+                   [] if fold_ok else ["fold wrong"], 0))
+    try:
+        median_entry("figX", [{"scale": "smoke", "series": {"s": []}},
+                              {"scale": "full", "series": {"s": []}}])
+        mixed = ["mixed scales not caught"]
+    except ValueError:
+        mixed = []
+    checks.append(("median rejects mixed scales", mixed, 0))
+
+    ok = True
+    for desc, failures, want in checks:
+        got = min(len(failures), 1)
+        status = "OK" if got == want else "FAIL"
+        if got != want:
+            ok = False
+        print(f"  [{status}] {desc} ({len(failures)} finding(s))")
+    if not ok:
+        print("self-test FAILED", file=sys.stderr)
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*",
+                        help="baseline.json fresh.json, or --merge out in...")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="max relative drift per numeric field "
+                             "(default %(default)s)")
+    parser.add_argument("--merge", action="store_true",
+                        help="merge per-bench JSONs: first file is the "
+                             "output, the rest are inputs")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in fixtures and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    try:
+        if args.merge:
+            if len(args.files) < 2:
+                parser.error("--merge needs an output file and >=1 input")
+            merge(args.files[0], args.files[1:])
+            return 0
+
+        if len(args.files) != 2:
+            parser.error("expected: baseline.json fresh.json")
+        baseline = load(args.files[0])
+        fresh = load(args.files[1])
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    failures = compare(baseline, fresh, args.tolerance)
+    if failures:
+        print(f"bench comparison FAILED ({len(failures)} finding(s), "
+              f"tolerance {args.tolerance:.0%}):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    nseries = sum(len(b.get("series", {})) for b in baseline.values())
+    print(f"bench comparison passed: {len(baseline)} bench(es), "
+          f"{nseries} series within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

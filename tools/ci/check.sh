@@ -5,6 +5,11 @@
 #   tools/ci/check.sh                  # full matrix: plain, asan+ubsan, tsan, tsa, taint, tidy
 #   tools/ci/check.sh plain            # one mode only
 #   tools/ci/check.sh asan tsa         # subset
+#   tools/ci/check.sh --keep-going     # run every mode even after a failure
+#
+# A PASS/FAIL summary table for the selected modes always prints at the
+# end; without --keep-going the first failing mode stops the matrix (later
+# modes show as "skipped" in the table).
 #
 # Modes:
 #   plain     release build + full ctest. -Werror=unused-result is ALWAYS on
@@ -29,7 +34,15 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
 cd "${REPO_ROOT}"
 
-MODES=("$@")
+KEEP_GOING=0
+MODES=()
+for arg in "$@"; do
+  case "${arg}" in
+    --keep-going) KEEP_GOING=1 ;;
+    --*) echo "unknown flag: ${arg} (expected --keep-going)" >&2; exit 2 ;;
+    *) MODES+=("${arg}") ;;
+  esac
+done
 if [[ ${#MODES[@]} -eq 0 ]]; then
   MODES=(plain asan tsan tsa taint tidy)
 fi
@@ -37,6 +50,11 @@ fi
 GENERATOR_ARGS=()
 if command -v ninja > /dev/null 2>&1; then
   GENERATOR_ARGS=(-G Ninja)
+fi
+# ccache makes the hosted CI matrix cheap: six modes share one compiler
+# cache keyed per mode (sanitizer flags change the hash, so no cross-talk).
+if command -v ccache > /dev/null 2>&1; then
+  GENERATOR_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 
 run_mode() {
@@ -167,8 +185,37 @@ echo "=== secret information-flow lint ==="
 python3 tools/lint/taint_lint.py --self-test
 python3 tools/lint/taint_lint.py --root . src
 
+# Per-mode verdicts, reported in a summary table whether or not the matrix
+# ran to completion. The subshell re-enables errexit so a mid-mode failure
+# still aborts that mode; the caller decides whether to continue.
+declare -A RESULTS=()
+OVERALL=0
 for mode in "${MODES[@]}"; do
-  run_mode "${mode}"
+  set +e
+  ( set -e; run_mode "${mode}" )
+  status=$?
+  set -e
+  if [[ ${status} -eq 0 ]]; then
+    RESULTS["${mode}"]="PASS"
+  else
+    RESULTS["${mode}"]="FAIL"
+    OVERALL=1
+    if [[ ${KEEP_GOING} -eq 0 ]]; then
+      echo "=== [${mode}] FAILED — stopping (use --keep-going to run the rest) ===" >&2
+      break
+    fi
+    echo "=== [${mode}] FAILED — continuing (--keep-going) ===" >&2
+  fi
 done
 
+echo
+echo "=== mode summary ==="
+for mode in "${MODES[@]}"; do
+  printf '  %-10s %s\n' "${mode}" "${RESULTS[${mode}]:-skipped}"
+done
+
+if [[ ${OVERALL} -ne 0 ]]; then
+  echo "=== checks FAILED ===" >&2
+  exit 1
+fi
 echo "=== all checks passed (${MODES[*]}) ==="

@@ -50,7 +50,7 @@ from crypto_lint import strip_comments_and_strings  # noqa: E402
 
 LAYERS = {
     "util": 0,
-    "crypto": 1, "bigint": 1, "chunk": 1,
+    "crypto": 1, "bigint": 1, "chunk": 1, "obs": 1,
     "rsa": 2, "pairing": 2, "aont": 2, "net": 2,
     "abe": 3, "keymanager": 3, "store": 3,
     "server": 4, "client": 4,

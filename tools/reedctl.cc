@@ -14,12 +14,21 @@
 //   reedctl rekey    --identity alice.id ... --name backup-1
 //                    [--share carol] [--active]
 //
+// Observability:
+//   reedctl stats    --servers 7101,7102 [--key-server 7103]
+//       Fetches each server's metrics snapshot (kGetStats) and prints the
+//       per-opcode RPC counts, latencies, and storage gauges.
+//   upload/download also accept --stats to dump the client-side pipeline
+//   stage timings (chunking, keygen, encode, store, ...) after the transfer.
+//
 // All flags accept "host:port" or bare "port" (localhost).
 #include <cstdio>
 
 #include "client/reed_client.h"
 #include "keymanager/mle_key_client.h"
 #include "net/rpc.h"
+#include "net/stats_wire.h"
+#include "obs/metrics.h"
 #include "tools/cli_util.h"
 #include "util/stopwatch.h"
 
@@ -161,6 +170,39 @@ std::unique_ptr<client::ReedClient> MakeClient(
       identity.pk, std::move(identity.sk), std::move(identity.derivation));
 }
 
+// Dumps the in-process registry — the client side of the story (stage
+// timings, OPRF cache behaviour). Server-side counts live behind `stats`.
+void MaybePrintClientMetrics(const cli::Args& args) {
+  if (!args.Has("stats")) return;
+  std::printf("client-side metrics:\n%s",
+              obs::RenderText(obs::Registry::Global().TakeSnapshot()).c_str());
+}
+
+int CmdStats(const cli::Args& args) {
+  std::vector<std::string> specs = cli::SplitCommas(args.Get("servers", ""));
+  std::string key_server = args.Get("key-server", "");
+  if (!key_server.empty()) specs.push_back(key_server);
+  if (specs.empty()) {
+    throw Error("stats: pass --servers host:port[,host:port] and/or "
+                "--key-server host:port");
+  }
+  net::Writer req;
+  req.U8(static_cast<std::uint8_t>(server::Opcode::kGetStats));
+  Bytes frame = req.Take();
+  for (const std::string& spec : specs) {
+    Bytes resp = Connect(spec)->Call(frame);
+    net::Reader r(resp);
+    if (r.U8() != 0) {
+      throw Error("stats: server " + spec + " answered error: " + r.Str());
+    }
+    obs::Snapshot snap = net::DecodeSnapshot(r);
+    r.ExpectEnd();
+    std::printf("=== stats: %s ===\n%s", spec.c_str(),
+                obs::RenderText(snap).c_str());
+  }
+  return 0;
+}
+
 int CmdUpload(const cli::Args& args, const std::shared_ptr<const abe::CpAbe>& cpabe) {
   Identity id = LoadIdentity(*cpabe, args.Require("identity"));
   auto client = MakeClient(args, cpabe, id);
@@ -175,6 +217,7 @@ int CmdUpload(const cli::Args& args, const std::shared_ptr<const abe::CpAbe>& cp
               result.chunk_count, result.stored_chunks,
               result.duplicate_chunks,
               MbPerSec(data.size(), sw.ElapsedSeconds()));
+  MaybePrintClientMetrics(args);
   return 0;
 }
 
@@ -188,6 +231,7 @@ int CmdDownload(const cli::Args& args, const std::shared_ptr<const abe::CpAbe>& 
               args.Require("name").c_str(), ToMiB(data.size()),
               MbPerSec(data.size(), sw.ElapsedSeconds()),
               args.Require("out").c_str());
+  MaybePrintClientMetrics(args);
   return 0;
 }
 
@@ -209,7 +253,7 @@ int CmdRekey(const cli::Args& args, const std::shared_ptr<const abe::CpAbe>& cpa
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: reedctl <init-org|issue|upload|download|rekey> "
+               "usage: reedctl <init-org|issue|upload|download|rekey|stats> "
                "[flags]\n  see the file header for full flag reference\n");
   return 2;
 }
@@ -223,6 +267,7 @@ int main(int argc, char** argv) {
     const std::string& cmd = args.positional()[0];
     if (cmd == "init-org") return CmdInitOrg(args);
     if (cmd == "issue") return CmdIssue(args);
+    if (cmd == "stats") return CmdStats(args);
     auto cpabe = std::make_shared<const abe::CpAbe>(Pairing());
     if (cmd == "upload") return CmdUpload(args, cpabe);
     if (cmd == "download") return CmdDownload(args, cpabe);

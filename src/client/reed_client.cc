@@ -1,6 +1,8 @@
 #include "client/reed_client.h"
 
 #include <algorithm>
+#include <deque>
+#include <future>
 
 #include "crypto/sha256.h"
 #include "obs/metrics.h"
@@ -11,10 +13,13 @@ namespace {
 
 // Pipeline stage tracing (DESIGN.md §9): one histogram per upload/download
 // stage, matching the cost attribution in the paper's Figs. 5-7. Timings are
-// recorded per file operation (or per fetch batch), never per chunk, and the
+// recorded per batch (or per file operation), never per chunk, and the
 // metric pointers are resolved once per process — nothing here allocates on
-// the data path. Only durations and byte counts are recorded; all Secret
-// material stays inside the stages.
+// the data path. With the overlapped pipeline (DESIGN.md §10) each timer
+// still measures only its own stage's duration, so summed stage times can
+// exceed operation wall time — that surplus IS the overlap win. Only
+// durations and byte counts are recorded; all Secret material stays inside
+// the stages.
 struct StageMetrics {
   obs::Histogram* chunking_us;
   obs::Histogram* fingerprint_us;
@@ -33,6 +38,8 @@ struct StageMetrics {
   obs::Histogram* decode_us;
   obs::Counter* download_files;
   obs::Counter* download_bytes;
+  obs::Counter* fetch_bytes;
+  obs::Gauge* pipeline_inflight;
 };
 
 StageMetrics& Metrics() {
@@ -54,7 +61,9 @@ StageMetrics& Metrics() {
       &reg.GetHistogram("client.download.fetch_us"),
       &reg.GetHistogram("client.download.decode_us"),
       &reg.GetCounter("client.download.files"),
-      &reg.GetCounter("client.download.bytes")};
+      &reg.GetCounter("client.download.bytes"),
+      &reg.GetCounter("client.download.fetch_bytes"),
+      &reg.GetGauge("client.pipeline.inflight_batches")};
   return m;
 }
 
@@ -160,51 +169,128 @@ UploadResult ReedClient::UploadChunked(
     const std::vector<std::string>& authorized_users) {
   if (refs.empty()) throw Error("ReedClient::Upload: no chunks");
   const std::string sid = StorageId(file_id);
+  StageMetrics& m = Metrics();
 
-  // 2. Server-aided MLE key generation (batched OPRF + key cache).
-  obs::ScopedTimer fp_timer(*Metrics().fingerprint_us);
-  std::vector<chunk::Fingerprint> chunk_fps;
-  chunk_fps.reserve(refs.size());
-  for (const auto& ref : refs) {
-    chunk_fps.push_back(
-        chunk::Fingerprint::Of(data.subspan(ref.offset, ref.length)));
-  }
+  // 2. Chunk fingerprints, parallel over the encryption pool (SHA-256 over
+  //    the whole file is the serial bottleneck the paper parallelizes away
+  //    in §V-B).
+  obs::ScopedTimer fp_timer(*m.fingerprint_us);
+  std::vector<chunk::Fingerprint> chunk_fps(refs.size());
+  pool_.ParallelFor(refs.size(), [&](std::size_t i) {
+    chunk_fps[i] =
+        chunk::Fingerprint::Of(data.subspan(refs[i].offset, refs[i].length));
+  });
   (void)fp_timer.Stop();
-  obs::ScopedTimer keygen_timer(*Metrics().keygen_us);
-  std::vector<Secret> mle_keys = keys_->GetKeys(chunk_fps, rng_);
-  (void)keygen_timer.Stop();
 
-  // 3. REED encryption (multi-threaded).
-  obs::ScopedTimer encode_timer(*Metrics().encode_us);
-  std::vector<aont::SealedChunk> sealed = EncryptChunks(data, refs, mle_keys);
-  (void)encode_timer.Stop();
-
-  // 4. Recipe + stub file assembly.
-  obs::ScopedTimer wrap_timer(*Metrics().wrap_us);
+  // 3-5. Producer/consumer pipeline over ~upload_batch_bytes batches: this
+  // thread produces (keygen → parallel encode+fingerprint → in-order recipe
+  // and stub assembly) while up to depth-1 previously produced batches ride
+  // the wire on consumer tasks. Recipe order, stub order, and dedup stats
+  // are byte-identical to the serial depth=1 path: assembly happens here in
+  // batch order, and per-chunk dedup outcomes are order-independent (the
+  // server's ingest stripes make lookup+insert atomic per fingerprint).
+  //
+  // Thread discipline: keys_ (MleKeyClient) and rng_ are NOT thread-safe and
+  // are touched only by this producer thread; consumer tasks see only
+  // public-typed trimmed packages and the thread-safe StorageClient.
   store::FileRecipe recipe;
   recipe.file_id = sid;
   recipe.file_size = data.size();
   recipe.scheme = static_cast<std::uint8_t>(options_.scheme);
   recipe.stub_size = static_cast<std::uint32_t>(options_.stub_size);
+  recipe.fingerprints.reserve(refs.size());
+  recipe.chunk_sizes.reserve(refs.size());
   Secret stub_data;
   stub_data.Reserve(refs.size() * options_.stub_size);
-  std::vector<std::pair<chunk::Fingerprint, Bytes>> packages;
-  packages.reserve(refs.size());
-  for (std::size_t i = 0; i < refs.size(); ++i) {
-    recipe.fingerprints.push_back(
-        chunk::Fingerprint::Of(sealed[i].trimmed_package));
-    recipe.chunk_sizes.push_back(static_cast<std::uint32_t>(refs[i].length));
-    stub_data.Append(sealed[i].stub);
-    packages.emplace_back(recipe.fingerprints.back(),
-                          std::move(sealed[i].trimmed_package));
+
+  UploadResult result;
+  result.logical_bytes = data.size();
+  result.chunk_count = refs.size();
+
+  const std::size_t depth = std::max<std::size_t>(1, options_.pipeline.depth);
+  // std::async futures join in their destructor, so an exception on the
+  // producer side drains in-flight transfers before unwinding.
+  std::deque<std::future<StorageClient::PutStats>> inflight;
+  auto harvest = [&] {
+    StorageClient::PutStats stats = inflight.front().get();
+    inflight.pop_front();
+    m.pipeline_inflight->Add(-1);
+    result.duplicate_chunks += stats.duplicates;
+    result.stored_chunks += stats.stored;
+    result.stored_bytes += stats.stored_bytes;
+  };
+
+  std::size_t start = 0;
+  while (start < refs.size()) {
+    // Batch boundary by plaintext bytes; always at least one chunk so a
+    // zero/tiny upload_batch_bytes still terminates.
+    std::size_t end = start;
+    std::size_t batch_bytes = 0;
+    do {
+      batch_bytes += refs[end].length;
+      ++end;
+    } while (end < refs.size() && batch_bytes < options_.upload_batch_bytes);
+    const std::size_t n = end - start;
+
+    // Server-aided MLE key generation for this batch (batched OPRF + cache).
+    obs::ScopedTimer keygen_timer(*m.keygen_us);
+    std::vector<chunk::Fingerprint> batch_fps(chunk_fps.begin() + start,
+                                              chunk_fps.begin() + end);
+    std::vector<Secret> mle_keys = keys_->GetKeys(batch_fps, rng_);
+    (void)keygen_timer.Stop();
+
+    // CAONT encode, with the trimmed-package fingerprint folded into the
+    // same parallel worker that produced the package (no second serial
+    // SHA-256 pass).
+    obs::ScopedTimer encode_timer(*m.encode_us);
+    std::vector<aont::SealedChunk> sealed(n);
+    std::vector<chunk::Fingerprint> package_fps(n);
+    pool_.ParallelFor(n, [&](std::size_t i) {
+      const auto& ref = refs[start + i];
+      sealed[i] =
+          cipher_.Encrypt(data.subspan(ref.offset, ref.length), mle_keys[i]);
+      package_fps[i] = chunk::Fingerprint::Of(sealed[i].trimmed_package);
+    });
+    (void)encode_timer.Stop();
+
+    // In-order assembly (Secret::Append is sequential by design).
+    std::vector<std::pair<chunk::Fingerprint, Bytes>> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      recipe.fingerprints.push_back(package_fps[i]);
+      recipe.chunk_sizes.push_back(
+          static_cast<std::uint32_t>(refs[start + i].length));
+      stub_data.Append(sealed[i].stub);
+      batch.emplace_back(package_fps[i], std::move(sealed[i].trimmed_package));
+    }
+
+    if (depth <= 1) {
+      obs::ScopedTimer store_timer(*m.store_us);
+      StorageClient::PutStats stats = storage_->PutChunks(batch);
+      (void)store_timer.Stop();
+      result.duplicate_chunks += stats.duplicates;
+      result.stored_chunks += stats.stored;
+      result.stored_bytes += stats.stored_bytes;
+    } else {
+      while (inflight.size() >= depth - 1) harvest();
+      m.pipeline_inflight->Add(1);
+      inflight.push_back(std::async(
+          std::launch::async,
+          [storage = storage_, &m,
+           moved = std::move(batch)]() -> StorageClient::PutStats {
+            obs::ScopedTimer store_timer(*m.store_us);
+            return storage->PutChunks(moved);
+          }));
+    }
+    start = end;
   }
 
-  // 5. File key from a fresh key state (version 0).
+  // 5-6. File key from a fresh key state (version 0), wrapped under the
+  // file policy — produced while the tail batches are still on the wire.
+  obs::ScopedTimer wrap_timer(*m.wrap_us);
   rsa::KeyState state = regression_owner_.GenesisState(rng_);
   Secret file_key = state.DeriveFileKey();
   Secret stub_blob = aont::EncryptStubFile(stub_data, file_key, rng_);
-
-  // 6. Wrap the key state under the file policy.
   std::vector<std::string> users = authorized_users;
   if (std::find(users.begin(), users.end(), user_id_) == users.end()) {
     users.push_back(user_id_);
@@ -221,30 +307,10 @@ UploadResult ReedClient::UploadChunked(
       rsa::SerializePublicKey(regression_owner_.public_key());
   (void)wrap_timer.Stop();
 
-  // 7. Upload everything: trimmed packages in ~4 MB batches, then metadata.
-  obs::ScopedTimer store_timer(*Metrics().store_us);
-  UploadResult result;
-  result.logical_bytes = data.size();
-  result.chunk_count = refs.size();
-  std::size_t start = 0;
-  while (start < packages.size()) {
-    std::size_t end = start;
-    std::size_t batch_bytes = 0;
-    while (end < packages.size() && batch_bytes < options_.upload_batch_bytes) {
-      batch_bytes += packages[end].second.size();
-      ++end;
-    }
-    std::vector<std::pair<chunk::Fingerprint, Bytes>> batch(
-        std::make_move_iterator(packages.begin() + start),
-        std::make_move_iterator(packages.begin() + end));
-    StorageClient::PutStats stats = storage_->PutChunks(batch);
-    result.duplicate_chunks += stats.duplicates;
-    result.stored_chunks += stats.stored;
-    result.stored_bytes += stats.stored_bytes;
-    start = end;
-  }
-  (void)store_timer.Stop();
-  obs::ScopedTimer metadata_timer(*Metrics().metadata_us);
+  // 7. Drain the pipeline, then publish metadata (recipe must not become
+  // visible before every package it references is stored).
+  while (!inflight.empty()) harvest();
+  obs::ScopedTimer metadata_timer(*m.metadata_us);
   storage_->PutObject(server::StoreId::kData, RecipeName(sid),
                       recipe.Serialize());
   storage_->PutObject(server::StoreId::kData, StubName(sid),
@@ -253,10 +319,10 @@ UploadResult ReedClient::UploadChunked(
                       record.Serialize());
   (void)metadata_timer.Stop();
   result.stub_bytes = stub_blob.size();
-  Metrics().upload_files->Increment();
-  Metrics().upload_bytes->Add(result.logical_bytes);
-  Metrics().upload_chunks->Add(result.chunk_count);
-  Metrics().upload_duplicates->Add(result.duplicate_chunks);
+  m.upload_files->Increment();
+  m.upload_bytes->Add(result.logical_bytes);
+  m.upload_chunks->Add(result.chunk_count);
+  m.upload_duplicates->Add(result.duplicate_chunks);
   return result;
 }
 
@@ -285,9 +351,13 @@ rsa::KeyState ReedClient::UnwrapKeyState(const store::KeyStateRecord& record) {
 
 Bytes ReedClient::Download(const std::string& file_id) {
   const std::string sid = StorageId(file_id);
+  // Resolve the stage metrics once — not per fetch batch inside the loop
+  // below, where the repeated function-local-static checks were pure
+  // overhead on the hot path.
+  StageMetrics& m = Metrics();
   // 1. Key state: CP-ABE decrypt, then unwind to the version the stub file
   //    is encrypted under (lazy revocation leaves it at an older version).
-  obs::ScopedTimer unwrap_timer(*Metrics().unwrap_us);
+  obs::ScopedTimer unwrap_timer(*m.unwrap_us);
   store::KeyStateRecord record = FetchKeyStateRecord(sid);
   rsa::KeyState current = UnwrapKeyState(record);
   rsa::KeyRegressionMember member(
@@ -297,7 +367,7 @@ Bytes ReedClient::Download(const std::string& file_id) {
   (void)unwrap_timer.Stop();
 
   // 2. Recipe and stub file.
-  obs::ScopedTimer recipe_timer(*Metrics().recipe_us);
+  obs::ScopedTimer recipe_timer(*m.recipe_us);
   store::FileRecipe recipe = store::FileRecipe::Deserialize(
       storage_->GetObject(server::StoreId::kData, RecipeName(sid)));
   Secret stub_data = aont::DecryptStubFile(
@@ -325,16 +395,47 @@ Bytes ReedClient::Download(const std::string& file_id) {
     throw Error("ReedClient::Download: recipe size mismatch");
   }
 
-  constexpr std::size_t kFetchBatch = 512;
-  for (std::size_t start = 0; start < recipe.chunk_count();
-       start += kFetchBatch) {
-    std::size_t end = std::min(recipe.chunk_count(), start + kFetchBatch);
+  // Fetches one batch of trimmed packages; runs on this thread (serial
+  // mode / first batch) or on a prefetch task overlapping the previous
+  // batch's decode. fetch_us measures only time spent inside GetChunks, so
+  // overlapped prefetch wall time is not double-counted against decode_us.
+  auto fetch_batch = [&](std::size_t start, std::size_t end) {
     std::vector<chunk::Fingerprint> fps(recipe.fingerprints.begin() + start,
                                         recipe.fingerprints.begin() + end);
-    obs::ScopedTimer fetch_timer(*Metrics().fetch_us);
+    obs::ScopedTimer fetch_timer(*m.fetch_us);
     std::vector<Bytes> packages = storage_->GetChunks(fps);
     (void)fetch_timer.Stop();
-    obs::ScopedTimer decode_timer(*Metrics().decode_us);
+    std::uint64_t bytes = 0;
+    for (const Bytes& p : packages) bytes += p.size();
+    m.fetch_bytes->Add(bytes);
+    return packages;
+  };
+
+  constexpr std::size_t kFetchBatch = 512;
+  const std::size_t total = recipe.chunk_count();
+  const bool prefetch = options_.pipeline.depth >= 2;
+  // Joined in its destructor (std::async), so a decode exception cannot
+  // leave a task referencing this frame behind.
+  std::future<std::vector<Bytes>> next;
+  for (std::size_t start = 0; start < total; start += kFetchBatch) {
+    std::size_t end = std::min(total, start + kFetchBatch);
+    std::vector<Bytes> packages;
+    if (next.valid()) {
+      packages = next.get();
+      m.pipeline_inflight->Add(-1);
+    } else {
+      packages = fetch_batch(start, end);
+    }
+    if (prefetch && end < total) {
+      std::size_t pstart = end;
+      std::size_t pend = std::min(total, end + kFetchBatch);
+      m.pipeline_inflight->Add(1);
+      next = std::async(std::launch::async,
+                        [&fetch_batch, pstart, pend] {
+                          return fetch_batch(pstart, pend);
+                        });
+    }
+    obs::ScopedTimer decode_timer(*m.decode_us);
     pool_.ParallelFor(end - start, [&](std::size_t i) {
       std::size_t idx = start + i;
       Secret stub = stub_data.Slice(idx * recipe.stub_size, recipe.stub_size);
@@ -346,8 +447,8 @@ Bytes ReedClient::Download(const std::string& file_id) {
     });
     (void)decode_timer.Stop();
   }
-  Metrics().download_files->Increment();
-  Metrics().download_bytes->Add(file.size());
+  m.download_files->Increment();
+  m.download_bytes->Add(file.size());
   return file;
 }
 

@@ -1,12 +1,15 @@
 // The REED client (paper §III-A, §IV-D, §V "Client"): the software layer a
 // user machine runs to upload, download, and rekey files.
 //
-// Upload pipeline:  chunk → batched OPRF MLE keygen (with key cache) →
-// basic/enhanced CAONT encryption (multi-threaded) → 4 MB-batched upload of
-// trimmed packages → recipe + encrypted stub file + CP-ABE-wrapped key
-// state.
+// Upload pipeline:  chunk → per-batch OPRF MLE keygen (with key cache) →
+// basic/enhanced CAONT encryption (multi-threaded, trimmed-package
+// fingerprinting folded into the encode workers) → 4 MB-batched upload of
+// trimmed packages, with encoding of batch i+1 overlapping batch i's wire
+// transfer (PipelineOptions.depth) → recipe + encrypted stub file +
+// CP-ABE-wrapped key state.
 // Download pipeline: key state (CP-ABE decrypt + key-regression unwind) →
-// recipe → chunks + stub file → CAONT revert → reassembly, aborting on any
+// recipe → chunks + stub file (next fetch batch prefetched while the pool
+// decodes the current one) → CAONT revert → reassembly, aborting on any
 // tampered chunk.
 // Rekeying: wind the key state forward, re-wrap it under the new policy;
 // active revocation additionally re-encrypts the stub file — never the
@@ -27,6 +30,20 @@
 
 namespace reed::client {
 
+// Overlapped data-path knobs (DESIGN.md §10). depth is the number of upload
+// batches allowed in flight at once: the producer thread encodes batch i+1
+// while up to depth-1 earlier batches are on the wire. depth = 1 reproduces
+// the legacy serial path (encode and transfer strictly alternate). On
+// download, depth >= 2 prefetches the next fetch batch while the pool
+// decodes the current one.
+struct PipelineOptions {
+  std::size_t depth = 2;
+  // Parallel RPC channels per data server (striped round-robin), so several
+  // in-flight batches can target the same server concurrently. Consumed by
+  // core::ReedSystem::CreateClient when it builds the StorageClient.
+  std::size_t channels_per_server = 1;
+};
+
 struct ClientOptions {
   aont::Scheme scheme = aont::Scheme::kEnhanced;
   std::size_t stub_size = aont::kDefaultStubSize;
@@ -36,6 +53,7 @@ struct ClientOptions {
   std::size_t fixed_chunk_size = 8 * 1024;
   std::size_t encryption_threads = 2;  // paper §VI-A.2
   std::size_t upload_batch_bytes = 4u << 20;  // §V-B batching
+  PipelineOptions pipeline;
   keymanager::MleKeyClient::Options key_options;
   // Non-empty: file identifiers are obfuscated with this salted hash before
   // they reach the cloud (paper §IV-D: "obfuscate sensitive metadata

@@ -1,30 +1,107 @@
 #include "client/storage_client.h"
 
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <numeric>
+
+#include "obs/metrics.h"
+
 namespace reed::client {
+namespace {
 
 using server::Opcode;
 using server::StoreId;
 
+// Fan-out metrics (DESIGN.md §10): cached pointers so the per-RPC path is
+// two atomic ops plus the call itself.
+struct NetMetrics {
+  obs::Counter* rpc_calls;
+  obs::Gauge* inflight;
+};
+
+NetMetrics& Metrics() {
+  auto& reg = obs::Registry::Global();
+  static NetMetrics m{&reg.GetCounter("client.net.rpc_calls"),
+                      &reg.GetGauge("client.net.inflight_rpcs")};
+  return m;
+}
+
+std::size_t TotalChannels(
+    const std::vector<std::vector<std::shared_ptr<net::RpcChannel>>>& servers) {
+  std::size_t n = 0;
+  for (const auto& stripes : servers) n += stripes.size();
+  return n;
+}
+
+}  // namespace
+
 StorageClient::StorageClient(
     std::vector<std::shared_ptr<net::RpcChannel>> data_servers,
-    std::shared_ptr<net::RpcChannel> key_server)
-    : data_servers_(std::move(data_servers)), key_server_(std::move(key_server)) {
+    std::shared_ptr<net::RpcChannel> key_server, bool concurrent_fanout)
+    : StorageClient(
+          [&data_servers] {
+            std::vector<std::vector<std::shared_ptr<net::RpcChannel>>> striped;
+            striped.reserve(data_servers.size());
+            for (auto& ch : data_servers) striped.push_back({std::move(ch)});
+            return striped;
+          }(),
+          std::move(key_server), concurrent_fanout) {}
+
+StorageClient::StorageClient(
+    std::vector<std::vector<std::shared_ptr<net::RpcChannel>>> data_servers,
+    std::shared_ptr<net::RpcChannel> key_server, bool concurrent_fanout)
+    : data_servers_(std::move(data_servers)),
+      key_server_(std::move(key_server)),
+      concurrent_fanout_(concurrent_fanout),
+      // One worker per channel lets every stripe of every server carry a
+      // request at once; the cap only guards against pathological configs.
+      pool_(std::min<std::size_t>(32, TotalChannels(data_servers_))) {
   if (data_servers_.empty()) {
     throw Error("StorageClient: need at least one data server");
+  }
+  for (const auto& stripes : data_servers_) {
+    if (stripes.empty()) {
+      throw Error("StorageClient: every data server needs at least one channel");
+    }
+    for (const auto& ch : stripes) {
+      if (!ch) throw Error("StorageClient: null data-server channel");
+    }
   }
   if (!key_server_) throw Error("StorageClient: need a key server");
 }
 
-net::RpcChannel& StorageClient::ServerForFingerprint(
-    const chunk::Fingerprint& fp) {
-  return *data_servers_[fp.Short48() % data_servers_.size()];
+Bytes StorageClient::CallChannel(net::RpcChannel& channel, ByteSpan request) {
+  NetMetrics& m = Metrics();
+  m.rpc_calls->Increment();
+  m.inflight->Add(1);
+  try {
+    Bytes response = channel.Call(request);
+    m.inflight->Add(-1);
+    return response;
+  } catch (...) {
+    m.inflight->Add(-1);
+    throw;
+  }
 }
 
-net::RpcChannel& StorageClient::ServerForObject(StoreId store,
-                                                const std::string& name) {
-  if (store == StoreId::kKey) return *key_server_;
+Bytes StorageClient::CallServer(std::size_t server, ByteSpan request) {
+  auto& stripes = data_servers_[server];
+  // Round-robin over the server's stripes; a single global counter is fine
+  // because what matters is that concurrent batches land on different
+  // channels, not which one each gets.
+  std::size_t stripe =
+      stripes.size() == 1
+          ? 0
+          : next_stripe_.fetch_add(1, std::memory_order_relaxed) % stripes.size();
+  return CallChannel(*stripes[stripe], request);
+}
+
+std::size_t StorageClient::ServerIndexForObject(StoreId store,
+                                                const std::string& name) const {
+  (void)store;
   std::size_t h = std::hash<std::string>{}(name);
-  return *data_servers_[h % data_servers_.size()];
+  return h % data_servers_.size();
 }
 
 void StorageClient::CheckStatus(net::Reader& r) {
@@ -32,6 +109,30 @@ void StorageClient::CheckStatus(net::Reader& r) {
   if (status != 0) {
     throw Error("StorageClient: server error: " + r.Str());
   }
+}
+
+template <typename F>
+void StorageClient::ForEachTarget(const std::vector<std::size_t>& targets,
+                                  F&& task) {
+  if (targets.empty()) return;
+  if (targets.size() == 1 || !concurrent_fanout_) {
+    for (std::size_t s : targets) task(s);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(targets.size());
+  for (std::size_t s : targets) {
+    futures.push_back(pool_.Submit([&task, s] { task(s); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 StorageClient::PutStats StorageClient::PutChunks(
@@ -46,19 +147,34 @@ StorageClient::PutStats StorageClient::PutChunks(
     ++counts[target];
   }
 
-  PutStats stats;
+  std::vector<std::size_t> targets;
   for (std::size_t s = 0; s < data_servers_.size(); ++s) {
-    if (counts[s] == 0) continue;
+    if (counts[s] != 0) targets.push_back(s);
+  }
+
+  // Each server's transfer runs on its own pool worker: batch wall time is
+  // max(per-server), not sum (tentpole fan-out). Each worker writes only its
+  // own per_server slot; the merge below happens after all futures joined.
+  std::vector<PutStats> per_server(data_servers_.size());
+  ForEachTarget(targets, [&](std::size_t s) {
     net::Writer req;
     req.U8(static_cast<std::uint8_t>(Opcode::kPutChunks));
     req.U32(counts[s]);
     req.Raw(writers[s].bytes());
-    Bytes response = data_servers_[s]->Call(req.Take());
+    Bytes response = CallServer(s, req.Take());
     net::Reader r(response);
     CheckStatus(r);
-    stats.duplicates += r.U32();
-    stats.stored += r.U32();
-    stats.stored_bytes += r.U64();
+    per_server[s].duplicates = r.U32();
+    per_server[s].stored = r.U32();
+    per_server[s].stored_bytes = r.U64();
+    r.ExpectEnd();
+  });
+
+  PutStats stats;
+  for (std::size_t s : targets) {
+    stats.duplicates += per_server[s].duplicates;
+    stats.stored += per_server[s].stored;
+    stats.stored_bytes += per_server[s].stored_bytes;
   }
   return stats;
 }
@@ -76,21 +192,35 @@ std::vector<Bytes> StorageClient::GetChunks(
     slots[target].push_back(i);
   }
 
-  std::vector<Bytes> out(fps.size());
+  std::vector<std::size_t> targets;
   for (std::size_t s = 0; s < data_servers_.size(); ++s) {
-    if (counts[s] == 0) continue;
+    if (counts[s] != 0) targets.push_back(s);
+  }
+
+  std::vector<Bytes> out(fps.size());
+  ForEachTarget(targets, [&](std::size_t s) {
     net::Writer req;
     req.U8(static_cast<std::uint8_t>(Opcode::kGetChunks));
     req.U32(counts[s]);
     req.Raw(writers[s].bytes());
-    Bytes response = data_servers_[s]->Call(req.Take());
+    Bytes response = CallServer(s, req.Take());
     net::Reader r(response);
     CheckStatus(r);
     for (std::size_t slot : slots[s]) {
-      out[slot] = r.Blob();
+      Bytes blob = r.Blob();
+      // Integrity gate: the fingerprint doubles as a MAC over the trimmed
+      // package (it is what dedup keyed on), so recompute it before any
+      // decode work trusts the bytes. Catches tampered payloads AND
+      // honest-server bugs that swap response ordering.
+      if (chunk::Fingerprint::Of(blob) != fps[slot]) {
+        throw Error(
+            "StorageClient: chunk integrity check failed for fingerprint " +
+            fps[slot].ToHex());
+      }
+      out[slot] = std::move(blob);
     }
     r.ExpectEnd();
-  }
+  });
   return out;
 }
 
@@ -101,7 +231,9 @@ void StorageClient::PutObject(StoreId store, const std::string& name,
   req.U8(static_cast<std::uint8_t>(store));
   req.Str(name);
   req.Blob(value);
-  Bytes response = ServerForObject(store, name).Call(req.Take());
+  Bytes response = store == StoreId::kKey
+                       ? CallChannel(*key_server_, req.Take())
+                       : CallServer(ServerIndexForObject(store, name), req.Take());
   net::Reader r(response);
   CheckStatus(r);
 }
@@ -111,7 +243,9 @@ Bytes StorageClient::GetObject(StoreId store, const std::string& name) {
   req.U8(static_cast<std::uint8_t>(Opcode::kGetObject));
   req.U8(static_cast<std::uint8_t>(store));
   req.Str(name);
-  Bytes response = ServerForObject(store, name).Call(req.Take());
+  Bytes response = store == StoreId::kKey
+                       ? CallChannel(*key_server_, req.Take())
+                       : CallServer(ServerIndexForObject(store, name), req.Take());
   net::Reader r(response);
   CheckStatus(r);
   return r.Blob();
@@ -122,7 +256,9 @@ bool StorageClient::HasObject(StoreId store, const std::string& name) {
   req.U8(static_cast<std::uint8_t>(Opcode::kHasObject));
   req.U8(static_cast<std::uint8_t>(store));
   req.Str(name);
-  Bytes response = ServerForObject(store, name).Call(req.Take());
+  Bytes response = store == StoreId::kKey
+                       ? CallChannel(*key_server_, req.Take())
+                       : CallServer(ServerIndexForObject(store, name), req.Take());
   net::Reader r(response);
   CheckStatus(r);
   return r.U8() != 0;

@@ -1,5 +1,7 @@
 #include "core/reed_system.h"
 
+#include <algorithm>
+
 namespace reed::core {
 
 namespace {
@@ -68,16 +70,29 @@ std::unique_ptr<client::ReedClient> ReedSystem::CreateClient(
     return std::make_shared<net::LocalChannel>(handler);
   };
 
-  std::vector<std::shared_ptr<net::RpcChannel>> data_channels;
+  // Striped channels per server (DESIGN.md §10): the stripes of a simulated
+  // server share its link, so striping buys RPC concurrency (several batches
+  // in flight per server) without inventing bandwidth the link doesn't have.
+  const std::size_t stripes =
+      std::max<std::size_t>(1, options.pipeline.channels_per_server);
+  std::vector<std::vector<std::shared_ptr<net::RpcChannel>>> data_channels;
   data_channels.reserve(data_servers_.size());
   for (std::size_t i = 0; i < data_servers_.size(); ++i) {
-    data_channels.push_back(make_channel(
-        data_servers_[i].get(),
-        server_links_.empty() ? nullptr : server_links_[i]));
+    std::vector<std::shared_ptr<net::RpcChannel>> server_stripes;
+    server_stripes.reserve(stripes);
+    for (std::size_t c = 0; c < stripes; ++c) {
+      server_stripes.push_back(make_channel(
+          data_servers_[i].get(),
+          server_links_.empty() ? nullptr : server_links_[i]));
+    }
+    data_channels.push_back(std::move(server_stripes));
   }
+  // depth 1 is the legacy serial reference: per-server requests issue
+  // sequentially, exactly like the pre-pipeline client.
   auto storage = std::make_shared<client::StorageClient>(
       std::move(data_channels),
-      make_channel(key_server_.get(), key_server_link_));
+      make_channel(key_server_.get(), key_server_link_),
+      /*concurrent_fanout=*/options.pipeline.depth > 1);
 
   keymanager::KeyManager* km = key_manager_.get();
   auto km_handler = [km](ByteSpan req) { return km->HandleRequest(req); };

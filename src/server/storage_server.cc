@@ -60,26 +60,37 @@ StorageServer::StorageServer(std::string name, Options options)
 StorageServer::PutChunksResult StorageServer::PutChunks(
     const std::vector<std::pair<chunk::Fingerprint, Bytes>>& chunks) {
   PutChunksResult result;
+  {
+    // One stats critical section per batch, not per chunk — with the
+    // multi-session server and the client's concurrent RPC fan-out this
+    // lock is taken from many threads at once.
+    std::uint64_t batch_bytes = 0;
+    for (const auto& [fp, data] : chunks) batch_bytes += data.size();
+    MutexLock lock(stats_mu_);
+    logical_chunks_ += chunks.size();
+    logical_bytes_ += batch_bytes;
+  }
+  static obs::Counter& ingest_contention =
+      obs::Registry::Global().GetCounter("server.ingest.stripe_contention");
   for (const auto& [fp, data] : chunks) {
-    {
-      MutexLock lock(stats_mu_);
-      ++logical_chunks_;
-      logical_bytes_ += data.size();
-    }
     // Lookup + append + insert must be one atomic step: if two clients race
     // on the same fingerprint with lookup and insert as separate critical
     // sections, both append the payload and the insert-loser's copy stays
     // orphaned in the container store — the dedup invariant (one stored copy
-    // per fingerprint) breaks and physical_bytes overcounts.
-    MutexLock ingest(ingest_mu_);
+    // per fingerprint) breaks and physical_bytes overcounts. Striping by
+    // fingerprint keeps the compound atomic where it matters (same chunk)
+    // while distinct chunks ingest in parallel.
+    ContendedMutexLock<obs::Counter> ingest(
+        ingest_mu_[chunk::FingerprintHash{}(fp) % kIngestStripes],
+        ingest_contention);
     if (index_.Lookup(fp).has_value()) {
       ++result.duplicates;
       continue;
     }
     store::ChunkLocation loc = containers_.Append(data);
     if (!index_.Insert(fp, loc)) {
-      // Unreachable while ingest_mu_ serializes lookup+insert; if it ever
-      // fires, the appended bytes are orphaned and dedup accounting is
+      // Unreachable while the ingest stripe serializes lookup+insert; if it
+      // ever fires, the appended bytes are orphaned and dedup accounting is
       // wrong — fail loudly rather than report the chunk as stored.
       throw Error("StorageServer: concurrent insert raced for fingerprint " +
                   fp.ToHex());

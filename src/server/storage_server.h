@@ -14,6 +14,7 @@
 //               payload behind `reedctl stats`.
 #pragma once
 
+#include <array>
 #include <string>
 
 #include "net/wire.h"
@@ -62,8 +63,7 @@ class StorageServer {
     std::uint64_t stored_bytes = 0;
   };
   [[nodiscard]] PutChunksResult PutChunks(
-      const std::vector<std::pair<chunk::Fingerprint, Bytes>>& chunks)
-      REED_EXCLUDES(ingest_mu_);
+      const std::vector<std::pair<chunk::Fingerprint, Bytes>>& chunks);
 
   // Throws Error if any fingerprint is unknown.
   [[nodiscard]] std::vector<Bytes> GetChunks(
@@ -108,9 +108,13 @@ class StorageServer {
   store::ObjectStore key_objects_;
 
   // Serializes the dedup check-then-store step in PutChunks; see there.
-  // index_ and containers_ lock themselves — ingest_mu_ guards the
-  // lookup→append→insert *compound*, not any single member.
-  Mutex ingest_mu_;
+  // index_ and containers_ lock themselves — the ingest stripes guard the
+  // lookup→append→insert *compound*, not any single member. Striped by
+  // fingerprint so concurrent sessions ingesting distinct chunks proceed in
+  // parallel while two writers racing on the SAME fingerprint still
+  // serialize (same stripe), preserving the one-copy dedup invariant.
+  static constexpr std::size_t kIngestStripes = 16;
+  std::array<Mutex, kIngestStripes> ingest_mu_;
   mutable Mutex stats_mu_;
   std::uint64_t logical_chunks_ REED_GUARDED_BY(stats_mu_) = 0;
   std::uint64_t logical_bytes_ REED_GUARDED_BY(stats_mu_) = 0;

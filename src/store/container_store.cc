@@ -34,7 +34,7 @@ ContainerStore::ContainerStore(std::size_t container_capacity)
 
 ChunkLocation ContainerStore::Append(ByteSpan data) {
   if (data.empty()) throw Error("ContainerStore: empty chunk");
-  MutexLock lock(mu_);
+  WriterMutexLock lock(mu_);
   Bytes* current = &containers_.back();
   if (current->size() + data.size() > capacity_ && !current->empty()) {
     containers_.emplace_back();
@@ -56,7 +56,7 @@ ChunkLocation ContainerStore::Append(ByteSpan data) {
 }
 
 Bytes ContainerStore::Read(const ChunkLocation& loc) const {
-  MutexLock lock(mu_);
+  ReaderMutexLock lock(mu_);
   if (loc.container_id >= containers_.size()) {
     throw Error("ContainerStore: bad container id");
   }
@@ -69,7 +69,7 @@ Bytes ContainerStore::Read(const ChunkLocation& loc) const {
 }
 
 ContainerStore::Stats ContainerStore::stats() const {
-  MutexLock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return stats_;
 }
 

@@ -30,6 +30,9 @@ class ContainerStore {
   // orphans the stored bytes (nothing can ever read them back).
   [[nodiscard]] ChunkLocation Append(ByteSpan data);
 
+  // Reader-concurrent: restore sessions fan in many Read calls per server,
+  // and none of them needs to exclude the others — only Append (which may
+  // reallocate container storage) takes the writer side.
   [[nodiscard]] Bytes Read(const ChunkLocation& loc) const;
 
   struct Stats {
@@ -41,7 +44,7 @@ class ContainerStore {
 
  private:
   std::size_t capacity_;
-  mutable Mutex mu_;
+  mutable SharedMutex mu_;
   std::vector<Bytes> containers_ REED_GUARDED_BY(mu_);
   Stats stats_ REED_GUARDED_BY(mu_);
 };

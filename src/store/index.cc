@@ -8,19 +8,48 @@ namespace {
 // Dedup accounting (DESIGN.md §9): on the ingest path every lookup-hit is a
 // duplicate chunk, so dedup ratio = hits / lookups there (restore-path
 // lookups always hit and inflate both the same way). Cached pointers keep
-// the per-chunk lookup/insert path allocation-free.
+// the per-chunk lookup/insert path allocation-free. The contention counters
+// record how often a shard's fast-path try_lock missed (DESIGN.md §10).
 struct IndexMetrics {
   obs::Counter* lookups;
   obs::Counter* hits;
   obs::Counter* inserts;
+  obs::Counter* shard_contention;
 };
 
 IndexMetrics& Metrics() {
   auto& reg = obs::Registry::Global();
   static IndexMetrics m{&reg.GetCounter("store.index.lookups"),
                         &reg.GetCounter("store.index.hits"),
-                        &reg.GetCounter("store.index.inserts")};
+                        &reg.GetCounter("store.index.inserts"),
+                        &reg.GetCounter("store.index.shard_contention")};
   return m;
+}
+
+struct ObjectMetrics {
+  obs::Counter* shard_contention;
+};
+
+ObjectMetrics& ObjMetrics() {
+  auto& reg = obs::Registry::Global();
+  static ObjectMetrics m{&reg.GetCounter("store.object.shard_contention")};
+  return m;
+}
+
+using ShardLock = ContendedMutexLock<obs::Counter>;
+
+// The leading directory of an object name: everything through the first
+// '/', or "" for slashless names. "stub/f1" -> "stub/".
+std::string_view DirOf(std::string_view name) {
+  std::size_t slash = name.find('/');
+  if (slash == std::string_view::npos) return std::string_view();
+  return name.substr(0, slash + 1);
+}
+
+// A prefix answerable from the per-directory counters: one non-empty
+// segment ending in its only '/'.
+bool IsDirPrefix(std::string_view prefix) {
+  return prefix.size() >= 2 && prefix.find('/') == prefix.size() - 1;
 }
 
 }  // namespace
@@ -28,9 +57,10 @@ IndexMetrics& Metrics() {
 std::optional<ChunkLocation> FingerprintIndex::Lookup(
     const chunk::Fingerprint& fp) const {
   Metrics().lookups->Increment();
-  MutexLock lock(mu_);
-  auto it = index_.find(fp);
-  if (it == index_.end()) return std::nullopt;
+  Shard& shard = ShardFor(fp);
+  ShardLock lock(shard.mu, *Metrics().shard_contention);
+  auto it = shard.map.find(fp);
+  if (it == shard.map.end()) return std::nullopt;
   Metrics().hits->Increment();
   return it->second;
 }
@@ -38,66 +68,101 @@ std::optional<ChunkLocation> FingerprintIndex::Lookup(
 bool FingerprintIndex::Insert(const chunk::Fingerprint& fp,
                               const ChunkLocation& loc) {
   Metrics().inserts->Increment();
-  MutexLock lock(mu_);
-  return index_.emplace(fp, loc).second;
+  Shard& shard = ShardFor(fp);
+  ShardLock lock(shard.mu, *Metrics().shard_contention);
+  return shard.map.emplace(fp, loc).second;
 }
 
 std::size_t FingerprintIndex::size() const {
-  MutexLock lock(mu_);
-  return index_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
 }
 
 void ObjectStore::Put(const std::string& name, Bytes value) {
-  MutexLock lock(mu_);
-  auto it = objects_.find(name);
-  if (it != objects_.end()) {
-    total_bytes_ -= it->second.size();
+  Shard& shard = ShardFor(name);
+  ShardLock lock(shard.mu, *ObjMetrics().shard_contention);
+  // Overwrites keep the same name, hence the same directory counter.
+  std::uint64_t& dir = shard.dir_bytes[std::string(DirOf(name))];
+  auto it = shard.objects.find(name);
+  if (it != shard.objects.end()) {
+    shard.bytes -= it->second.size();
+    dir -= it->second.size();
     it->second = std::move(value);
-    total_bytes_ += it->second.size();
+    shard.bytes += it->second.size();
+    dir += it->second.size();
     return;
   }
-  total_bytes_ += value.size();
-  objects_.emplace(name, std::move(value));
+  shard.bytes += value.size();
+  dir += value.size();
+  shard.objects.emplace(name, std::move(value));
 }
 
 Bytes ObjectStore::Get(const std::string& name) const {
-  MutexLock lock(mu_);
-  auto it = objects_.find(name);
-  if (it == objects_.end()) {
+  Shard& shard = ShardFor(name);
+  ShardLock lock(shard.mu, *ObjMetrics().shard_contention);
+  auto it = shard.objects.find(name);
+  if (it == shard.objects.end()) {
     throw Error("ObjectStore: no such object: " + name);
   }
   return it->second;
 }
 
 bool ObjectStore::Contains(const std::string& name) const {
-  MutexLock lock(mu_);
-  return objects_.contains(name);
+  Shard& shard = ShardFor(name);
+  ShardLock lock(shard.mu, *ObjMetrics().shard_contention);
+  return shard.objects.contains(name);
 }
 
 bool ObjectStore::Erase(const std::string& name) {
-  MutexLock lock(mu_);
-  auto it = objects_.find(name);
-  if (it == objects_.end()) return false;
-  total_bytes_ -= it->second.size();
-  objects_.erase(it);
+  Shard& shard = ShardFor(name);
+  ShardLock lock(shard.mu, *ObjMetrics().shard_contention);
+  auto it = shard.objects.find(name);
+  if (it == shard.objects.end()) return false;
+  shard.bytes -= it->second.size();
+  auto dir = shard.dir_bytes.find(DirOf(name));
+  if (dir != shard.dir_bytes.end()) dir->second -= it->second.size();
+  shard.objects.erase(it);
   return true;
 }
 
 std::size_t ObjectStore::count() const {
-  MutexLock lock(mu_);
-  return objects_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    total += shard.objects.size();
+  }
+  return total;
 }
 
 std::uint64_t ObjectStore::total_bytes() const {
-  MutexLock lock(mu_);
-  return total_bytes_;
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    total += shard.bytes;
+  }
+  return total;
 }
 
 std::uint64_t ObjectStore::TotalBytesWithPrefix(std::string_view prefix) const {
-  MutexLock lock(mu_);
   std::uint64_t total = 0;
-  for (const auto& [name, value] : objects_) {
-    if (name.starts_with(prefix)) total += value.size();
+  if (IsDirPrefix(prefix)) {
+    for (const Shard& shard : shards_) {
+      MutexLock lock(shard.mu);
+      auto it = shard.dir_bytes.find(prefix);
+      if (it != shard.dir_bytes.end()) total += it->second;
+    }
+    return total;
+  }
+  // Generic prefixes (sub-name ranges, "") keep the scan semantics.
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (const auto& [name, value] : shard.objects) {
+      if (name.starts_with(prefix)) total += value.size();
+    }
   }
   return total;
 }

@@ -5,8 +5,19 @@
 // ObjectStore: named blobs (file recipes, encrypted stub files, encrypted
 // key states, metadata); the data store and the key store are two
 // ObjectStore instances (paper §V "Storage backend" separates them).
+//
+// Both are sharded N-ways by key hash (DESIGN.md §10): the multi-session
+// TcpServer and the client's concurrent RPC fan-out hammer these maps from
+// many threads at once, and a single mutex would serialize the whole data
+// path. Each shard carries its own lock; cross-shard invariants do not
+// exist (a key lives in exactly one shard), so the public API is unchanged
+// and per-call results are identical to the unsharded store. Lock
+// contention per store is observable via the store.*.shard_contention
+// counters.
 #pragma once
 
+#include <array>
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -19,6 +30,8 @@ namespace reed::store {
 
 class FingerprintIndex {
  public:
+  static constexpr std::size_t kNumShards = 8;
+
   // Returns the existing location, or nullopt if the fingerprint is new.
   [[nodiscard]] std::optional<ChunkLocation> Lookup(
       const chunk::Fingerprint& fp) const;
@@ -32,13 +45,26 @@ class FingerprintIndex {
   [[nodiscard]] std::size_t size() const;
 
  private:
-  mutable Mutex mu_;
-  std::unordered_map<chunk::Fingerprint, ChunkLocation, chunk::FingerprintHash>
-      index_ REED_GUARDED_BY(mu_);
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<chunk::Fingerprint, ChunkLocation,
+                       chunk::FingerprintHash>
+        map REED_GUARDED_BY(mu);
+  };
+
+  // High bits pick the shard so the map's bucket hash (low bits) stays
+  // decorrelated from shard membership.
+  Shard& ShardFor(const chunk::Fingerprint& fp) const {
+    return shards_[(chunk::FingerprintHash{}(fp) >> 56) % kNumShards];
+  }
+
+  mutable std::array<Shard, kNumShards> shards_;
 };
 
 class ObjectStore {
  public:
+  static constexpr std::size_t kNumShards = 8;
+
   void Put(const std::string& name, Bytes value);
   // Throws Error if absent.
   [[nodiscard]] Bytes Get(const std::string& name) const;
@@ -50,13 +76,29 @@ class ObjectStore {
   [[nodiscard]] std::size_t count() const;
   [[nodiscard]] std::uint64_t total_bytes() const;
   // Total value bytes of objects whose name starts with `prefix` (used for
-  // storage accounting: "stub/", "recipe/", "keystate/").
+  // storage accounting: "stub/", "recipe/", "keystate/"). Directory-shaped
+  // prefixes ("stub/" — a single trailing-slash segment) are answered from
+  // per-directory byte counters maintained by Put/Erase in O(shards);
+  // arbitrary prefixes fall back to a scan with identical results.
   [[nodiscard]] std::uint64_t TotalBytesWithPrefix(std::string_view prefix) const;
 
  private:
-  mutable Mutex mu_;
-  std::unordered_map<std::string, Bytes> objects_ REED_GUARDED_BY(mu_);
-  std::uint64_t total_bytes_ REED_GUARDED_BY(mu_) = 0;
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<std::string, Bytes> objects REED_GUARDED_BY(mu);
+    std::uint64_t bytes REED_GUARDED_BY(mu) = 0;
+    // Value bytes keyed by the name's leading directory ("stub/", "" for
+    // slashless names). Bounded by the handful of name families the system
+    // uses, not by object count.
+    std::map<std::string, std::uint64_t, std::less<>> dir_bytes
+        REED_GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(std::string_view name) const {
+    return shards_[(std::hash<std::string_view>{}(name) >> 56) % kNumShards];
+  }
+
+  mutable std::array<Shard, kNumShards> shards_;
 };
 
 }  // namespace reed::store

@@ -19,6 +19,7 @@
 
 #include <condition_variable>
 #include <mutex>
+#include <shared_mutex>
 
 #if defined(__clang__)
 #define REED_THREAD_ANNOTATION(x) __attribute__((x))
@@ -37,6 +38,13 @@
 // On functions: caller must hold the listed capabilities.
 #define REED_REQUIRES(...) \
   REED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+// Shared (reader) variants for SharedMutex-guarded state.
+#define REED_REQUIRES_SHARED(...) \
+  REED_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define REED_ACQUIRE_SHARED(...) \
+  REED_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define REED_RELEASE_SHARED(...) \
+  REED_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
 // On functions: caller must NOT hold them (the function acquires them).
 #define REED_EXCLUDES(...) REED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
 // On functions: acquires/releases the listed capabilities.
@@ -79,6 +87,85 @@ class REED_SCOPED_CAPABILITY MutexLock {
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// std::shared_mutex with capability annotations — the reader-concurrent
+// counterpart to reed::Mutex for read-mostly stores (container reads under
+// multi-session restore fan-in). Writers are exclusive; readers share.
+class REED_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() REED_ACQUIRE() { mu_.lock(); }
+  void unlock() REED_RELEASE() { mu_.unlock(); }
+  void lock_shared() REED_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() REED_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive lock over SharedMutex (the writer side).
+class REED_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) REED_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() REED_RELEASE() { mu_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// RAII shared lock over SharedMutex (the reader side). The generic RELEASE
+// on the destructor is the Abseil convention for scoped shared locks: a
+// scoped capability releases whatever it acquired.
+class REED_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) REED_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() REED_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// RAII lock that makes lock contention observable: the fast path is a
+// try_lock, and a failed fast path bumps `contended` (any type with an
+// Increment(), in practice an obs::Counter — templated so util keeps zero
+// dependency on obs) before falling back to a blocking lock. Used by the
+// sharded server stores so per-shard contention shows up in metrics.
+//
+// The two-path acquire (try_lock, then lock on the miss branch) is beyond
+// what the thread-safety analysis can follow inside a scoped-capability
+// constructor, so the body opts out; the ACQUIRE contract still holds for
+// callers, which is where the checking matters.
+template <typename CounterT>
+class REED_SCOPED_CAPABILITY ContendedMutexLock {
+ public:
+  ContendedMutexLock(Mutex& mu, CounterT& contended)
+      REED_ACQUIRE(mu) REED_NO_THREAD_SAFETY_ANALYSIS : mu_(mu) {
+    if (!mu_.try_lock()) {
+      contended.Increment();
+      mu_.lock();
+    }
+  }
+  ~ContendedMutexLock() REED_RELEASE() { mu_.unlock(); }
+
+  ContendedMutexLock(const ContendedMutexLock&) = delete;
+  ContendedMutexLock& operator=(const ContendedMutexLock&) = delete;
 
  private:
   Mutex& mu_;

@@ -95,6 +95,72 @@ TEST(ObjectStoreTest, PrefixAccounting) {
   EXPECT_EQ(os.TotalBytesWithPrefix("nothing/"), 0u);
 }
 
+// The per-directory byte counters that replaced the O(n) scan must track
+// overwrite (grow and shrink) and erase exactly, and must agree with scan
+// semantics for non-directory prefixes.
+TEST(ObjectStoreTest, PrefixAccountingSurvivesOverwriteAndErase) {
+  store::ObjectStore os;
+  os.Put("stub/f1", Bytes(100, 1));
+  os.Put("stub/f2", Bytes(200, 2));
+  os.Put("stub/f1", Bytes(700, 3));  // overwrite grows
+  EXPECT_EQ(os.TotalBytesWithPrefix("stub/"), 900u);
+  os.Put("stub/f2", Bytes(20, 4));   // overwrite shrinks
+  EXPECT_EQ(os.TotalBytesWithPrefix("stub/"), 720u);
+  EXPECT_TRUE(os.Erase("stub/f1"));
+  EXPECT_EQ(os.TotalBytesWithPrefix("stub/"), 20u);
+  EXPECT_FALSE(os.Erase("stub/f1"));  // double-erase changes nothing
+  EXPECT_EQ(os.TotalBytesWithPrefix("stub/"), 20u);
+  EXPECT_TRUE(os.Erase("stub/f2"));
+  EXPECT_EQ(os.TotalBytesWithPrefix("stub/"), 0u);
+  // The directory stays usable after draining to zero.
+  os.Put("stub/f3", Bytes(5, 5));
+  EXPECT_EQ(os.TotalBytesWithPrefix("stub/"), 5u);
+
+  // Generic prefixes (not exactly one trailing-slash segment) keep scan
+  // semantics and must agree with the counters where both apply.
+  os.Put("stub-index", Bytes(11, 6));
+  os.Put("recipe/f1", Bytes(50, 7));
+  EXPECT_EQ(os.TotalBytesWithPrefix("stub"), 16u);   // stub/f3 + stub-index
+  EXPECT_EQ(os.TotalBytesWithPrefix("stub/f3"), 5u);
+  EXPECT_EQ(os.TotalBytesWithPrefix(""), 66u);       // everything
+  EXPECT_EQ(os.total_bytes(), 66u);
+}
+
+// Many names across every shard: counters must equal a brute-force scan.
+TEST(ObjectStoreTest, PrefixAccountingMatchesScanAcrossShards) {
+  store::ObjectStore os;
+  DeterministicRng rng(6);
+  std::uint64_t stub_bytes = 0, recipe_bytes = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::size_t n = 1 + (i * 7) % 97;
+    if (i % 2 == 0) {
+      os.Put("stub/obj" + std::to_string(i), rng.Generate(n));
+      stub_bytes += n;
+    } else {
+      os.Put("recipe/obj" + std::to_string(i), rng.Generate(n));
+      recipe_bytes += n;
+    }
+  }
+  // Overwrite a third of them, erase a few.
+  for (int i = 0; i < 200; i += 3) {
+    std::string name =
+        (i % 2 == 0 ? "stub/obj" : "recipe/obj") + std::to_string(i);
+    std::uint64_t old = os.Get(name).size();
+    os.Put(name, rng.Generate(40));
+    (i % 2 == 0 ? stub_bytes : recipe_bytes) += 40 - old;
+  }
+  for (int i = 0; i < 200; i += 17) {
+    std::string name =
+        (i % 2 == 0 ? "stub/obj" : "recipe/obj") + std::to_string(i);
+    std::uint64_t old = os.Get(name).size();
+    EXPECT_TRUE(os.Erase(name));
+    (i % 2 == 0 ? stub_bytes : recipe_bytes) -= old;
+  }
+  EXPECT_EQ(os.TotalBytesWithPrefix("stub/"), stub_bytes);
+  EXPECT_EQ(os.TotalBytesWithPrefix("recipe/"), recipe_bytes);
+  EXPECT_EQ(os.total_bytes(), stub_bytes + recipe_bytes);
+}
+
 // --------------------------- recipes ---------------------------
 
 TEST(RecipeTest, SerializationRoundTrip) {

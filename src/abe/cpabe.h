@@ -129,7 +129,7 @@ class CpAbe {
                                  std::size_t& leaf_index) const;
 
   std::shared_ptr<const TypeAPairing> pairing_;
-  mutable Mutex attr_cache_mu_;
+  mutable Mutex attr_cache_mu_{LockRank::kAbeAttrCache};
   mutable std::map<std::string, G1Point> attr_cache_
       REED_GUARDED_BY(attr_cache_mu_);
 };

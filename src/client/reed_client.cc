@@ -6,6 +6,7 @@
 
 #include "crypto/sha256.h"
 #include "obs/metrics.h"
+#include "util/schedule_fuzz.h"
 
 namespace reed::client {
 
@@ -212,6 +213,7 @@ UploadResult ReedClient::UploadChunked(
   // producer side drains in-flight transfers before unwinding.
   std::deque<std::future<StorageClient::PutStats>> inflight;
   auto harvest = [&] {
+    schedfuzz::Perturb("client.upload.harvest");
     StorageClient::PutStats stats = inflight.front().get();
     inflight.pop_front();
     m.pipeline_inflight->Add(-1);
@@ -238,6 +240,7 @@ UploadResult ReedClient::UploadChunked(
                                               chunk_fps.begin() + end);
     std::vector<Secret> mle_keys = keys_->GetKeys(batch_fps, rng_);
     (void)keygen_timer.Stop();
+    schedfuzz::Perturb("client.upload.keygen");
 
     // CAONT encode, with the trimmed-package fingerprint folded into the
     // same parallel worker that produced the package (no second serial
@@ -252,6 +255,7 @@ UploadResult ReedClient::UploadChunked(
       package_fps[i] = chunk::Fingerprint::Of(sealed[i].trimmed_package);
     });
     (void)encode_timer.Stop();
+    schedfuzz::Perturb("client.upload.encode");
 
     // In-order assembly (Secret::Append is sequential by design).
     std::vector<std::pair<chunk::Fingerprint, Bytes>> batch;
@@ -278,6 +282,7 @@ UploadResult ReedClient::UploadChunked(
           std::launch::async,
           [storage = storage_, &m,
            moved = std::move(batch)]() -> StorageClient::PutStats {
+            schedfuzz::Perturb("client.upload.store");
             obs::ScopedTimer store_timer(*m.store_us);
             return storage->PutChunks(moved);
           }));
@@ -421,6 +426,7 @@ Bytes ReedClient::Download(const std::string& file_id) {
     std::size_t end = std::min(total, start + kFetchBatch);
     std::vector<Bytes> packages;
     if (next.valid()) {
+      schedfuzz::Perturb("client.download.fetch_join");
       packages = next.get();
       m.pipeline_inflight->Add(-1);
     } else {
@@ -435,6 +441,7 @@ Bytes ReedClient::Download(const std::string& file_id) {
                           return fetch_batch(pstart, pend);
                         });
     }
+    schedfuzz::Perturb("client.download.decode");
     obs::ScopedTimer decode_timer(*m.decode_us);
     pool_.ParallelFor(end - start, [&](std::size_t i) {
       std::size_t idx = start + i;

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "obs/metrics.h"
+#include "util/schedule_fuzz.h"
 
 namespace reed::client {
 namespace {
@@ -122,9 +123,13 @@ void StorageClient::ForEachTarget(const std::vector<std::size_t>& targets,
   std::vector<std::future<void>> futures;
   futures.reserve(targets.size());
   for (std::size_t s : targets) {
-    futures.push_back(pool_.Submit([&task, s] { task(s); }));
+    futures.push_back(pool_.Submit([&task, s] {
+      schedfuzz::Perturb("client.fanout.task");
+      task(s);
+    }));
   }
   std::exception_ptr first_error;
+  schedfuzz::Perturb("client.fanout.join");
   for (auto& f : futures) {
     try {
       f.get();

@@ -116,7 +116,7 @@ ChaChaRng MakeOsSeededRng() {
   return ChaChaRng(seed);
 }
 
-reed::Mutex g_secure_mu;
+reed::Mutex g_secure_mu{reed::LockRank::kCryptoRng};
 ChaChaRng& GlobalSecureRng() REED_REQUIRES(g_secure_mu) {
   static ChaChaRng rng = MakeOsSeededRng();
   return rng;

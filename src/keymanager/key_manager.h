@@ -72,7 +72,7 @@ class KeyManager {
  private:
   Options options_;
   rsa::BlindSignatureServer server_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kKeyManagerState};
   // Bucket pointers are stable once created (values are unique_ptrs that
   // are never erased), so SignBatch may rate-limit outside the lock.
   std::unordered_map<std::string, std::unique_ptr<TokenBucket>> buckets_

@@ -43,7 +43,7 @@ class SimulatedLink {
 
   double bandwidth_bps_;
   double rtt_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kNetLink};
   // When the shared medium frees up.
   Clock::time_point link_free_ REED_GUARDED_BY(mu_){};
   std::uint64_t total_bytes_ REED_GUARDED_BY(mu_) = 0;

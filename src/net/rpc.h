@@ -60,19 +60,24 @@ class SimulatedChannel : public RpcChannel {
   std::shared_ptr<SimulatedLink> link_;
 };
 
-// One frame out, one frame back, serialized per channel.
+// One frame out, one frame back, serialized per channel. The serialization
+// lock is held across the blocking Send/Receive by design — that is what
+// keeps a request/response exchange atomic per channel — so it is an
+// IoSerialMutex: the one lock type whose guard the blocking-under-lock lint
+// exempts, ranked as a leaf (kIoChannel) so the deadlock detector proves no
+// other lock is ever acquired while a thread is parked on the wire.
 class TcpChannel : public RpcChannel {
  public:
   explicit TcpChannel(TcpTransport transport) : transport_(std::move(transport)) {}
 
   [[nodiscard]] Bytes Call(ByteSpan request) override {
-    MutexLock lock(mu_);
+    IoSerialLock lock(mu_);
     transport_.Send(request);
     return transport_.Receive();
   }
 
  private:
-  Mutex mu_;
+  IoSerialMutex mu_;
   TcpTransport transport_ REED_GUARDED_BY(mu_);
 };
 

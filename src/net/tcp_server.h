@@ -53,7 +53,7 @@ class TcpServer {
   std::uint16_t port_;
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
-  Mutex mu_;
+  Mutex mu_{LockRank::kNetServerSessions};
   std::vector<std::shared_ptr<Session>> sessions_ REED_GUARDED_BY(mu_);
 };
 

@@ -1,0 +1,60 @@
+#include "obs/lock_metrics.h"
+
+#if defined(REED_DEADLOCK_DETECT)
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/deadlock.h"
+#include "util/lock_rank.h"
+
+namespace reed::obs {
+namespace {
+
+// Slot 0 is kUnranked; slot i+1 is kAllLockRanks[i]. Resolved eagerly at
+// install time so the record hooks are pure atomic ops — they run while
+// arbitrary locks are held and must never take the registry lock.
+constexpr std::size_t kSlots = kAllLockRanks.size() + 1;
+Histogram* g_wait[kSlots] = {};
+Histogram* g_held[kSlots] = {};
+
+std::size_t RankSlot(LockRank rank) {
+  for (std::size_t i = 0; i < kAllLockRanks.size(); ++i) {
+    if (kAllLockRanks[i] == rank) return i + 1;
+  }
+  return 0;
+}
+
+void RecordWait(LockRank rank, std::uint64_t micros) {
+  if (Histogram* h = g_wait[RankSlot(rank)]) h->Record(micros);
+}
+
+void RecordHeld(LockRank rank, std::uint64_t micros) {
+  if (Histogram* h = g_held[RankSlot(rank)]) h->Record(micros);
+}
+
+}  // namespace
+
+void InstallLockProfiler(Registry& registry) {
+  g_wait[0] = &registry.GetHistogram("lock.unranked.wait_us");
+  g_held[0] = &registry.GetHistogram("lock.unranked.held_us");
+  for (std::size_t i = 0; i < kAllLockRanks.size(); ++i) {
+    const std::string base = std::string("lock.") + LockRankName(kAllLockRanks[i]);
+    g_wait[i + 1] = &registry.GetHistogram(base + ".wait_us");
+    g_held[i + 1] = &registry.GetHistogram(base + ".held_us");
+  }
+  lockdiag::SetLockProfiler(&RecordWait, &RecordHeld);
+}
+
+}  // namespace reed::obs
+
+#else  // !REED_DEADLOCK_DETECT
+
+namespace reed::obs {
+
+void InstallLockProfiler(Registry&) {}
+
+}  // namespace reed::obs
+
+#endif

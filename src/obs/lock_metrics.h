@@ -1,0 +1,21 @@
+// Bridges util/deadlock.h's profiler hooks to the metric registry: one
+// wait-time and one held-time histogram per LockRank —
+//
+//   lock.<rank-name>.wait_us   time spent blocked acquiring
+//   lock.<rank-name>.held_us   time the lock was held
+//
+// util (layer 0) cannot depend on obs (layer 1), so the detector exposes raw
+// function-pointer hooks and this translation unit — on the obs side of the
+// boundary — installs them. Registry::Global() calls InstallLockProfiler
+// exactly once while constructing the global registry; outside
+// -DREED_DEADLOCK_DETECT=ON builds it is a no-op and no lock.* metrics
+// exist (the hooks are not compiled into the mutexes at all).
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace reed::obs {
+
+void InstallLockProfiler(Registry& registry);
+
+}  // namespace reed::obs

@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+
+#include "obs/lock_metrics.h"
 #include <cstdarg>
 #include <cstdio>
 
@@ -53,8 +55,15 @@ const Snapshot::HistogramValue* Snapshot::FindHistogram(
 }
 
 Registry& Registry::Global() {
-  static Registry* instance = new Registry();  // never destroyed: metrics may
-  return *instance;                            // be touched during shutdown
+  // Never destroyed: metrics may be touched during shutdown. The lock
+  // profiler (a no-op outside REED_DEADLOCK_DETECT builds) installs here so
+  // its histograms resolve against the same registry every consumer sees.
+  static Registry* instance = [] {
+    auto* registry = new Registry();
+    InstallLockProfiler(*registry);
+    return registry;
+  }();
+  return *instance;
 }
 
 Counter& Registry::GetCounter(std::string_view name) {

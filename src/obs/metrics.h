@@ -164,7 +164,7 @@ class Registry {
   void ResetAll() REED_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kObsRegistry};
   // std::less<> enables string_view lookup with no temporary std::string.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
       REED_GUARDED_BY(mu_);

@@ -6,6 +6,7 @@
 
 #include "net/stats_wire.h"
 #include "obs/metrics.h"
+#include "util/schedule_fuzz.h"
 
 namespace reed::server {
 namespace {
@@ -80,8 +81,9 @@ StorageServer::PutChunksResult StorageServer::PutChunks(
     // per fingerprint) breaks and physical_bytes overcounts. Striping by
     // fingerprint keeps the compound atomic where it matters (same chunk)
     // while distinct chunks ingest in parallel.
+    schedfuzz::Perturb("server.ingest.stripe");
     ContendedMutexLock<obs::Counter> ingest(
-        ingest_mu_[chunk::FingerprintHash{}(fp) % kIngestStripes],
+        ingest_mu_[chunk::FingerprintHash{}(fp) % kIngestStripes].mu,
         ingest_contention);
     if (index_.Lookup(fp).has_value()) {
       ++result.duplicates;

@@ -113,9 +113,14 @@ class StorageServer {
   // fingerprint so concurrent sessions ingesting distinct chunks proceed in
   // parallel while two writers racing on the SAME fingerprint still
   // serialize (same stripe), preserving the one-copy dedup invariant.
+  // Wrapped in a struct so each array element default-constructs with its
+  // rank (Mutex is not copyable, so a braced array initializer cannot).
+  struct IngestStripe {
+    Mutex mu{LockRank::kServerIngest};
+  };
   static constexpr std::size_t kIngestStripes = 16;
-  std::array<Mutex, kIngestStripes> ingest_mu_;
-  mutable Mutex stats_mu_;
+  std::array<IngestStripe, kIngestStripes> ingest_mu_;
+  mutable Mutex stats_mu_{LockRank::kServerStats};
   std::uint64_t logical_chunks_ REED_GUARDED_BY(stats_mu_) = 0;
   std::uint64_t logical_bytes_ REED_GUARDED_BY(stats_mu_) = 0;
 };

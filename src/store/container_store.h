@@ -44,7 +44,7 @@ class ContainerStore {
 
  private:
   std::size_t capacity_;
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{LockRank::kStoreContainer};
   std::vector<Bytes> containers_ REED_GUARDED_BY(mu_);
   Stats stats_ REED_GUARDED_BY(mu_);
 };

@@ -1,6 +1,7 @@
 #include "store/index.h"
 
 #include "obs/metrics.h"
+#include "util/schedule_fuzz.h"
 
 namespace reed::store {
 namespace {
@@ -58,6 +59,7 @@ std::optional<ChunkLocation> FingerprintIndex::Lookup(
     const chunk::Fingerprint& fp) const {
   Metrics().lookups->Increment();
   Shard& shard = ShardFor(fp);
+  schedfuzz::Perturb("store.index.shard");
   ShardLock lock(shard.mu, *Metrics().shard_contention);
   auto it = shard.map.find(fp);
   if (it == shard.map.end()) return std::nullopt;
@@ -69,6 +71,7 @@ bool FingerprintIndex::Insert(const chunk::Fingerprint& fp,
                               const ChunkLocation& loc) {
   Metrics().inserts->Increment();
   Shard& shard = ShardFor(fp);
+  schedfuzz::Perturb("store.index.shard");
   ShardLock lock(shard.mu, *Metrics().shard_contention);
   return shard.map.emplace(fp, loc).second;
 }
@@ -84,6 +87,7 @@ std::size_t FingerprintIndex::size() const {
 
 void ObjectStore::Put(const std::string& name, Bytes value) {
   Shard& shard = ShardFor(name);
+  schedfuzz::Perturb("store.object.shard");
   ShardLock lock(shard.mu, *ObjMetrics().shard_contention);
   // Overwrites keep the same name, hence the same directory counter.
   std::uint64_t& dir = shard.dir_bytes[std::string(DirOf(name))];

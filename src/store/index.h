@@ -46,7 +46,7 @@ class FingerprintIndex {
 
  private:
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu{LockRank::kStoreShard};
     std::unordered_map<chunk::Fingerprint, ChunkLocation,
                        chunk::FingerprintHash>
         map REED_GUARDED_BY(mu);
@@ -84,7 +84,7 @@ class ObjectStore {
 
  private:
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu{LockRank::kStoreShard};
     std::unordered_map<std::string, Bytes> objects REED_GUARDED_BY(mu);
     std::uint64_t bytes REED_GUARDED_BY(mu) = 0;
     // Value bytes keyed by the name's leading directory ("stub/", "" for

@@ -1,0 +1,250 @@
+#include "util/deadlock.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace reed::lockdiag {
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string SiteString(const std::source_location& site) {
+  std::ostringstream out;
+  out << site.file_name() << ":" << site.line();
+  return out.str();
+}
+
+// --- per-thread held-lock stack ------------------------------------------
+
+struct HeldLock {
+  const void* lock;
+  LockRank rank;
+  std::string site;
+  std::uint64_t acquired_ns;
+};
+
+std::vector<HeldLock>& HeldStack() {
+  // Heap-allocated and leaked: thread_local destruction order vs. late lock
+  // releases (e.g. in other thread_local destructors) is otherwise fragile.
+  thread_local auto* stack = new std::vector<HeldLock>();
+  return *stack;
+}
+
+// --- global acquired-after graph -----------------------------------------
+
+struct Edge {
+  std::string from_site;  // where the held (predecessor) lock was acquired
+  std::string to_site;    // where the successor lock was acquired
+};
+
+struct Node {
+  LockRank rank = LockRank::kUnranked;
+  std::unordered_map<const void*, Edge> out;
+};
+
+struct Graph {
+  std::mutex mu;  // plain std::mutex: must not reenter the hooks
+  std::unordered_map<const void*, Node> nodes;
+};
+
+Graph& TheGraph() {
+  static auto* g = new Graph();
+  return *g;
+}
+
+// Depth-first search for a path `from -> ... -> to`; fills `path` with the
+// node sequence when found. Caller holds Graph::mu.
+bool FindPath(const Graph& g, const void* from, const void* to,
+              std::unordered_set<const void*>& visited,
+              std::vector<const void*>& path) {
+  if (from == to) {
+    path.push_back(from);
+    return true;
+  }
+  if (!visited.insert(from).second) return false;
+  auto it = g.nodes.find(from);
+  if (it == g.nodes.end()) return false;
+  for (const auto& [next, edge] : it->second.out) {
+    if (FindPath(g, next, to, visited, path)) {
+      path.push_back(from);
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- report plumbing ------------------------------------------------------
+
+std::atomic<ReportHandler> g_handler{nullptr};
+std::atomic<std::uint64_t> g_report_count{0};
+
+void Report(const std::string& report) {
+  g_report_count.fetch_add(1, std::memory_order_relaxed);
+  ReportHandler handler = g_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) {
+    handler(report);
+    return;
+  }
+  std::fprintf(stderr, "%s", report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<ProfileFn> g_record_wait{nullptr};
+std::atomic<ProfileFn> g_record_held{nullptr};
+
+std::string Describe(const void* lock, LockRank rank) {
+  std::ostringstream out;
+  out << LockRankName(rank) << " (" << lock << ")";
+  return out.str();
+}
+
+}  // namespace
+
+std::uint64_t BeforeAcquire(const void* lock, LockRank rank,
+                            const std::source_location& site) {
+  auto& held = HeldStack();
+
+  for (const HeldLock& h : held) {
+    if (h.lock == lock) {
+      std::ostringstream out;
+      out << "reed lockdiag: recursive acquisition (self deadlock)\n"
+          << "  acquiring " << Describe(lock, rank) << " at "
+          << SiteString(site) << "\n"
+          << "  already held, acquired at " << h.site << "\n";
+      Report(out.str());
+      return NowNs();
+    }
+  }
+
+  if (rank != LockRank::kUnranked) {
+    for (const HeldLock& h : held) {
+      if (h.rank != LockRank::kUnranked && rank <= h.rank) {
+        std::ostringstream out;
+        out << "reed lockdiag: lock rank violation (potential deadlock)\n"
+            << "  acquiring " << Describe(lock, rank) << " rank "
+            << static_cast<int>(rank) << " at " << SiteString(site) << "\n"
+            << "  while holding " << Describe(h.lock, h.rank) << " rank "
+            << static_cast<int>(h.rank) << " acquired at " << h.site << "\n"
+            << "  locks must be acquired in strictly increasing rank order "
+               "(util/lock_rank.h)\n";
+        Report(out.str());
+      }
+    }
+  }
+
+  if (!held.empty()) {
+    const HeldLock& prev = held.back();
+    Graph& g = TheGraph();
+    std::lock_guard<std::mutex> guard(g.mu);
+    auto prev_it = g.nodes.find(prev.lock);
+    const bool edge_known =
+        prev_it != g.nodes.end() && prev_it->second.out.count(lock) > 0;
+    if (!edge_known) {
+      // Inserting prev -> lock: a pre-existing path lock -> ... -> prev
+      // means the two orders coexist — a cycle.
+      std::unordered_set<const void*> visited;
+      std::vector<const void*> path;
+      if (FindPath(g, lock, prev.lock, visited, path)) {
+        std::ostringstream out;
+        out << "reed lockdiag: lock-order cycle (potential deadlock)\n"
+            << "  acquiring " << Describe(lock, rank) << " at "
+            << SiteString(site) << "\n"
+            << "  while holding " << Describe(prev.lock, prev.rank)
+            << " acquired at " << prev.site << "\n"
+            << "  conflicting prior ordering:\n";
+        // `path` is filled back-to-front: lock ... prev.lock reversed.
+        for (std::size_t i = path.size(); i-- > 1;) {
+          const void* a = path[i];
+          const void* b = path[i - 1];
+          const Node& na = g.nodes.at(a);
+          const Edge& e = na.out.at(b);
+          out << "    " << Describe(a, na.rank) << " (held at " << e.from_site
+              << ") -> " << Describe(b, g.nodes.at(b).rank) << " (acquired at "
+              << e.to_site << ")\n";
+        }
+        Report(out.str());
+      }
+    }
+  }
+
+  return NowNs();
+}
+
+void AfterAcquire(const void* lock, LockRank rank,
+                  const std::source_location& site,
+                  std::uint64_t wait_start_ns) {
+  const std::uint64_t now = NowNs();
+  auto& held = HeldStack();
+
+  if (!held.empty()) {
+    const HeldLock& prev = held.back();
+    Graph& g = TheGraph();
+    std::lock_guard<std::mutex> guard(g.mu);
+    g.nodes[lock].rank = rank;
+    Node& from = g.nodes[prev.lock];
+    from.rank = prev.rank;
+    from.out.emplace(lock, Edge{prev.site, SiteString(site)});
+  } else {
+    Graph& g = TheGraph();
+    std::lock_guard<std::mutex> guard(g.mu);
+    g.nodes[lock].rank = rank;
+  }
+
+  held.push_back(HeldLock{lock, rank, SiteString(site), now});
+
+  if (ProfileFn record = g_record_wait.load(std::memory_order_acquire)) {
+    record(rank, (now - wait_start_ns) / 1000);
+  }
+}
+
+void OnRelease(const void* lock) {
+  auto& held = HeldStack();
+  for (std::size_t i = held.size(); i-- > 0;) {
+    if (held[i].lock != lock) continue;
+    if (ProfileFn record = g_record_held.load(std::memory_order_acquire)) {
+      record(held[i].rank, (NowNs() - held[i].acquired_ns) / 1000);
+    }
+    held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+    return;
+  }
+  // Releasing a lock we never saw acquired: tolerated (e.g. profiling was
+  // enabled mid-stream); nothing to record.
+}
+
+void OnDestroy(const void* lock) {
+  Graph& g = TheGraph();
+  std::lock_guard<std::mutex> guard(g.mu);
+  g.nodes.erase(lock);
+  for (auto& [addr, node] : g.nodes) {
+    node.out.erase(lock);
+  }
+}
+
+void SetLockProfiler(ProfileFn record_wait, ProfileFn record_held) {
+  g_record_wait.store(record_wait, std::memory_order_release);
+  g_record_held.store(record_held, std::memory_order_release);
+}
+
+void SetReportHandlerForTest(ReportHandler handler) {
+  g_handler.store(handler, std::memory_order_release);
+}
+
+std::uint64_t ReportCount() {
+  return g_report_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace reed::lockdiag

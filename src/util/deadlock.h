@@ -1,0 +1,82 @@
+// Runtime lock-order diagnostics: the dynamic half of the deadlock-freedom
+// argument (the static half is the LockRank order in util/lock_rank.h).
+//
+// Compiled in only under -DREED_DEADLOCK_DETECT=ON. In that mode every
+// reed::Mutex / reed::SharedMutex acquisition and release funnels through
+// the hooks below, which maintain:
+//
+//   * a per-thread held-lock stack (lock address, rank, acquisition site,
+//     acquisition timestamp);
+//   * a global acquired-after graph over lock *instances*: an edge A -> B is
+//     recorded the first time some thread acquires B while holding A, along
+//     with both acquisition sites.
+//
+// An acquisition triggers a report when it
+//   (a) re-acquires a lock the thread already holds (guaranteed self
+//       deadlock on these non-recursive mutexes),
+//   (b) violates rank order — its rank is <= the rank of a ranked lock the
+//       thread already holds, or
+//   (c) would insert an edge A -> B into the graph while B -> ... -> A is
+//       already reachable: a lock-order cycle, i.e. a potential deadlock,
+//       reported even though THIS schedule did not deadlock.
+//
+// Reports carry both acquisition sites (std::source_location, threaded down
+// from the RAII guards) and, for cycles, the recorded sites of every edge on
+// the conflicting path. The default report handler prints to stderr and
+// aborts; tests install a capture handler via SetReportHandlerForTest.
+//
+// Checks (b)/(c) run BEFORE blocking on the mutex, so a true deadlock is
+// reported instead of hanging. Wait and held durations are forwarded to a
+// profiler installed by the obs layer (obs/lock_metrics.cc) — util stays
+// free of an obs dependency by exposing raw function-pointer hooks here.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <string>
+
+#include "util/lock_rank.h"
+
+namespace reed::lockdiag {
+
+// --- acquisition hooks (called by reed::Mutex / reed::SharedMutex) --------
+
+// Rank + cycle + reacquisition checks; runs before blocking. Returns the
+// wait-timer start (steady-clock nanoseconds).
+std::uint64_t BeforeAcquire(const void* lock, LockRank rank,
+                            const std::source_location& site);
+
+// Pushes onto the held stack, records the acquired-after edge, and reports
+// the wait duration to the profiler. `wait_start_ns` is BeforeAcquire's
+// return value.
+void AfterAcquire(const void* lock, LockRank rank,
+                  const std::source_location& site,
+                  std::uint64_t wait_start_ns);
+
+// Pops the held stack (out-of-order release is tolerated: searched from the
+// top) and reports the held duration to the profiler.
+void OnRelease(const void* lock);
+
+// Purges a destroyed lock from the acquired-after graph so a later lock
+// reusing the address cannot inherit stale edges.
+void OnDestroy(const void* lock);
+
+// --- profiler + report plumbing ------------------------------------------
+
+// Installed once by the obs layer; records microseconds per rank into
+// "lock.<rank>.wait_us" / "lock.<rank>.held_us" histograms. Must be
+// lock-free / reentrancy-safe: it runs while arbitrary locks are held.
+using ProfileFn = void (*)(LockRank rank, std::uint64_t micros);
+void SetLockProfiler(ProfileFn record_wait, ProfileFn record_held);
+
+// Report sink. The default prints the report to stderr and calls abort().
+// Tests install a capturing handler; when the handler returns, the
+// offending acquisition proceeds (a *potential* deadlock is not an actual
+// one, so execution can continue).
+using ReportHandler = void (*)(const std::string& report);
+void SetReportHandlerForTest(ReportHandler handler);
+
+// Number of reports emitted since process start (test aid).
+std::uint64_t ReportCount();
+
+}  // namespace reed::lockdiag

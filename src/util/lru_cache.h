@@ -86,7 +86,7 @@ class LruCache {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kLruCache};
   std::size_t byte_budget_;
   std::size_t entry_cost_;
   std::size_t used_ REED_GUARDED_BY(mu_) = 0;

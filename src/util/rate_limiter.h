@@ -55,7 +55,7 @@ class TokenBucket {
     }
   }
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kRateLimiter};
   double rate_;
   double burst_;
   double tokens_ REED_GUARDED_BY(mu_);

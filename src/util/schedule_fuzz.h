@@ -1,0 +1,80 @@
+// Seeded schedule perturbation: deterministic-per-seed yield/sleep injection
+// at concurrency hand-off points, so TSan and the stress tests explore more
+// interleavings than the bare scheduler happens to produce.
+//
+// Activated by the REED_SCHEDULE_SEED environment variable (any nonzero
+// integer); unset or 0 means every hook is a single cached-bool branch.
+// Each Perturb(point) call derives its decision from
+//
+//   mix(seed, FNV1a(point name), per-thread call counter)
+//
+// so a given seed replays the same decision sequence per thread and point —
+// different seeds explore different schedules, and a failing seed can be
+// replayed exactly (modulo OS scheduling, which the injected delays are
+// there to dominate). Roughly: 1/2 no-op, 3/8 yield, 1/8 short sleep
+// (20..200 us).
+//
+// Hooks are placed at pipeline stage boundaries (client upload/download),
+// shard-lock acquisitions (store), ingest stripes (server), and fan-out
+// joins (StorageClient) — the places where PR 5 introduced cross-thread
+// hand-offs. The seed sweep lives in tests/CMakeLists.txt
+// (pipeline_stress_seed_N, label "schedfuzz"; on by default in TSan trees).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+
+namespace reed::schedfuzz {
+
+inline std::uint64_t Seed() {
+  static const std::uint64_t seed = [] {
+    const char* env = std::getenv("REED_SCHEDULE_SEED");
+    if (env == nullptr || *env == '\0') return std::uint64_t{0};
+    return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+  }();
+  return seed;
+}
+
+inline bool Enabled() { return Seed() != 0; }
+
+namespace detail {
+
+inline std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t Fnv1a(const char* s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (; *s != '\0'; ++s) {
+    h = (h ^ static_cast<std::uint8_t>(*s)) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace detail
+
+// Maybe yield or sleep at a named scheduling point. `point` should be a
+// stable dotted literal ("client.upload.encode", "store.index.shard", ...).
+inline void Perturb(const char* point) {
+  const std::uint64_t seed = Seed();
+  if (seed == 0) return;
+  thread_local std::uint64_t counter = 0;
+  const std::uint64_t h =
+      detail::SplitMix64(seed ^ detail::Fnv1a(point) ^ (++counter * 0x9E3779B97F4A7C15ULL));
+  const std::uint64_t bucket = h & 7;
+  if (bucket < 4) return;                  // 1/2: run through
+  if (bucket < 7) {                        // 3/8: give up the slice
+    std::this_thread::yield();
+    return;
+  }
+  // 1/8: sleep long enough to reorder against real work (20..200 us).
+  const auto micros = static_cast<std::int64_t>(20 + ((h >> 8) % 181));
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+}  // namespace reed::schedfuzz

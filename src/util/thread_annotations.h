@@ -15,11 +15,27 @@
 //   * private helpers that expect the lock held are REED_REQUIRES(mu_);
 //   * public entry points that take the lock themselves are REED_EXCLUDES(mu_)
 //     when they would self-deadlock on re-entry.
+//
+// Every mutex also carries a LockRank (util/lock_rank.h) declared at its
+// declaration site; under -DREED_DEADLOCK_DETECT=ON every acquisition is
+// checked against the rank order and the global acquired-after graph
+// (util/deadlock.h), with std::source_location threaded down from the RAII
+// guards so reports carry real acquisition sites. In normal builds the
+// wrappers compile down to the bare std primitives plus one cold enum field.
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
+
+#include "util/lock_rank.h"
+
+#if defined(REED_DEADLOCK_DETECT)
+#include <cstdint>
+#include <source_location>
+
+#include "util/deadlock.h"
+#endif
 
 #if defined(__clang__)
 #define REED_THREAD_ANNOTATION(x) __attribute__((x))
@@ -66,23 +82,60 @@ namespace reed {
 // std::mutex retroactively.
 class REED_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  Mutex() = default;  // kUnranked: tests/fixtures only — src/ declares ranks
+  explicit Mutex(LockRank rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#if defined(REED_DEADLOCK_DETECT)
+  ~Mutex() { lockdiag::OnDestroy(this); }
+
+  void lock(const std::source_location& site =
+                std::source_location::current()) REED_ACQUIRE() {
+    const std::uint64_t t0 = lockdiag::BeforeAcquire(this, rank_, site);
+    mu_.lock();
+    lockdiag::AfterAcquire(this, rank_, site, t0);
+  }
+  void unlock() REED_RELEASE() {
+    lockdiag::OnRelease(this);
+    mu_.unlock();
+  }
+  bool try_lock(const std::source_location& site =
+                    std::source_location::current()) REED_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    // A successful try_lock cannot block, but it still establishes ordering
+    // (and a rank violation through it is still a discipline bug): run the
+    // checks post-acquisition.
+    const std::uint64_t t0 = lockdiag::BeforeAcquire(this, rank_, site);
+    lockdiag::AfterAcquire(this, rank_, site, t0);
+    return true;
+  }
+#else
   void lock() REED_ACQUIRE() { mu_.lock(); }
   void unlock() REED_RELEASE() { mu_.unlock(); }
   bool try_lock() REED_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+#endif
+
+  LockRank rank() const { return rank_; }
 
  private:
   std::mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
 };
 
 // RAII lock over reed::Mutex (the std::lock_guard equivalent the analysis
 // understands). Not movable: a lock's scope IS its critical section.
 class REED_SCOPED_CAPABILITY MutexLock {
  public:
+#if defined(REED_DEADLOCK_DETECT)
+  explicit MutexLock(Mutex& mu, const std::source_location& site =
+                                    std::source_location::current())
+      REED_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock(site);
+  }
+#else
   explicit MutexLock(Mutex& mu) REED_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+#endif
   ~MutexLock() REED_RELEASE() { mu_.unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -97,25 +150,64 @@ class REED_SCOPED_CAPABILITY MutexLock {
 // multi-session restore fan-in). Writers are exclusive; readers share.
 class REED_CAPABILITY("shared_mutex") SharedMutex {
  public:
-  SharedMutex() = default;
+  SharedMutex() = default;  // kUnranked: tests/fixtures only
+  explicit SharedMutex(LockRank rank) : rank_(rank) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
+#if defined(REED_DEADLOCK_DETECT)
+  ~SharedMutex() { lockdiag::OnDestroy(this); }
+
+  void lock(const std::source_location& site =
+                std::source_location::current()) REED_ACQUIRE() {
+    const std::uint64_t t0 = lockdiag::BeforeAcquire(this, rank_, site);
+    mu_.lock();
+    lockdiag::AfterAcquire(this, rank_, site, t0);
+  }
+  void unlock() REED_RELEASE() {
+    lockdiag::OnRelease(this);
+    mu_.unlock();
+  }
+  // Shared acquisitions participate in ordering exactly like exclusive
+  // ones: reader/writer order inversions deadlock just the same.
+  void lock_shared(const std::source_location& site =
+                       std::source_location::current()) REED_ACQUIRE_SHARED() {
+    const std::uint64_t t0 = lockdiag::BeforeAcquire(this, rank_, site);
+    mu_.lock_shared();
+    lockdiag::AfterAcquire(this, rank_, site, t0);
+  }
+  void unlock_shared() REED_RELEASE_SHARED() {
+    lockdiag::OnRelease(this);
+    mu_.unlock_shared();
+  }
+#else
   void lock() REED_ACQUIRE() { mu_.lock(); }
   void unlock() REED_RELEASE() { mu_.unlock(); }
   void lock_shared() REED_ACQUIRE_SHARED() { mu_.lock_shared(); }
   void unlock_shared() REED_RELEASE_SHARED() { mu_.unlock_shared(); }
+#endif
+
+  LockRank rank() const { return rank_; }
 
  private:
   std::shared_mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
 };
 
 // RAII exclusive lock over SharedMutex (the writer side).
 class REED_SCOPED_CAPABILITY WriterMutexLock {
  public:
+#if defined(REED_DEADLOCK_DETECT)
+  explicit WriterMutexLock(SharedMutex& mu, const std::source_location& site =
+                                                std::source_location::current())
+      REED_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock(site);
+  }
+#else
   explicit WriterMutexLock(SharedMutex& mu) REED_ACQUIRE(mu) : mu_(mu) {
     mu_.lock();
   }
+#endif
   ~WriterMutexLock() REED_RELEASE() { mu_.unlock(); }
 
   WriterMutexLock(const WriterMutexLock&) = delete;
@@ -130,9 +222,17 @@ class REED_SCOPED_CAPABILITY WriterMutexLock {
 // scoped capability releases whatever it acquired.
 class REED_SCOPED_CAPABILITY ReaderMutexLock {
  public:
+#if defined(REED_DEADLOCK_DETECT)
+  explicit ReaderMutexLock(SharedMutex& mu, const std::source_location& site =
+                                                std::source_location::current())
+      REED_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared(site);
+  }
+#else
   explicit ReaderMutexLock(SharedMutex& mu) REED_ACQUIRE_SHARED(mu) : mu_(mu) {
     mu_.lock_shared();
   }
+#endif
   ~ReaderMutexLock() REED_RELEASE() { mu_.unlock_shared(); }
 
   ReaderMutexLock(const ReaderMutexLock&) = delete;
@@ -155,6 +255,17 @@ class REED_SCOPED_CAPABILITY ReaderMutexLock {
 template <typename CounterT>
 class REED_SCOPED_CAPABILITY ContendedMutexLock {
  public:
+#if defined(REED_DEADLOCK_DETECT)
+  ContendedMutexLock(Mutex& mu, CounterT& contended,
+                     const std::source_location& site =
+                         std::source_location::current())
+      REED_ACQUIRE(mu) REED_NO_THREAD_SAFETY_ANALYSIS : mu_(mu) {
+    if (!mu_.try_lock(site)) {
+      contended.Increment();
+      mu_.lock(site);
+    }
+  }
+#else
   ContendedMutexLock(Mutex& mu, CounterT& contended)
       REED_ACQUIRE(mu) REED_NO_THREAD_SAFETY_ANALYSIS : mu_(mu) {
     if (!mu_.try_lock()) {
@@ -162,6 +273,7 @@ class REED_SCOPED_CAPABILITY ContendedMutexLock {
       mu_.lock();
     }
   }
+#endif
   ~ContendedMutexLock() REED_RELEASE() { mu_.unlock(); }
 
   ContendedMutexLock(const ContendedMutexLock&) = delete;
@@ -169,6 +281,43 @@ class REED_SCOPED_CAPABILITY ContendedMutexLock {
 
  private:
   Mutex& mu_;
+};
+
+// A Mutex that is INTENTIONALLY held across blocking wire I/O: TcpChannel
+// serializes one request/response exchange per channel by holding it over
+// Send+Receive. That is the one pattern tools/lint/lock_lint.py's
+// blocking-under-lock rule exempts — and only under this type's dedicated
+// RAII guard (IoSerialLock), so the exemption is greppable. The fixed
+// kIoChannel rank is the maximum: the runtime detector proves nothing is
+// ever acquired underneath one, which is what makes holding it while
+// blocked deadlock-safe.
+class REED_CAPABILITY("mutex") IoSerialMutex : public Mutex {
+ public:
+  IoSerialMutex() : Mutex(LockRank::kIoChannel) {}
+};
+
+// RAII lock over IoSerialMutex — the only guard allowed to enclose blocking
+// wire calls (see lock_lint.py `blocking-under-lock`).
+class REED_SCOPED_CAPABILITY IoSerialLock {
+ public:
+#if defined(REED_DEADLOCK_DETECT)
+  explicit IoSerialLock(IoSerialMutex& mu, const std::source_location& site =
+                                               std::source_location::current())
+      REED_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock(site);
+  }
+#else
+  explicit IoSerialLock(IoSerialMutex& mu) REED_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+#endif
+  ~IoSerialLock() REED_RELEASE() { mu_.unlock(); }
+
+  IoSerialLock(const IoSerialLock&) = delete;
+  IoSerialLock& operator=(const IoSerialLock&) = delete;
+
+ private:
+  IoSerialMutex& mu_;
 };
 
 // Condition variable over reed::Mutex. Waits take the Mutex itself (which the

@@ -105,7 +105,7 @@ class ThreadPool {
     }
   }
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kThreadPool};
   CondVar cv_;
   bool stopping_ REED_GUARDED_BY(mu_) = false;
   std::queue<std::function<void()>> queue_ REED_GUARDED_BY(mu_);

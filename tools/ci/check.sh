@@ -2,7 +2,7 @@
 # Local CI gate: build + test matrix across sanitizer and static-analysis
 # modes, plus the Python lints. Run from anywhere inside the repo:
 #
-#   tools/ci/check.sh                  # full matrix: plain, asan+ubsan, tsan, tsa, taint, tidy
+#   tools/ci/check.sh                  # full matrix: plain, asan+ubsan, tsan, tsa, taint, lock, deadlock, tidy
 #   tools/ci/check.sh plain            # one mode only
 #   tools/ci/check.sh asan tsa         # subset
 #   tools/ci/check.sh --keep-going     # run every mode even after a failure
@@ -23,6 +23,13 @@
 #   taint     secret information-flow checks: taint_lint over src/ plus the
 #             Secret type-wall fixture compiles (clean must build, the
 #             secret-to-wire/secret-log leaks must NOT).
+#   lock      lock-discipline lint: blocking calls under a lock, bare
+#             CondVar::Wait outside a predicate loop, unranked mutex
+#             declarations (pure Python, no build tree).
+#   deadlock  REED_DEADLOCK_DETECT=ON build (runtime lock-rank + lock-order
+#             cycle detection compiled into every reed::Mutex) + the
+#             quick-label test suite. Any rank violation or cycle aborts the
+#             offending test.
 #   tidy      clang-tidy over the compile database, warnings-as-errors
 #             (skipped with a notice when clang-tidy is absent).
 #
@@ -44,7 +51,7 @@ for arg in "$@"; do
   esac
 done
 if [[ ${#MODES[@]} -eq 0 ]]; then
-  MODES=(plain asan tsan tsa taint tidy)
+  MODES=(plain asan tsan tsa taint lock deadlock tidy)
 fi
 
 GENERATOR_ARGS=()
@@ -62,6 +69,7 @@ run_mode() {
   local build_dir="build-ci-${mode}"
   local cmake_args=()
   local -a test_env=()
+  local -a test_args=()
   local build_only=0
   local tidy_after=0
 
@@ -119,6 +127,22 @@ run_mode() {
       done
       return 0
       ;;
+    lock)
+      # No build tree needed: pure Python over src/.
+      echo "=== [lock] lock-discipline lint ==="
+      python3 tools/lint/lock_lint.py --self-test
+      python3 tools/lint/lock_lint.py --root . src
+      return 0
+      ;;
+    deadlock)
+      # Debug build with the runtime lock-rank/cycle detector compiled into
+      # every reed::Mutex acquisition; the quick suite then exercises every
+      # ranked lock-nesting path in src/. The detector aborts on the first
+      # violation, so a pass proves the rank order in util/lock_rank.h is
+      # consistent with every ordering the suite actually executes.
+      cmake_args=(-DREED_SANITIZE=none -DREED_DEADLOCK_DETECT=ON)
+      test_args=(-L quick)
+      ;;
     tidy)
       if ! command -v clang-tidy > /dev/null 2>&1; then
         echo "=== [tidy] SKIPPED: clang-tidy not found ==="
@@ -131,7 +155,7 @@ run_mode() {
       build_only=1
       ;;
     *)
-      echo "unknown mode: ${mode} (expected plain|nodiscard|asan|tsan|tsa|taint|tidy)" >&2
+      echo "unknown mode: ${mode} (expected plain|nodiscard|asan|tsan|tsa|taint|lock|deadlock|tidy)" >&2
       exit 2
       ;;
   esac
@@ -170,7 +194,7 @@ run_mode() {
   # dominate wall time; -j parallelizes across binaries, and the TSan tree
   # already carries widened per-test timeouts from tests/CMakeLists.txt.
   env "${test_env[@]}" ctest --test-dir "${build_dir}" \
-      --output-on-failure -j "$(nproc)"
+      --output-on-failure -j "$(nproc)" "${test_args[@]}"
 }
 
 echo "=== crypto-hygiene lint ==="
@@ -184,6 +208,10 @@ python3 tools/lint/layering_lint.py --root . src
 echo "=== secret information-flow lint ==="
 python3 tools/lint/taint_lint.py --self-test
 python3 tools/lint/taint_lint.py --root . src
+
+echo "=== lock-discipline lint ==="
+python3 tools/lint/lock_lint.py --self-test
+python3 tools/lint/lock_lint.py --root . src
 
 # Per-mode verdicts, reported in a summary table whether or not the matrix
 # ran to completion. The subshell re-enables errexit so a mid-mode failure

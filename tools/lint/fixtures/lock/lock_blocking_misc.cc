@@ -1,0 +1,64 @@
+// Fixture: the non-RPC blocking families — pool joins, sleeps, file I/O,
+// and a Declassify-gated wire write — all inside lexical lock scopes.
+#include <chrono>
+#include <fstream>
+#include <future>
+#include <thread>
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct FakePool {
+  std::future<int> Submit(int v) {
+    std::promise<int> p;
+    p.set_value(v);
+    return p.get_future();
+  }
+};
+
+int Declassify(int v) { return v; }  // stand-in for reed::Declassify
+
+class BadWorker {
+ public:
+  int JoinUnderLock() {
+    reed::MutexLock lock(mu_);
+    return pool_.Submit(1).get();  // LINT-EXPECT: blocking-under-lock
+  }
+
+  int JoinFutureUnderLock(std::future<int>& fut) {
+    reed::MutexLock lock(mu_);
+    return fut.get();  // LINT-EXPECT: blocking-under-lock
+  }
+
+  void SleepUnderLock() {
+    std::lock_guard<reed::Mutex> lock(mu_);
+    std::this_thread::sleep_for(  // LINT-EXPECT: blocking-under-lock
+        std::chrono::milliseconds(1));
+  }
+
+  void WriteUnderLock(int v) {
+    reed::MutexLock lock(mu_);
+    std::ofstream out("state.dat");  // LINT-EXPECT: blocking-under-lock
+    out << v;
+  }
+
+  int PublishUnderLock(int v) {
+    reed::MutexLock lock(mu_);
+    return Declassify(v);  // LINT-EXPECT: blocking-under-lock
+  }
+
+ private:
+  reed::Mutex mu_{reed::LockRank::kNetLink};
+  FakePool pool_;
+};
+
+}  // namespace
+
+int main() {
+  BadWorker w;
+  std::future<int> f;
+  w.SleepUnderLock();
+  w.WriteUnderLock(2);
+  return w.JoinUnderLock() + w.JoinFutureUnderLock(f) + w.PublishUnderLock(3);
+}

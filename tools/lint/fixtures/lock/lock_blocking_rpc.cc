@@ -1,0 +1,41 @@
+// Fixture: wire round-trips under an ordinary mutex guard. Every peer of
+// this lock now queues behind an unbounded network wait — the pattern
+// IoSerialMutex exists to make explicit (and safe, via its leaf rank).
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct FakeChannel {
+  int Call(int req) { return req; }
+};
+
+struct FakeTransport {
+  void Send(int) {}
+  int Receive() { return 0; }
+};
+
+class BadProxy {
+ public:
+  int Forward(int req) {
+    reed::MutexLock lock(mu_);
+    return channel_.Call(req);  // LINT-EXPECT: blocking-under-lock
+  }
+
+  int Exchange(int frame) {
+    reed::MutexLock lock(mu_);
+    transport_.Send(frame);      // LINT-EXPECT: blocking-under-lock
+    return transport_.Receive(); // LINT-EXPECT: blocking-under-lock
+  }
+
+ private:
+  reed::Mutex mu_{reed::LockRank::kNetLink};
+  FakeChannel channel_ REED_GUARDED_BY(mu_);
+  FakeTransport transport_ REED_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+  BadProxy p;
+  return p.Forward(0) + p.Exchange(0);
+}

@@ -1,0 +1,83 @@
+// Fixture: correct lock discipline — every mutex ranked, no blocking under
+// a guard, predicate-form condvar waits, and wire I/O only under the
+// sanctioned IoSerialLock. lock_lint --self-test expects zero findings.
+#include <fstream>
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct FakeTransport {
+  void Send(int) {}
+  int Receive() { return 0; }
+};
+
+class Channel {
+ public:
+  // Blocking Send/Receive under IoSerialLock is the sanctioned pattern:
+  // the lock exists to serialize the exchange and is a ranked leaf.
+  int Exchange(int frame) {
+    reed::IoSerialLock lock(mu_);
+    transport_.Send(frame);
+    return transport_.Receive();
+  }
+
+ private:
+  reed::IoSerialMutex mu_;
+  FakeTransport transport_ REED_GUARDED_BY(mu_);
+};
+
+class Queue {
+ public:
+  void Push(int v) {
+    {
+      reed::MutexLock lock(mu_);
+      value_ = v;
+      ready_ = true;
+    }
+    cv_.NotifyOne();
+  }
+
+  int PopPredicate() {
+    reed::MutexLock lock(mu_);
+    cv_.Wait(mu_, [this]() REED_REQUIRES(mu_) { return ready_; });
+    ready_ = false;
+    return value_;
+  }
+
+  int PopLoop() {
+    reed::MutexLock lock(mu_);
+    while (!ready_) {
+      cv_.Wait(mu_);
+    }
+    ready_ = false;
+    return value_;
+  }
+
+  // Blocking work belongs outside the critical section.
+  void Persist() {
+    int copy = 0;
+    {
+      reed::MutexLock lock(mu_);
+      copy = value_;
+    }
+    std::ofstream out("queue.dat");
+    out << copy;
+  }
+
+ private:
+  reed::Mutex mu_{reed::LockRank::kThreadPool};
+  reed::CondVar cv_;
+  bool ready_ REED_GUARDED_BY(mu_) = false;
+  int value_ REED_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Channel ch;
+  Queue q;
+  q.Push(ch.Exchange(1));
+  q.Persist();
+  return q.PopPredicate();
+}

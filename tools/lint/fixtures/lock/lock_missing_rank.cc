@@ -1,0 +1,32 @@
+// Fixture: mutex declarations with no LockRank. Unranked locks opt out of
+// the rank-order half of REED_DEADLOCK_DETECT; every lock in src/ declares
+// its rank at the declaration site (util/lock_rank.h).
+#include <array>
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Unranked {
+ public:
+  void Touch() {
+    reed::MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  reed::Mutex mu_;  // LINT-EXPECT: missing-rank
+  mutable reed::SharedMutex smu_;  // LINT-EXPECT: missing-rank
+  // Array elements default-construct, so a raw mutex array cannot carry a
+  // rank; wrap the element in a struct with a ranked default initializer.
+  std::array<reed::Mutex, 4> stripes_;  // LINT-EXPECT: missing-rank
+  int value_ REED_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Unranked u;
+  u.Touch();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fixture: single-argument CondVar::Wait with no predicate loop. A
+// spurious wakeup (or a notify that lands between the test and the wait)
+// leaves ready_ false and the caller proceeds on stale state — the classic
+// lost-wakeup bug. Wait(mu, pred) or while(!pred) is the rule.
+#include "util/thread_annotations.h"
+
+namespace {
+
+class BadQueue {
+ public:
+  int Pop() {
+    reed::MutexLock lock(mu_);
+    if (!ready_) {
+      cv_.Wait(mu_);  // LINT-EXPECT: condvar-wait-loop
+    }
+    ready_ = false;
+    return value_;
+  }
+
+  void Push(int v) {
+    {
+      reed::MutexLock lock(mu_);
+      value_ = v;
+      ready_ = true;
+    }
+    cv_.NotifyOne();
+  }
+
+ private:
+  reed::Mutex mu_{reed::LockRank::kThreadPool};
+  reed::CondVar cv_;
+  bool ready_ REED_GUARDED_BY(mu_) = false;
+  int value_ REED_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  BadQueue q;
+  q.Push(7);
+  return q.Pop();
+}

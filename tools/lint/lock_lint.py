@@ -1,0 +1,262 @@
+#!/usr/bin/env python3
+"""Lock-discipline lint for REED sources.
+
+Complements the runtime deadlock detector (util/deadlock.h, built under
+-DREED_DEADLOCK_DETECT=ON) with three static checks the detector cannot do —
+it only sees schedules that actually run; this lint sees every line:
+
+  blocking-under-lock   a blocking call — RPC round-trip (Call/Send/Receive),
+                        simulated wire delay (Transfer), thread-pool joins
+                        (Submit(...).get(), future.get(), ParallelFor),
+                        sleeps, file I/O, or a Declassify-gated wire write —
+                        inside a lexical MutexLock/WriterMutexLock/
+                        ReaderMutexLock/ContendedMutexLock/ShardLock/
+                        std::lock_guard scope. Holding a lock across
+                        blocking serializes every peer behind an unbounded
+                        wait. The ONE sanctioned pattern is IoSerialLock
+                        over an IoSerialMutex (net/rpc.h TcpChannel): that
+                        type exists precisely to serialize a request/
+                        response exchange, is ranked as a leaf (kIoChannel),
+                        and the runtime detector proves nothing is ever
+                        acquired under it — so its guard is exempt here.
+
+  condvar-wait-loop     the single-argument CondVar::Wait(mu) outside a
+                        while/do loop. A bare wait misses spurious wakeups
+                        and lost-wakeup races; use the predicate overload
+                        Wait(mu, pred) — which loops internally — or wrap
+                        the wait in a predicate loop.
+
+  missing-rank          a reed::Mutex/SharedMutex declaration with no
+                        LockRank (util/lock_rank.h), including raw
+                        std::array<Mutex, N> (array elements default-
+                        construct unranked — wrap the element in a struct
+                        with a ranked default member initializer, as
+                        StorageServer::IngestStripe does). Unranked locks
+                        opt out of the rank-order half of deadlock
+                        detection; every lock in src/ declares its rank at
+                        the declaration site. IoSerialMutex carries its
+                        rank intrinsically and needs no annotation.
+
+The scope tracking is lexical (brace depth within one file), so a helper
+that *requires* a lock held (REED_REQUIRES) but takes none itself is not
+seen as locked — the runtime detector covers that half.
+
+False positives that survive a manual audit go in the allowlist file
+(default: tools/lint/lock_allowlist.txt) as `<relpath>:<rule>:<token>`
+lines. The tree is expected to pass with an EMPTY allowlist.
+
+Usage:
+  lock_lint.py [--root REPO] [--allowlist FILE] [PATHS...]   # lint (default: src)
+  lock_lint.py --self-test                                   # run fixture suite
+"""
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from crypto_lint import (  # noqa: E402  (shared helpers, single source of truth)
+    Finding,
+    collect_files,
+    load_allowlist,
+    strip_comments_and_strings,
+)
+
+RULES = ("blocking-under-lock", "condvar-wait-loop", "missing-rank")
+
+# RAII guards that mark a lexical critical section. IoSerialLock is absent
+# by design: it is the sanctioned hold-across-blocking type (see module doc).
+GUARD_RE = re.compile(
+    r"\b(MutexLock|WriterMutexLock|ReaderMutexLock|ContendedMutexLock|"
+    r"ShardLock|std::lock_guard|std::scoped_lock|std::unique_lock)\b"
+    r"\s*(?:<[^;>]*>)?\s+[A-Za-z_]\w*\s*[({]"
+)
+
+# (regex, token, message) triples for blocking-under-lock. Tokens keep
+# allowlist keys stable and self-describing.
+BLOCKING_PATTERNS = (
+    (re.compile(r"(?:\.|->)\s*Call\s*\("), "rpc-call",
+     "RPC round-trip while a lock is held"),
+    (re.compile(r"(?:\.|->)\s*(?:Send|Receive)\s*\("), "wire-io",
+     "wire send/receive while a lock is held"),
+    (re.compile(r"(?:\.|->)\s*Transfer\s*\("), "link-transfer",
+     "simulated link transfer (models wire delay) while a lock is held"),
+    (re.compile(r"\bsleep_(?:for|until)\s*\("), "sleep",
+     "sleep while a lock is held"),
+    (re.compile(r"\bSubmit\s*\([^;]*\)\s*\.\s*get\s*\(\)"), "submit-get",
+     "ThreadPool::Submit(...).get() joins a task while a lock is held"),
+    (re.compile(r"\b[A-Za-z_]*fut(?:ure)?s?\w*(?:\[\w+\])?\s*\.\s*"
+                r"(?:get|wait)\s*\(\)", re.IGNORECASE), "future-join",
+     "future join while a lock is held"),
+    (re.compile(r"\bParallelFor\s*\("), "parallel-for",
+     "ParallelFor blocks until the pool drains; not under a lock"),
+    (re.compile(r"\bstd::[io]?fstream\b|\bf(?:open|read|write)\s*\("),
+     "file-io", "file I/O while a lock is held"),
+    (re.compile(r"\bDeclassify\s*\("), "declassify",
+     "Declassify-gated wire write staged while a lock is held"),
+)
+
+# Single-argument CondVar::Wait — no predicate, so the caller must supply
+# the loop. The two-argument predicate overload never matches (comma).
+BARE_WAIT_RE = re.compile(r"(?:\.|->)\s*Wait\s*\(\s*[A-Za-z_]\w*\s*\)")
+LOOP_HEAD_RE = re.compile(r"\bwhile\s*\(|\bdo\b\s*\{?")
+
+# Unranked declarations. \b keeps IoSerialMutex (intrinsic rank) out: there
+# is no word boundary inside "IoSerialMutex". Brace/paren initializers that
+# mention LockRank are the ranked (clean) form and fall through.
+UNRANKED_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:static\s+)?(?:reed::)?\b(Mutex|SharedMutex)\b"
+    r"\s+([A-Za-z_]\w*)\s*(?:;|\{\s*\}\s*;)"
+)
+RAW_MUTEX_ARRAY_RE = re.compile(
+    r"\bstd::array\s*<\s*(?:reed::)?(Mutex|SharedMutex)\b"
+)
+
+
+def lint_text(path, raw):
+    text = strip_comments_and_strings(raw)
+    findings = []
+    lines = text.split("\n")
+
+    depth = 0
+    guards = []  # (decl_depth, lineno) — active lexical lock scopes
+    for lineno, line in enumerate(lines, start=1):
+        locked_here = bool(guards)
+
+        if locked_here:
+            if not BARE_WAIT_RE.search(line):  # Wait is rule 2's business
+                for pattern, token, message in BLOCKING_PATTERNS:
+                    if pattern.search(line):
+                        findings.append(Finding(
+                            path, lineno, "blocking-under-lock", token,
+                            f"{message} (guard since line {guards[-1][1]}); "
+                            "release first, or use IoSerialMutex/IoSerialLock "
+                            "if serializing the wire is the point"))
+
+        if BARE_WAIT_RE.search(line):
+            # Predicate loops put the wait in a while/do body — accept a
+            # loop head on the same line or within the three lines above.
+            context = lines[max(0, lineno - 4):lineno]
+            if not any(LOOP_HEAD_RE.search(c) for c in context):
+                findings.append(Finding(
+                    path, lineno, "condvar-wait-loop", "bare-wait",
+                    "CondVar::Wait(mu) outside a predicate loop loses "
+                    "wakeups; use Wait(mu, pred) or wrap in while(!pred)"))
+
+        m = UNRANKED_DECL_RE.search(line)
+        if m:
+            findings.append(Finding(
+                path, lineno, "missing-rank", m.group(2),
+                f"{m.group(1)} {m.group(2)} declared without a LockRank "
+                "(util/lock_rank.h); declare as "
+                f"{m.group(1)} {m.group(2)}{{LockRank::k...}}"))
+        m = RAW_MUTEX_ARRAY_RE.search(line)
+        if m:
+            findings.append(Finding(
+                path, lineno, "missing-rank", "mutex-array",
+                f"std::array<{m.group(1)}, N> elements default-construct "
+                "unranked; wrap the element in a struct with a ranked "
+                "default member initializer (see StorageServer::IngestStripe)"))
+
+        # Character-level brace walk: a guard is registered at the depth of
+        # its declaration point and dies with the brace that closes that
+        # scope — this keeps one-line bodies like
+        # `int Get() { MutexLock lock(mu_); return x; }` balanced.
+        guard_positions = [m.start() for m in GUARD_RE.finditer(line)]
+        gi = 0
+        for pos, ch in enumerate(line):
+            while gi < len(guard_positions) and guard_positions[gi] <= pos:
+                guards.append((depth, lineno))
+                gi += 1
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                while guards and guards[-1][0] > depth:
+                    guards.pop()
+        while gi < len(guard_positions):
+            guards.append((depth, lineno))
+            gi += 1
+
+    return findings
+
+
+def run_lint(root, paths, allowlist_path):
+    allow = load_allowlist(allowlist_path)
+    reported = []
+    for full in collect_files(root, paths):
+        rel = os.path.relpath(full, root)
+        with open(full, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        for finding in lint_text(rel, raw):
+            if finding.key() in allow:
+                allow[finding.key()] += 1
+            else:
+                reported.append(finding)
+
+    for finding in reported:
+        print(finding)
+    stale = [k for k, hits in allow.items() if hits == 0]
+    for k in stale:
+        print(f"note: stale allowlist entry (no longer matches): {k}")
+    if reported:
+        print(f"lock_lint: {len(reported)} finding(s)")
+        return 1
+    used = sum(1 for hits in allow.values() if hits)
+    print(f"lock_lint: clean ({used} allowlisted exception(s) in use)")
+    return 0
+
+
+# --------------------------- fixture self-test ---------------------------
+
+EXPECT_RE = re.compile(r"//\s*LINT-EXPECT:\s*([a-z\-]+)")
+
+
+def run_self_test(root):
+    # Dedicated fixture dir (like layering_lint): the shared fixture pool
+    # contains unranked mutexes on purpose (tsa/ compiles them standalone).
+    fixture_dir = os.path.join(root, "tools", "lint", "fixtures", "lock")
+    failures = []
+    files = collect_files(root, [os.path.join("tools", "lint", "fixtures",
+                                              "lock")])
+    if not files:
+        print(f"lock_lint --self-test: no fixtures under {fixture_dir}")
+        return 1
+    for full in files:
+        rel = os.path.relpath(full, root)
+        with open(full, encoding="utf-8") as f:
+            raw = f.read()
+        expected = sorted(r for r in EXPECT_RE.findall(raw) if r in RULES)
+        got = sorted(f.rule for f in lint_text(rel, raw))
+        if expected != got:
+            failures.append(f"{rel}: expected {expected or '[clean]'}, "
+                            f"got {got or '[clean]'}")
+    for f in failures:
+        print("FAIL " + f)
+    print(f"lock_lint --self-test: {len(files) - len(failures)}/{len(files)} "
+          "fixtures pass")
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--allowlist", default=None,
+                    help="allowlist file (default: tools/lint/lock_allowlist.txt)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="lint the fixture files and check expectations")
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files/directories relative to --root (default: src)")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    if args.self_test:
+        return run_self_test(root)
+    allowlist = args.allowlist or os.path.join(root, "tools", "lint",
+                                               "lock_allowlist.txt")
+    return run_lint(root, args.paths or ["src"], allowlist)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "crypto/aes.h"
+#include "crypto/crypto_error.h"
 #include "crypto/sha256.h"
 
 namespace reed::aont {
@@ -41,7 +42,7 @@ Bytes AontTransform(ByteSpan message, crypto::Rng& rng) {
 
 Bytes AontRevert(ByteSpan package) {
   if (package.size() < kAontTailSize) {
-    throw Error("AontRevert: package too small");
+    throw crypto::CryptoError("AontRevert: package too small");
   }
   std::size_t head_len = package.size() - kAontTailSize;
   ByteSpan head = package.subspan(0, head_len);
@@ -64,7 +65,7 @@ Bytes CaontTransform(ByteSpan message) {
 
 Bytes CaontRevert(ByteSpan package) {
   if (package.size() < kAontTailSize) {
-    throw Error("CaontRevert: package too small");
+    throw crypto::CryptoError("CaontRevert: package too small");
   }
   std::size_t head_len = package.size() - kAontTailSize;
   ByteSpan head = package.subspan(0, head_len);
@@ -75,7 +76,7 @@ Bytes CaontRevert(ByteSpan package) {
   XorInto(message, Mask(key, head_len));
   // CAONT is self-verifying: the recovered message must hash back to h.
   if (!SecureCompare(crypto::Sha256::HashToBytes(message), key)) {
-    throw Error("CaontRevert: integrity check failed");
+    throw crypto::CryptoError("CaontRevert: integrity check failed");
   }
   return message;
 }

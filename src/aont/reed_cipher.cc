@@ -4,7 +4,9 @@
 
 #include "crypto/aes.h"
 #include "crypto/hmac.h"
+#include "crypto/crypto_error.h"
 #include "crypto/sha256.h"
+#include "util/fault_inject.h"
 
 namespace reed::aont {
 
@@ -22,7 +24,7 @@ const char* SchemeName(Scheme scheme) {
 ReedCipher::ReedCipher(Scheme scheme, std::size_t stub_size)
     : scheme_(scheme), stub_size_(stub_size) {
   if (stub_size_ < kAontTailSize) {
-    throw Error("ReedCipher: stub must cover at least the package tail");
+    throw crypto::CryptoError("ReedCipher: stub must cover at least the package tail");
   }
 }
 
@@ -35,7 +37,7 @@ std::size_t ReedCipher::PackageSize(std::size_t chunk_size) const {
 
 SealedChunk ReedCipher::SplitPackage(Bytes package) const {
   if (package.size() <= stub_size_) {
-    throw Error("ReedCipher: chunk too small for the configured stub size");
+    throw crypto::CryptoError("ReedCipher: chunk too small for the configured stub size");
   }
   SealedChunk out;
   std::size_t trim = package.size() - stub_size_;
@@ -49,25 +51,28 @@ SealedChunk ReedCipher::SplitPackage(Bytes package) const {
 }
 
 SealedChunk ReedCipher::Encrypt(ByteSpan chunk, const Secret& mle_key) const {
+  // Fires inside the encode pool's workers; ParallelFor forwards the first
+  // worker exception after joining the rest.
+  REED_FAULT_POINT("aont.encode");
   ByteSpan key = mle_key.ExposeForCrypto();
   if (key.size() != kMleKeySize) {
-    throw Error("ReedCipher: MLE key must be 32 bytes");
+    throw crypto::CryptoError("ReedCipher: MLE key must be 32 bytes");
   }
-  if (chunk.empty()) throw Error("ReedCipher: empty chunk");
+  if (chunk.empty()) throw crypto::CryptoError("ReedCipher: empty chunk");
   return scheme_ == Scheme::kBasic ? EncryptBasic(chunk, key)
                                    : EncryptEnhanced(chunk, key);
 }
 
 Bytes ReedCipher::Decrypt(ByteSpan trimmed_package, const Secret& stub) const {
   if (stub.size() != stub_size_) {
-    throw Error("ReedCipher: stub size mismatch");
+    throw crypto::CryptoError("ReedCipher: stub size mismatch");
   }
   // The reassembled package embeds the stub (and, mid-reversal, the MLE
   // key); wipe it on every exit path.
   Bytes package = Concat(trimmed_package, stub.ExposeForCrypto());
   ScopedWipe wipe_package(package);
   if (package.size() < kAontTailSize + 1) {
-    throw Error("ReedCipher: package too small");
+    throw crypto::CryptoError("ReedCipher: package too small");
   }
   return scheme_ == Scheme::kBasic ? DecryptBasic(package)
                                    : DecryptEnhanced(package);
@@ -91,7 +96,7 @@ SealedChunk ReedCipher::EncryptBasic(ByteSpan chunk, ByteSpan mle_key) const {
 
 Bytes ReedCipher::DecryptBasic(ByteSpan package) const {
   std::size_t head_len = package.size() - kAontTailSize;
-  if (head_len < kCanarySize + 1) throw Error("ReedCipher: package too small");
+  if (head_len < kCanarySize + 1) throw crypto::CryptoError("ReedCipher: package too small");
   ByteSpan head = package.subspan(0, head_len);
   ByteSpan tail = package.subspan(head_len);
 
@@ -108,7 +113,7 @@ Bytes ReedCipher::DecryptBasic(ByteSpan package) const {
   static const Bytes kZeroCanary(kCanarySize, 0);
   ByteSpan canary = ByteSpan(plain).subspan(plain.size() - kCanarySize);
   if (!SecureCompare(canary, kZeroCanary)) {
-    throw Error("ReedCipher: canary check failed (tampered chunk)");
+    throw crypto::CryptoError("ReedCipher: canary check failed (tampered chunk)");
   }
   plain.resize(plain.size() - kCanarySize);
   return plain;
@@ -133,7 +138,7 @@ SealedChunk ReedCipher::EncryptEnhanced(ByteSpan chunk, ByteSpan mle_key) const 
 
 Bytes ReedCipher::DecryptEnhanced(ByteSpan package) const {
   std::size_t head_len = package.size() - kAontTailSize;
-  if (head_len < kMleKeySize + 1) throw Error("ReedCipher: package too small");
+  if (head_len < kMleKeySize + 1) throw crypto::CryptoError("ReedCipher: package too small");
   ByteSpan c2 = package.subspan(0, head_len);
   ByteSpan tail = package.subspan(head_len);
 
@@ -148,7 +153,7 @@ Bytes ReedCipher::DecryptEnhanced(ByteSpan package) const {
   // by paired bit flips, but the recovered Y then fails this hash check —
   // §IV-E.)
   if (!SecureCompare(crypto::Sha256::HashToBytes(y), h)) {
-    throw Error("ReedCipher: hash-key check failed (tampered chunk)");
+    throw crypto::CryptoError("ReedCipher: hash-key check failed (tampered chunk)");
   }
 
   Bytes mle_key(y.end() - kMleKeySize, y.end());
@@ -177,7 +182,7 @@ Bytes SealAuthenticated(ByteSpan plaintext, ByteSpan key, crypto::Rng& rng,
 Bytes OpenAuthenticated(ByteSpan blob, ByteSpan key,
                         std::string_view enc_label, std::string_view mac_label,
                         const char* what) {
-  if (blob.size() < 16 + 32) throw Error(std::string(what) + ": truncated");
+  if (blob.size() < 16 + 32) throw crypto::CryptoError(std::string(what) + ": truncated");
   Bytes enc_key = crypto::DeriveKey32(key, enc_label);
   ScopedWipe wipe_enc(enc_key);
   Bytes mac_key = crypto::DeriveKey32(key, mac_label);
@@ -185,7 +190,7 @@ Bytes OpenAuthenticated(ByteSpan blob, ByteSpan key,
   ByteSpan body = blob.subspan(0, blob.size() - 32);
   ByteSpan mac = blob.subspan(blob.size() - 32);
   if (!SecureCompare(crypto::HmacSha256ToBytes(mac_key, body), mac)) {
-    throw Error(std::string(what) +
+    throw crypto::CryptoError(std::string(what) +
                 ": MAC verification failed (wrong key or tampered data)");
   }
   return crypto::AesCtrEncrypt(enc_key, body.subspan(0, 16), body.subspan(16));

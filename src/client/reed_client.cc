@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <deque>
 #include <future>
+#include <optional>
+#include <utility>
 
 #include "crypto/sha256.h"
 #include "obs/metrics.h"
+#include "util/fault_inject.h"
 #include "util/schedule_fuzz.h"
 
 namespace reed::client {
@@ -210,13 +213,18 @@ UploadResult ReedClient::UploadChunked(
 
   const std::size_t depth = std::max<std::size_t>(1, options_.pipeline.depth);
   // std::async futures join in their destructor, so an exception on the
-  // producer side drains in-flight transfers before unwinding.
-  std::deque<std::future<StorageClient::PutStats>> inflight;
+  // producer side drains in-flight transfers before unwinding; each future's
+  // paired GaugeGuard drops the inflight gauge on that same unwind.
+  std::deque<std::pair<std::future<StorageClient::PutStats>, obs::GaugeGuard>>
+      inflight;
   auto harvest = [&] {
     schedfuzz::Perturb("client.upload.harvest");
-    StorageClient::PutStats stats = inflight.front().get();
+    std::future<StorageClient::PutStats> done =
+        std::move(inflight.front().first);
+    obs::GaugeGuard guard = std::move(inflight.front().second);
     inflight.pop_front();
-    m.pipeline_inflight->Add(-1);
+    // get() rethrows a consumer-task failure; `guard` still releases.
+    StorageClient::PutStats stats = done.get();
     result.duplicate_chunks += stats.duplicates;
     result.stored_chunks += stats.stored;
     result.stored_bytes += stats.stored_bytes;
@@ -245,6 +253,7 @@ UploadResult ReedClient::UploadChunked(
     // CAONT encode, with the trimmed-package fingerprint folded into the
     // same parallel worker that produced the package (no second serial
     // SHA-256 pass).
+    REED_FAULT_POINT("client.upload.encode");
     obs::ScopedTimer encode_timer(*m.encode_us);
     std::vector<aont::SealedChunk> sealed(n);
     std::vector<chunk::Fingerprint> package_fps(n);
@@ -269,6 +278,7 @@ UploadResult ReedClient::UploadChunked(
     }
 
     if (depth <= 1) {
+      REED_FAULT_POINT("client.upload.store");
       obs::ScopedTimer store_timer(*m.store_us);
       StorageClient::PutStats stats = storage_->PutChunks(batch);
       (void)store_timer.Stop();
@@ -277,15 +287,19 @@ UploadResult ReedClient::UploadChunked(
       result.stored_bytes += stats.stored_bytes;
     } else {
       while (inflight.size() >= depth - 1) harvest();
-      m.pipeline_inflight->Add(1);
-      inflight.push_back(std::async(
-          std::launch::async,
-          [storage = storage_, &m,
-           moved = std::move(batch)]() -> StorageClient::PutStats {
-            schedfuzz::Perturb("client.upload.store");
-            obs::ScopedTimer store_timer(*m.store_us);
-            return storage->PutChunks(moved);
-          }));
+      obs::GaugeGuard guard(*m.pipeline_inflight);
+      inflight.emplace_back(
+          std::async(std::launch::async,
+                     [storage = storage_, &m,
+                      moved = std::move(batch)]() -> StorageClient::PutStats {
+                       // Fires on the consumer thread; surfaces at harvest()
+                       // via the future (pipelined sweep coverage).
+                       REED_FAULT_POINT("client.upload.store");
+                       schedfuzz::Perturb("client.upload.store");
+                       obs::ScopedTimer store_timer(*m.store_us);
+                       return storage->PutChunks(moved);
+                     }),
+          std::move(guard));
     }
     start = end;
   }
@@ -405,6 +419,9 @@ Bytes ReedClient::Download(const std::string& file_id) {
   // batch's decode. fetch_us measures only time spent inside GetChunks, so
   // overlapped prefetch wall time is not double-counted against decode_us.
   auto fetch_batch = [&](std::size_t start, std::size_t end) {
+    // Runs on this thread (serial) or the prefetch task (pipelined): the
+    // same site covers both propagation paths.
+    REED_FAULT_POINT("client.download.fetch");
     std::vector<chunk::Fingerprint> fps(recipe.fingerprints.begin() + start,
                                         recipe.fingerprints.begin() + end);
     obs::ScopedTimer fetch_timer(*m.fetch_us);
@@ -420,28 +437,33 @@ Bytes ReedClient::Download(const std::string& file_id) {
   const std::size_t total = recipe.chunk_count();
   const bool prefetch = options_.pipeline.depth >= 2;
   // Joined in its destructor (std::async), so a decode exception cannot
-  // leave a task referencing this frame behind.
+  // leave a task referencing this frame behind. `next_guard` is declared
+  // after `next`, so on unwind the gauge drops before the future joins.
   std::future<std::vector<Bytes>> next;
+  std::optional<obs::GaugeGuard> next_guard;
   for (std::size_t start = 0; start < total; start += kFetchBatch) {
     std::size_t end = std::min(total, start + kFetchBatch);
     std::vector<Bytes> packages;
     if (next.valid()) {
       schedfuzz::Perturb("client.download.fetch_join");
+      // get() rethrows a prefetch failure; the guard member then releases
+      // on unwind rather than here.
       packages = next.get();
-      m.pipeline_inflight->Add(-1);
+      next_guard.reset();
     } else {
       packages = fetch_batch(start, end);
     }
     if (prefetch && end < total) {
       std::size_t pstart = end;
       std::size_t pend = std::min(total, end + kFetchBatch);
-      m.pipeline_inflight->Add(1);
+      next_guard.emplace(*m.pipeline_inflight);
       next = std::async(std::launch::async,
                         [&fetch_batch, pstart, pend] {
                           return fetch_batch(pstart, pend);
                         });
     }
     schedfuzz::Perturb("client.download.decode");
+    REED_FAULT_POINT("client.download.decode");
     obs::ScopedTimer decode_timer(*m.decode_us);
     pool_.ParallelFor(end - start, [&](std::size_t i) {
       std::size_t idx = start + i;

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "obs/metrics.h"
+#include "util/fault_inject.h"
 #include "util/schedule_fuzz.h"
 
 namespace reed::client {
@@ -75,15 +76,11 @@ StorageClient::StorageClient(
 Bytes StorageClient::CallChannel(net::RpcChannel& channel, ByteSpan request) {
   NetMetrics& m = Metrics();
   m.rpc_calls->Increment();
-  m.inflight->Add(1);
-  try {
-    Bytes response = channel.Call(request);
-    m.inflight->Add(-1);
-    return response;
-  } catch (...) {
-    m.inflight->Add(-1);
-    throw;
-  }
+  // Before the guard: a firing models "the call was never made", so the
+  // inflight gauge must not have been raised yet.
+  REED_FAULT_POINT("client.rpc.call");
+  obs::GaugeGuard inflight(*m.inflight);
+  return channel.Call(request);
 }
 
 Bytes StorageClient::CallServer(std::size_t server, ByteSpan request) {
@@ -122,11 +119,27 @@ void StorageClient::ForEachTarget(const std::vector<std::size_t>& targets,
   }
   std::vector<std::future<void>> futures;
   futures.reserve(targets.size());
-  for (std::size_t s : targets) {
-    futures.push_back(pool_.Submit([&task, s] {
-      schedfuzz::Perturb("client.fanout.task");
-      task(s);
-    }));
+  try {
+    for (std::size_t s : targets) {
+      futures.push_back(pool_.Submit([&task, s] {
+        schedfuzz::Perturb("client.fanout.task");
+        task(s);
+      }));
+    }
+  } catch (...) {
+    // Submit itself failed (queue fault). Already-queued tasks capture &task
+    // by reference, so they must finish before this frame unwinds.
+    std::exception_ptr submit_error = std::current_exception();
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        // The submit failure is the primary error; task failures during the
+        // drain are subsumed by it.
+        DiscardResult(std::current_exception());
+      }
+    }
+    std::rethrow_exception(submit_error);
   }
   std::exception_ptr first_error;
   schedfuzz::Perturb("client.fanout.join");
@@ -162,6 +175,9 @@ StorageClient::PutStats StorageClient::PutChunks(
   // own per_server slot; the merge below happens after all futures joined.
   std::vector<PutStats> per_server(data_servers_.size());
   ForEachTarget(targets, [&](std::size_t s) {
+    // Per-target, so an Nth-hit policy can fail one server of the fan-out
+    // while the others complete (the partial-batch regression test).
+    REED_FAULT_POINT("client.put_chunks.batch");
     net::Writer req;
     req.U8(static_cast<std::uint8_t>(Opcode::kPutChunks));
     req.U32(counts[s]);
@@ -204,6 +220,7 @@ std::vector<Bytes> StorageClient::GetChunks(
 
   std::vector<Bytes> out(fps.size());
   ForEachTarget(targets, [&](std::size_t s) {
+    REED_FAULT_POINT("client.get_chunks.batch");
     net::Writer req;
     req.U8(static_cast<std::uint8_t>(Opcode::kGetChunks));
     req.U32(counts[s]);

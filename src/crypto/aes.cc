@@ -1,5 +1,7 @@
 #include "crypto/aes.h"
 
+#include "crypto/crypto_error.h"
+
 #include <cstring>
 
 #if defined(__x86_64__)
@@ -287,7 +289,7 @@ const bool kHaveAesNi = false;
 
 Aes256::Aes256(ByteSpan key) {
   if (key.size() != kAes256KeySize) {
-    throw Error("Aes256: key must be 32 bytes");
+    throw CryptoError("Aes256: key must be 32 bytes");
   }
   ExpandKeyPortable(key, enc_round_keys_.data());
 #if defined(REED_X86)
@@ -340,7 +342,7 @@ void Aes256::EncryptBlocksNi(const std::uint8_t* in, std::uint8_t* out,
 
 AesCtr::AesCtr(ByteSpan key, ByteSpan iv) : aes_(key) {
   if (iv.size() != kAesBlockSize) {
-    throw Error("AesCtr: iv must be 16 bytes");
+    throw CryptoError("AesCtr: iv must be 16 bytes");
   }
   std::memcpy(counter_.data(), iv.data(), kAesBlockSize);
 }
@@ -413,7 +415,7 @@ Bytes AesCtrEncrypt(ByteSpan key, ByteSpan iv, ByteSpan data) {
 // ---------------------------------------------------------------------------
 
 Bytes AesCbcEncrypt(ByteSpan key, ByteSpan iv, ByteSpan plaintext) {
-  if (iv.size() != kAesBlockSize) throw Error("AesCbcEncrypt: bad iv size");
+  if (iv.size() != kAesBlockSize) throw CryptoError("AesCbcEncrypt: bad iv size");
   Aes256 aes(key);
   std::size_t pad = kAesBlockSize - (plaintext.size() % kAesBlockSize);
   Bytes padded(plaintext.begin(), plaintext.end());
@@ -432,9 +434,9 @@ Bytes AesCbcEncrypt(ByteSpan key, ByteSpan iv, ByteSpan plaintext) {
 }
 
 Bytes AesCbcDecrypt(ByteSpan key, ByteSpan iv, ByteSpan ciphertext) {
-  if (iv.size() != kAesBlockSize) throw Error("AesCbcDecrypt: bad iv size");
+  if (iv.size() != kAesBlockSize) throw CryptoError("AesCbcDecrypt: bad iv size");
   if (ciphertext.empty() || ciphertext.size() % kAesBlockSize != 0) {
-    throw Error("AesCbcDecrypt: ciphertext not block-aligned");
+    throw CryptoError("AesCbcDecrypt: ciphertext not block-aligned");
   }
   Aes256 aes(key);
   Bytes out(ciphertext.size());
@@ -449,10 +451,10 @@ Bytes AesCbcDecrypt(ByteSpan key, ByteSpan iv, ByteSpan ciphertext) {
   }
   std::uint8_t pad = out.back();
   if (pad == 0 || pad > kAesBlockSize || pad > out.size()) {
-    throw Error("AesCbcDecrypt: bad padding");
+    throw CryptoError("AesCbcDecrypt: bad padding");
   }
   for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
-    if (out[i] != pad) throw Error("AesCbcDecrypt: bad padding");
+    if (out[i] != pad) throw CryptoError("AesCbcDecrypt: bad padding");
   }
   out.resize(out.size() - pad);
   return out;

@@ -1,0 +1,18 @@
+// Typed error for the cryptographic layers (crypto/ primitives and the
+// aont/ transforms built on them): bad key or IV sizes, padding and
+// integrity-check failures, RNG faults. Deriving from reed::Error keeps
+// every existing `catch (const Error&)` working while letting callers that
+// care — e.g. a download path distinguishing a tampered chunk from a
+// truncated frame — discriminate by layer.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace reed::crypto {
+
+class CryptoError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace reed::crypto

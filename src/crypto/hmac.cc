@@ -1,5 +1,7 @@
 #include "crypto/hmac.h"
 
+#include "crypto/crypto_error.h"
+
 #include <cstring>
 
 namespace reed::crypto {
@@ -47,7 +49,7 @@ Bytes HmacSha256ToBytes(ByteSpan key, ByteSpan data) {
 
 Bytes HkdfSha256(ByteSpan ikm, ByteSpan salt, ByteSpan info, std::size_t length) {
   if (length > 255 * kSha256DigestSize) {
-    throw Error("HkdfSha256: requested length too large");
+    throw CryptoError("HkdfSha256: requested length too large");
   }
   Sha256Digest prk = HmacSha256(salt, ikm);
   ScopedWipe wipe_prk{MutableByteSpan(prk)};

@@ -1,5 +1,7 @@
 #include "crypto/random.h"
 
+#include "crypto/crypto_error.h"
+
 #include <sys/random.h>
 
 #include <cstring>
@@ -10,7 +12,7 @@
 namespace reed::crypto {
 
 std::uint64_t Rng::Uniform(std::uint64_t bound) {
-  if (bound == 0) throw Error("Rng::Uniform: bound must be positive");
+  if (bound == 0) throw CryptoError("Rng::Uniform: bound must be positive");
   // Rejection sampling over the largest multiple of bound.
   std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
   for (;;) {
@@ -62,7 +64,7 @@ void ChaCha20Block(const std::uint32_t state[16], std::uint8_t out[64]) {
 }
 
 ChaChaRng::ChaChaRng(ByteSpan seed) {
-  if (seed.size() != 32) throw Error("ChaChaRng: seed must be 32 bytes");
+  if (seed.size() != 32) throw CryptoError("ChaChaRng: seed must be 32 bytes");
   std::memcpy(seed_.data(), seed.data(), 32);
   // RFC 7539 constants "expand 32-byte k".
   state_[0] = 0x61707865;
@@ -110,7 +112,7 @@ ChaChaRng MakeOsSeededRng() {
   std::size_t got = 0;
   while (got < sizeof(seed)) {
     ssize_t n = getrandom(seed + got, sizeof(seed) - got, 0);
-    if (n < 0) throw Error("SecureRandom: getrandom failed");
+    if (n < 0) throw CryptoError("SecureRandom: getrandom failed");
     got += static_cast<std::size_t>(n);
   }
   return ChaChaRng(seed);

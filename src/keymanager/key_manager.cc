@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/metrics.h"
+#include "util/fault_inject.h"
 
 namespace reed::keymanager {
 namespace {
@@ -38,6 +39,7 @@ KeyManager::KeyManager(rsa::RsaKeyPair keys, const Options& options)
 
 std::vector<BigInt> KeyManager::SignBatch(const std::string& client_id,
                                           const std::vector<BigInt>& blinded) {
+  REED_FAULT_POINT("keymanager.sign_batch");
   if (options_.rate_limit_per_sec > 0) {
     TokenBucket* bucket;
     {
@@ -104,7 +106,7 @@ Bytes KeyManager::HandleRequest(ByteSpan request) {
     std::string client_id = r.Str();
     std::uint32_t count = r.U32();
     if (static_cast<std::uint64_t>(count) * nbytes > r.remaining()) {
-      throw Error("batch count exceeds payload");
+      throw KeyManagerError("batch count exceeds payload");
     }
     std::vector<BigInt> blinded;
     blinded.reserve(count);
@@ -117,11 +119,13 @@ Bytes KeyManager::HandleRequest(ByteSpan request) {
     resp.U8(0);
     for (const BigInt& s : sigs) resp.Raw(s.ToBytesPadded(nbytes));
     return resp.Take();
-  } catch (const RateLimitedError&) {
+  } catch (const RateLimitedError& e) {
     resp.U8(1);
+    resp.Str(e.what());
     return resp.Take();
-  } catch (const Error&) {
+  } catch (const Error& e) {
     resp.U8(2);
+    resp.Str(e.what());
     return resp.Take();
   }
 }
@@ -131,8 +135,12 @@ std::vector<BigInt> KeyManager::DecodeResponse(ByteSpan response,
                                                std::size_t expected_count) {
   net::Reader r(response);
   std::uint8_t status = r.U8();
-  if (status == 1) throw RateLimitedError("KeyManager: rate limited");
-  if (status != 0) throw Error("KeyManager: malformed request rejected");
+  if (status == 1) {
+    throw RateLimitedError("KeyManager: rate limited: " + r.Str());
+  }
+  if (status != 0) {
+    throw KeyManagerError("KeyManager: request rejected: " + r.Str());
+  }
   std::vector<BigInt> sigs;
   sigs.reserve(expected_count);
   for (std::size_t i = 0; i < expected_count; ++i) {

@@ -22,9 +22,19 @@ namespace reed::keymanager {
 
 using bigint::BigInt;
 
-class RateLimitedError : public Error {
+// Typed error for the key-management layer: malformed batches, rejected
+// requests, replica exhaustion. Deriving from reed::Error keeps existing
+// `catch (const Error&)` sites working while letting clients discriminate
+// key-manager failures (possibly retryable against another replica) from
+// storage or wire ones.
+class KeyManagerError : public Error {
  public:
   using Error::Error;
+};
+
+class RateLimitedError : public KeyManagerError {
+ public:
+  using KeyManagerError::KeyManagerError;
 };
 
 class KeyManager {

@@ -1,6 +1,7 @@
 #include "keymanager/mle_key_client.h"
 
 #include "obs/metrics.h"
+#include "util/fault_inject.h"
 
 namespace reed::keymanager {
 
@@ -16,6 +17,7 @@ struct OprfClientMetrics {
   obs::Counter* cache_misses;
   obs::Counter* batches;
   obs::Counter* failovers;
+  obs::Counter* swallowed_failovers;
   obs::Histogram* roundtrip_us;
 };
 
@@ -26,6 +28,7 @@ OprfClientMetrics& Metrics() {
       &reg.GetCounter("oprf.client.cache_misses"),
       &reg.GetCounter("oprf.client.batches"),
       &reg.GetCounter("oprf.client.failovers"),
+      &reg.GetCounter("errors.swallowed.oprf_failover"),
       &reg.GetHistogram("oprf.client.roundtrip_us")};
   return m;
 }
@@ -51,10 +54,10 @@ MleKeyClient::MleKeyClient(
       cache_(options.enable_cache ? options.key_cache_bytes : 0,
              kCacheEntryCost) {
   if (options_.batch_size == 0) {
-    throw Error("MleKeyClient: batch size must be positive");
+    throw KeyManagerError("MleKeyClient: batch size must be positive");
   }
   if (replicas_.empty()) {
-    throw Error("MleKeyClient: need at least one key-manager replica");
+    throw KeyManagerError("MleKeyClient: need at least one key-manager replica");
   }
 }
 
@@ -65,17 +68,21 @@ Bytes MleKeyClient::CallWithFailover(ByteSpan request) {
     } catch (const Error&) {
       // Transport-level failure: the next replica holds the same keys.
       // (Application-level rejections arrive as status frames, not
-      // exceptions, so they are never retried here.)
+      // exceptions, so they are never retried here.) The last replica's
+      // failure rethrows — only the masked intermediate failures are
+      // swallowed, and each one is counted.
       if (i + 1 == replicas_.size()) throw;
       ++stats_.failovers;
       Metrics().failovers->Increment();
+      Metrics().swallowed_failovers->Increment();
     }
   }
-  throw Error("MleKeyClient: unreachable");
+  throw KeyManagerError("MleKeyClient: unreachable");
 }
 
 std::vector<Secret> MleKeyClient::GetKeys(
     const std::vector<chunk::Fingerprint>& fps, crypto::Rng& rng) {
+  REED_FAULT_POINT("keymanager.get_keys");
   std::vector<Secret> keys(fps.size());
   std::vector<std::size_t> missing;
   missing.reserve(fps.size());

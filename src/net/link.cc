@@ -2,9 +2,12 @@
 
 #include <thread>
 
+#include "util/fault_inject.h"
+
 namespace reed::net {
 
 void SimulatedLink::Transfer(std::uint64_t bytes) {
+  REED_FAULT_POINT("net.link.transfer");
   {
     MutexLock lock(mu_);
     total_bytes_ += bytes;

@@ -2,15 +2,25 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace reed::net {
 
 void ServeTransport(TcpTransport& transport,
                     const LocalChannel::Handler& handler) {
+  // Audited swallow (tools/lint/failpath_allowlist.txt): a NetError here
+  // means the peer closed, the transport was Shutdown() from another
+  // thread, or the handler's own wire work failed — ending THIS session is
+  // the whole recovery, and the serving thread has no caller to rethrow to.
+  // The swallow is still observable: errors.swallowed.rpc_serve counts it.
+  static obs::Counter* swallowed =
+      &obs::Registry::Global().GetCounter("errors.swallowed.rpc_serve");
   for (;;) {
     try {
       Bytes request = transport.Receive();
       transport.Send(handler(request));
     } catch (const NetError&) {
+      swallowed->Increment();
       return;  // peer closed, transport shut down, or handler net failure
     }
   }

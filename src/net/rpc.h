@@ -17,6 +17,7 @@
 #include "net/link.h"
 #include "net/tcp.h"
 #include "util/bytes.h"
+#include "util/fault_inject.h"
 
 namespace reed::net {
 
@@ -33,6 +34,7 @@ class LocalChannel : public RpcChannel {
   explicit LocalChannel(Handler handler) : handler_(std::move(handler)) {}
 
   [[nodiscard]] Bytes Call(ByteSpan request) override {
+    REED_FAULT_POINT("net.rpc.call");
     return handler_(request);
   }
 
@@ -49,6 +51,7 @@ class SimulatedChannel : public RpcChannel {
       : handler_(std::move(handler)), link_(std::move(link)) {}
 
   [[nodiscard]] Bytes Call(ByteSpan request) override {
+    REED_FAULT_POINT("net.rpc.call");
     link_->Transfer(request.size());
     Bytes response = handler_(request);
     link_->Transfer(response.size());

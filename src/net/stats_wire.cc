@@ -13,7 +13,7 @@ constexpr std::uint64_t kMinHistogramBytes = 4 + 8 + 8 + 4;
 std::uint32_t CheckedCount(Reader& r, std::uint64_t min_entry_bytes) {
   std::uint32_t n = r.U32();
   if (static_cast<std::uint64_t>(n) * min_entry_bytes > r.remaining()) {
-    throw Error("stats snapshot: entry count exceeds payload");
+    throw WireError("stats snapshot: entry count exceeds payload");
   }
   return n;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace reed::net {
 
 TcpServer::TcpServer(std::uint16_t port, LocalChannel::Handler handler)
@@ -13,11 +15,19 @@ TcpServer::TcpServer(std::uint16_t port, LocalChannel::Handler handler)
 }
 
 void TcpServer::AcceptLoop() {
+  // Audited swallow (tools/lint/failpath_allowlist.txt): Accept() only
+  // throws once the listener socket is shut down (the destructor's own
+  // teardown signal) or irrecoverably broken — and the acceptor thread has
+  // no caller to rethrow to. Exiting the loop IS the handling; the
+  // swallow is still observable via errors.swallowed.net_accept.
+  static obs::Counter* swallowed =
+      &obs::Registry::Global().GetCounter("errors.swallowed.net_accept");
   for (;;) {
     TcpTransport conn(-1);
     try {
       conn = listener_->Accept();
     } catch (const Error&) {
+      swallowed->Increment();
       return;  // listener shut down
     }
     auto session = std::make_shared<Session>(std::move(conn));

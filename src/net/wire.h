@@ -13,12 +13,22 @@
 #include <vector>
 
 #include "util/bytes.h"
+#include "util/fault_inject.h"
 
 namespace reed {
 class Secret;  // util/secret.h — never serialized without Declassify
 }  // namespace reed
 
 namespace reed::net {
+
+// Frame-level failures: truncated or oversized messages, trailing bytes,
+// malformed snapshots. Distinct from NetError (net/tcp.h), which covers the
+// transport itself — a catch site can retry a WireError-free transport
+// failure but must treat a WireError as a protocol bug or corruption.
+class WireError : public Error {
+ public:
+  using Error::Error;
+};
 
 class Writer {
  public:
@@ -30,10 +40,11 @@ class Writer {
   // old silent cast produced a frame whose prefix disagreed with its body.
   // Public and static so the limit is unit-testable without allocating 4GB.
   static void CheckBlobSize(std::size_t size) {
-    if (size > UINT32_MAX) throw Error("Writer: blob too large");
+    if (size > UINT32_MAX) throw WireError("Writer: blob too large");
   }
 
   void Blob(ByteSpan data) {
+    REED_FAULT_POINT("net.wire.write");
     CheckBlobSize(data.size());
     U32(static_cast<std::uint32_t>(data.size()));
     Append(buf_, data);
@@ -82,6 +93,7 @@ class Reader {
   }
 
   [[nodiscard]] Bytes Blob() {
+    REED_FAULT_POINT("net.wire.read");
     std::uint32_t len = U32();
     Need(len);
     Bytes out(data_.begin() + off_, data_.begin() + off_ + len);
@@ -106,12 +118,12 @@ class Reader {
 
   // Call when a message should have been fully consumed.
   void ExpectEnd() const {
-    if (!AtEnd()) throw Error("Reader: trailing bytes in message");
+    if (!AtEnd()) throw WireError("Reader: trailing bytes in message");
   }
 
  private:
   void Need(std::size_t n) const {
-    if (off_ + n > data_.size()) throw Error("Reader: truncated message");
+    if (off_ + n > data_.size()) throw WireError("Reader: truncated message");
   }
 
   ByteSpan data_;

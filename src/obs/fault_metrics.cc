@@ -1,0 +1,27 @@
+#include "obs/fault_metrics.h"
+
+#include <string>
+
+#include "util/fault_inject.h"
+
+namespace reed::obs {
+namespace {
+
+Registry* g_registry = nullptr;
+
+// Runs on the throwing thread, outside every fault-registry lock. Site
+// firings are rare (they abort the surrounding operation), so the per-call
+// name lookup is fine — no cached-pointer fast path needed.
+void CountFired(const char* site) {
+  if (g_registry == nullptr) return;
+  g_registry->GetCounter(std::string("fault.") + site + ".fired").Increment();
+}
+
+}  // namespace
+
+void InstallFaultCounters(Registry& registry) {
+  g_registry = &registry;
+  fault::SetFiredHook(&CountFired);
+}
+
+}  // namespace reed::obs

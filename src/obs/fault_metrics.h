@@ -1,0 +1,20 @@
+// Bridges util/fault_inject.h's fired hook to the metric registry: every
+// firing of an armed fault site bumps
+//
+//   fault.<site>.fired
+//
+// util (layer 0) cannot depend on obs (layer 1), so the injector exposes a
+// raw function-pointer hook and this translation unit — on the obs side of
+// the boundary — installs it (the same pattern as obs/lock_metrics.h).
+// Registry::Global() calls InstallFaultCounters exactly once while
+// constructing the global registry; outside -DREED_FAULT_INJECT=ON builds
+// no site can fire, so the hook is simply never invoked.
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace reed::obs {
+
+void InstallFaultCounters(Registry& registry);
+
+}  // namespace reed::obs

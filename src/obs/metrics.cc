@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/fault_metrics.h"
 #include "obs/lock_metrics.h"
 #include <cstdarg>
 #include <cstdio>
@@ -61,6 +62,7 @@ Registry& Registry::Global() {
   static Registry* instance = [] {
     auto* registry = new Registry();
     InstallLockProfiler(*registry);
+    InstallFaultCounters(*registry);
     return registry;
   }();
   return *instance;

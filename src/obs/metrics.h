@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/thread_annotations.h"
@@ -172,6 +173,48 @@ class Registry {
       REED_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
       REED_GUARDED_BY(mu_);
+};
+
+// RAII increment/decrement pair on a gauge: the constructor applies +delta,
+// the destructor (or Release) applies -delta, so the gauge returns to its
+// prior level on EVERY exit path — including exceptions. This is the only
+// sanctioned way to track in-flight work (`client.net.inflight_rpcs`,
+// `client.pipeline.inflight_batches`): a manual try/catch Add(+1)/Add(-1)
+// dance leaks the increment whenever an unexpected path unwinds
+// (tools/lint/failpath_lint.py's gauge-dance rule rejects that shape).
+// Movable so a guard can ride alongside the std::future whose lifetime it
+// brackets.
+class GaugeGuard {
+ public:
+  explicit GaugeGuard(Gauge& gauge, std::int64_t delta = 1)
+      : gauge_(&gauge), delta_(delta) {
+    gauge_->Add(delta_);
+  }
+  GaugeGuard(GaugeGuard&& other) noexcept
+      : gauge_(std::exchange(other.gauge_, nullptr)), delta_(other.delta_) {}
+  GaugeGuard& operator=(GaugeGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      gauge_ = std::exchange(other.gauge_, nullptr);
+      delta_ = other.delta_;
+    }
+    return *this;
+  }
+  GaugeGuard(const GaugeGuard&) = delete;
+  GaugeGuard& operator=(const GaugeGuard&) = delete;
+  ~GaugeGuard() { Release(); }
+
+  // Undo the increment now; further calls (and the destructor) are no-ops.
+  void Release() {
+    if (gauge_ != nullptr) {
+      gauge_->Add(-delta_);
+      gauge_ = nullptr;
+    }
+  }
+
+ private:
+  Gauge* gauge_;
+  std::int64_t delta_;
 };
 
 // Records wall time (microseconds) into a histogram when it goes out of

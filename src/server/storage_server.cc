@@ -6,6 +6,7 @@
 
 #include "net/stats_wire.h"
 #include "obs/metrics.h"
+#include "util/fault_inject.h"
 #include "util/schedule_fuzz.h"
 
 namespace reed::server {
@@ -81,6 +82,10 @@ StorageServer::PutChunksResult StorageServer::PutChunks(
     // per fingerprint) breaks and physical_bytes overcounts. Striping by
     // fingerprint keeps the compound atomic where it matters (same chunk)
     // while distinct chunks ingest in parallel.
+    // Before the stripe lock: a firing aborts the batch mid-way, leaving
+    // earlier chunks fully ingested and this one untouched — never a
+    // half-applied lookup/append/insert compound.
+    REED_FAULT_POINT("server.ingest.chunk");
     schedfuzz::Perturb("server.ingest.stripe");
     ContendedMutexLock<obs::Counter> ingest(
         ingest_mu_[chunk::FingerprintHash{}(fp) % kIngestStripes].mu,
@@ -90,10 +95,21 @@ StorageServer::PutChunksResult StorageServer::PutChunks(
       continue;
     }
     store::ChunkLocation loc = containers_.Append(data);
-    if (!index_.Insert(fp, loc)) {
+    bool inserted = false;
+    try {
+      inserted = index_.Insert(fp, loc);
+    } catch (...) {
+      // The append landed but the index entry did not (the fault sweep arms
+      // exactly this window): discard the appended bytes so the failure
+      // leaves no orphaned container data behind.
+      containers_.Discard(loc);
+      throw;
+    }
+    if (!inserted) {
       // Unreachable while the ingest stripe serializes lookup+insert; if it
-      // ever fires, the appended bytes are orphaned and dedup accounting is
-      // wrong — fail loudly rather than report the chunk as stored.
+      // ever fires, dedup accounting is wrong — discard our losing copy and
+      // fail loudly rather than report the chunk as stored.
+      containers_.Discard(loc);
       throw Error("StorageServer: concurrent insert raced for fingerprint " +
                   fp.ToHex());
     }
@@ -116,6 +132,7 @@ std::vector<Bytes> StorageServer::GetChunks(
   out.reserve(fps.size());
   std::set<std::uint32_t> containers_touched;
   for (const auto& fp : fps) {
+    REED_FAULT_POINT("server.chunks.read");
     auto loc = index_.Lookup(fp);
     if (!loc.has_value()) {
       throw Error("StorageServer: unknown fingerprint " + fp.ToHex());
@@ -163,6 +180,44 @@ StorageServer::Stats StorageServer::stats() const {
   return s;
 }
 
+StorageServer::ConsistencyReport StorageServer::CheckConsistency() const {
+  ConsistencyReport report;
+  index_.ForEach([&](const chunk::Fingerprint& fp,
+                     const store::ChunkLocation& loc) {
+    ++report.index_entries;
+    report.index_bytes += loc.length;
+    if (!report.ok) return;
+    try {
+      Bytes chunk = containers_.Read(loc);
+      if (chunk.size() != loc.length) {
+        report.ok = false;
+        report.detail = "short read for fingerprint " + fp.ToHex();
+      }
+    } catch (const Error& e) {
+      // A dangling index entry: the location no longer resolves.
+      report.ok = false;
+      report.detail = "dangling entry for fingerprint " + fp.ToHex() + ": " +
+                      e.what();
+    }
+  });
+  auto cs = containers_.stats();
+  report.stored_chunks = cs.chunks;
+  report.stored_bytes = cs.bytes;
+  if (report.ok && report.stored_chunks != report.index_entries) {
+    report.ok = false;
+    report.detail = "orphaned container chunks: stored " +
+                    std::to_string(report.stored_chunks) + ", indexed " +
+                    std::to_string(report.index_entries);
+  }
+  if (report.ok && report.stored_bytes != report.index_bytes) {
+    report.ok = false;
+    report.detail = "container/index byte mismatch: stored " +
+                    std::to_string(report.stored_bytes) + ", indexed " +
+                    std::to_string(report.index_bytes);
+  }
+  return report;
+}
+
 Bytes StorageServer::HandleRequest(ByteSpan request) {
   static obs::Counter& rpc_errors =
       obs::Registry::Global().GetCounter("server.rpc.errors");
@@ -182,6 +237,7 @@ Bytes StorageServer::HandleRequest(ByteSpan request) {
     return out;
   };
   try {
+    REED_FAULT_POINT("server.rpc.dispatch");
     net::Reader r(request);
     auto opcode = static_cast<Opcode>(r.U8());
     rpc = &MetricsFor(opcode);

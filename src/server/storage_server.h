@@ -92,6 +92,21 @@ class StorageServer {
   // Wire entry point: status byte 0 = OK, 1 = error (+ message).
   [[nodiscard]] Bytes HandleRequest(ByteSpan request);
 
+  // Cross-checks the dedup state after a failure: every index entry must
+  // resolve to a readable container location (no dangling entries), and the
+  // container store must hold exactly the indexed chunks/bytes (no orphaned
+  // appends). Walks the whole index — a test/recovery facility, not a data
+  // path. `ok` is false on the first violation, described in `detail`.
+  struct ConsistencyReport {
+    bool ok = true;
+    std::string detail;
+    std::uint64_t index_entries = 0;
+    std::uint64_t index_bytes = 0;    // sum of indexed location lengths
+    std::uint64_t stored_chunks = 0;  // container-store chunk count
+    std::uint64_t stored_bytes = 0;   // container-store payload bytes
+  };
+  [[nodiscard]] ConsistencyReport CheckConsistency() const;
+
  private:
   const store::ObjectStore& StoreFor(StoreId id) const {
     return id == StoreId::kData ? data_objects_ : key_objects_;

@@ -1,6 +1,9 @@
 #include "store/container_store.h"
 
+#include "store/store_error.h"
+
 #include "obs/metrics.h"
+#include "util/fault_inject.h"
 
 namespace reed::store {
 namespace {
@@ -11,13 +14,15 @@ struct ContainerMetrics {
   obs::Counter* appends;
   obs::Counter* bytes;
   obs::Counter* containers_opened;
+  obs::Counter* discards;
 };
 
 ContainerMetrics& Metrics() {
   auto& reg = obs::Registry::Global();
   static ContainerMetrics m{&reg.GetCounter("store.container.appends"),
                             &reg.GetCounter("store.container.bytes"),
-                            &reg.GetCounter("store.container.opened")};
+                            &reg.GetCounter("store.container.opened"),
+                            &reg.GetCounter("store.container.discards")};
   return m;
 }
 
@@ -25,7 +30,7 @@ ContainerMetrics& Metrics() {
 
 ContainerStore::ContainerStore(std::size_t container_capacity)
     : capacity_(container_capacity) {
-  if (capacity_ == 0) throw Error("ContainerStore: zero capacity");
+  if (capacity_ == 0) throw StoreError("ContainerStore: zero capacity");
   containers_.emplace_back();
   containers_.back().reserve(capacity_);
   stats_.containers = 1;
@@ -33,7 +38,10 @@ ContainerStore::ContainerStore(std::size_t container_capacity)
 }
 
 ChunkLocation ContainerStore::Append(ByteSpan data) {
-  if (data.empty()) throw Error("ContainerStore: empty chunk");
+  // Before the lock: a firing must model "the write never happened", not a
+  // torn container (Append under the lock is all-or-nothing anyway).
+  REED_FAULT_POINT("store.container.append");
+  if (data.empty()) throw StoreError("ContainerStore: empty chunk");
   WriterMutexLock lock(mu_);
   Bytes* current = &containers_.back();
   if (current->size() + data.size() > capacity_ && !current->empty()) {
@@ -55,14 +63,34 @@ ChunkLocation ContainerStore::Append(ByteSpan data) {
   return loc;
 }
 
+void ContainerStore::Discard(const ChunkLocation& loc) {
+  WriterMutexLock lock(mu_);
+  if (loc.container_id >= containers_.size()) {
+    throw StoreError("ContainerStore: discard of bad container id");
+  }
+  Bytes& container = containers_[loc.container_id];
+  if (static_cast<std::size_t>(loc.offset) + loc.length > container.size()) {
+    throw StoreError("ContainerStore: discard out of bounds");
+  }
+  if (loc.container_id == containers_.size() - 1 &&
+      static_cast<std::size_t>(loc.offset) + loc.length == container.size()) {
+    container.resize(loc.offset);
+  } else {
+    SecureZero(MutableByteSpan(container).subspan(loc.offset, loc.length));
+  }
+  --stats_.chunks;
+  stats_.bytes -= loc.length;
+  Metrics().discards->Increment();
+}
+
 Bytes ContainerStore::Read(const ChunkLocation& loc) const {
   ReaderMutexLock lock(mu_);
   if (loc.container_id >= containers_.size()) {
-    throw Error("ContainerStore: bad container id");
+    throw StoreError("ContainerStore: bad container id");
   }
   const Bytes& container = containers_[loc.container_id];
   if (static_cast<std::size_t>(loc.offset) + loc.length > container.size()) {
-    throw Error("ContainerStore: location out of bounds");
+    throw StoreError("ContainerStore: location out of bounds");
   }
   return Bytes(container.begin() + loc.offset,
                container.begin() + loc.offset + loc.length);

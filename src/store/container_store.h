@@ -35,6 +35,15 @@ class ContainerStore {
   // reallocate container storage) takes the writer side.
   [[nodiscard]] Bytes Read(const ChunkLocation& loc) const;
 
+  // Rolls back an Append whose enclosing compound operation failed before
+  // the location was published anywhere (index, recipe). A tail append is
+  // physically truncated so the space is reused; an interior chunk (another
+  // writer appended behind it meanwhile) is zeroed in place and carried as
+  // unaccounted garbage, like log garbage awaiting compaction. Either way
+  // stats() stops counting the chunk and its bytes, so a failed ingest
+  // leaves no orphaned accounting (StorageServer::CheckConsistency).
+  void Discard(const ChunkLocation& loc);
+
   struct Stats {
     std::uint64_t chunks = 0;
     std::uint64_t bytes = 0;        // payload bytes stored

@@ -1,6 +1,9 @@
 #include "store/index.h"
 
+#include "store/store_error.h"
+
 #include "obs/metrics.h"
+#include "util/fault_inject.h"
 #include "util/schedule_fuzz.h"
 
 namespace reed::store {
@@ -57,6 +60,7 @@ bool IsDirPrefix(std::string_view prefix) {
 
 std::optional<ChunkLocation> FingerprintIndex::Lookup(
     const chunk::Fingerprint& fp) const {
+  REED_FAULT_POINT("store.index.lookup");
   Metrics().lookups->Increment();
   Shard& shard = ShardFor(fp);
   schedfuzz::Perturb("store.index.shard");
@@ -69,6 +73,7 @@ std::optional<ChunkLocation> FingerprintIndex::Lookup(
 
 bool FingerprintIndex::Insert(const chunk::Fingerprint& fp,
                               const ChunkLocation& loc) {
+  REED_FAULT_POINT("store.index.insert");
   Metrics().inserts->Increment();
   Shard& shard = ShardFor(fp);
   schedfuzz::Perturb("store.index.shard");
@@ -85,7 +90,17 @@ std::size_t FingerprintIndex::size() const {
   return total;
 }
 
+void FingerprintIndex::ForEach(
+    const std::function<void(const chunk::Fingerprint&, const ChunkLocation&)>&
+        fn) const {
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (const auto& [fp, loc] : shard.map) fn(fp, loc);
+  }
+}
+
 void ObjectStore::Put(const std::string& name, Bytes value) {
+  REED_FAULT_POINT("store.object.put");
   Shard& shard = ShardFor(name);
   schedfuzz::Perturb("store.object.shard");
   ShardLock lock(shard.mu, *ObjMetrics().shard_contention);
@@ -106,11 +121,12 @@ void ObjectStore::Put(const std::string& name, Bytes value) {
 }
 
 Bytes ObjectStore::Get(const std::string& name) const {
+  REED_FAULT_POINT("store.object.get");
   Shard& shard = ShardFor(name);
   ShardLock lock(shard.mu, *ObjMetrics().shard_contention);
   auto it = shard.objects.find(name);
   if (it == shard.objects.end()) {
-    throw Error("ObjectStore: no such object: " + name);
+    throw StoreError("ObjectStore: no such object: " + name);
   }
   return it->second;
 }

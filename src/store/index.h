@@ -17,6 +17,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -43,6 +44,14 @@ class FingerprintIndex {
                             const ChunkLocation& loc);
 
   [[nodiscard]] std::size_t size() const;
+
+  // Visits every entry, one shard at a time (the callback runs under that
+  // shard's lock — keep it cheap and lock-free). Entries inserted or erased
+  // concurrently in other shards may or may not be seen; used by
+  // StorageServer::CheckConsistency and stats walks, not the data path.
+  void ForEach(
+      const std::function<void(const chunk::Fingerprint&, const ChunkLocation&)>&
+          fn) const;
 
  private:
   struct Shard {

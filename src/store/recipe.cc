@@ -1,12 +1,14 @@
 #include "store/recipe.h"
 
+#include "store/store_error.h"
+
 #include "crypto/sha256.h"
 
 namespace reed::store {
 
 Bytes FileRecipe::Serialize() const {
   if (fingerprints.size() != chunk_sizes.size()) {
-    throw Error("FileRecipe: fingerprint/size count mismatch");
+    throw StoreError("FileRecipe: fingerprint/size count mismatch");
   }
   net::Writer w;
   w.Str(file_id);
@@ -22,6 +24,7 @@ Bytes FileRecipe::Serialize() const {
 }
 
 FileRecipe FileRecipe::Deserialize(ByteSpan blob) {
+  REED_FAULT_POINT("store.recipe.decode");
   net::Reader r(blob);
   FileRecipe recipe;
   recipe.file_id = r.Str();
@@ -32,7 +35,7 @@ FileRecipe FileRecipe::Deserialize(ByteSpan blob) {
   // Each entry is 36 bytes; reject impossible counts before reserving
   // (a forged count must not trigger a huge allocation).
   if (static_cast<std::uint64_t>(count) * 36 > r.remaining()) {
-    throw Error("FileRecipe: chunk count exceeds payload");
+    throw StoreError("FileRecipe: chunk count exceeds payload");
   }
   recipe.fingerprints.reserve(count);
   recipe.chunk_sizes.reserve(count);

@@ -1,0 +1,17 @@
+// Typed error for the storage layer: container capacity/bounds violations,
+// missing objects, malformed recipes. Deriving from reed::Error keeps every
+// existing `catch (const Error&)` working (StorageServer::HandleRequest
+// converts any Error into a status-1 frame) while letting callers
+// discriminate storage-state failures from wire or crypto ones.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace reed::store {
+
+class StoreError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace reed::store

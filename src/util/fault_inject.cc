@@ -1,0 +1,237 @@
+#include "util/fault_inject.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "util/lock_rank.h"
+#include "util/schedule_fuzz.h"
+#include "util/thread_annotations.h"
+
+namespace reed::fault {
+
+namespace detail {
+
+// Hot-path state is all atomics: REED_FAULT_POINT traversals never take the
+// registry lock, so sites are safe inside any lock-free or latency-sensitive
+// stretch (the lock below guards only the name map during Arm/Register).
+struct Site {
+  std::string name;
+  std::uint64_t name_hash = 0;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fired{0};
+  std::atomic<std::uint8_t> mode{0};
+  std::atomic<std::uint64_t> n{0};
+  std::atomic<std::uint32_t> permille{0};
+  std::atomic<std::uint64_t> seed{0};
+
+  void Store(const Policy& policy) {
+    n.store(policy.n, std::memory_order_relaxed);
+    permille.store(policy.permille, std::memory_order_relaxed);
+    seed.store(policy.seed, std::memory_order_relaxed);
+    // Mode last: a traversal that sees the new mode sees its parameters.
+    mode.store(static_cast<std::uint8_t>(policy.mode),
+               std::memory_order_release);
+  }
+};
+
+namespace {
+
+std::atomic<FiredHook> g_fired_hook{nullptr};
+
+class SiteRegistry {
+ public:
+  Site* FindOrCreate(const std::string& name) {
+    MutexLock lock(mu_);
+    std::unique_ptr<Site>& slot = sites_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<Site>();
+      slot->name = name;
+      slot->name_hash = schedfuzz::detail::Fnv1a(name.c_str());
+    }
+    return slot.get();
+  }
+
+  void Apply(const std::string& name, const Policy& policy) {
+    FindOrCreate(name)->Store(policy);
+  }
+
+  void DisarmAll() {
+    MutexLock lock(mu_);
+    for (auto& [name, site] : sites_) {
+      site->Store(Policy::Off());
+    }
+  }
+
+  void ResetCounters() {
+    MutexLock lock(mu_);
+    for (auto& [name, site] : sites_) {
+      site->hits.store(0, std::memory_order_relaxed);
+      site->fired.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::vector<SiteStats> Stats() const {
+    MutexLock lock(mu_);
+    std::vector<SiteStats> out;
+    out.reserve(sites_.size());
+    for (const auto& [name, site] : sites_) {
+      out.push_back({name, site->hits.load(std::memory_order_relaxed),
+                     site->fired.load(std::memory_order_relaxed)});
+    }
+    return out;  // std::map iterates sorted by name
+  }
+
+ private:
+  mutable Mutex mu_{LockRank::kFaultRegistry};
+  std::map<std::string, std::unique_ptr<Site>> sites_ REED_GUARDED_BY(mu_);
+};
+
+void ApplySpecInto(SiteRegistry& registry, const std::string& spec);
+
+SiteRegistry& Registry() {
+  static SiteRegistry* registry = [] {
+    auto* r = new SiteRegistry();  // leaked: process-lifetime singleton
+    const char* env = std::getenv("REED_FAULT");
+    if (env != nullptr && *env != '\0') {
+      // Armed before the first traversal can register; a malformed spec
+      // throws out of static init and aborts startup loudly.
+      ApplySpecInto(*r, env);
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+std::uint64_t ParseU64(const std::string& text, const std::string& spec) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+    throw Error("fault::ApplySpec: bad number '" + text + "' in '" + spec +
+                "'");
+  }
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+void ApplyOne(SiteRegistry& registry, const std::string& entry) {
+  const std::size_t colon = entry.find(':');
+  const std::string site = entry.substr(0, colon);
+  if (site.empty()) {
+    throw Error("fault::ApplySpec: empty site in '" + entry + "'");
+  }
+  if (colon == std::string::npos) {
+    registry.Apply(site, Policy::EveryHit());
+    return;
+  }
+  const std::string rest = entry.substr(colon + 1);
+  if (rest == "every") {
+    registry.Apply(site, Policy::EveryHit());
+  } else if (rest.rfind("nth=", 0) == 0) {
+    const std::uint64_t nth = ParseU64(rest.substr(4), entry);
+    if (nth == 0) {
+      throw Error("fault::ApplySpec: nth must be >= 1 in '" + entry + "'");
+    }
+    registry.Apply(site, Policy::NthHit(nth));
+  } else if (rest.rfind("prob=", 0) == 0) {
+    const std::string args = rest.substr(5);
+    const std::size_t comma = args.find(',');
+    const std::uint64_t permille =
+        ParseU64(args.substr(0, comma), entry);
+    if (permille > 1000) {
+      throw Error("fault::ApplySpec: permille > 1000 in '" + entry + "'");
+    }
+    const std::uint64_t seed =
+        comma == std::string::npos ? 0 : ParseU64(args.substr(comma + 1), entry);
+    registry.Apply(site,
+                   Policy::Probability(static_cast<std::uint32_t>(permille),
+                                       seed));
+  } else {
+    throw Error("fault::ApplySpec: unknown policy '" + rest + "' in '" +
+                entry + "' (expected every | nth=N | prob=PERMILLE[,SEED])");
+  }
+}
+
+void ApplySpecInto(SiteRegistry& registry, const std::string& spec) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t end = spec.find(';', start);
+    const std::string entry =
+        spec.substr(start, end == std::string::npos ? end : end - start);
+    if (!entry.empty()) {
+      ApplyOne(registry, entry);
+    }
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
+Site* RegisterSite(const char* name) { return Registry().FindOrCreate(name); }
+
+bool ShouldFire(Site* site) {
+  const std::uint64_t hit =
+      site->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto mode = static_cast<Policy::Mode>(
+      site->mode.load(std::memory_order_acquire));
+  if (mode == Policy::Mode::kOff) return false;
+  Policy policy;
+  policy.mode = mode;
+  policy.n = site->n.load(std::memory_order_relaxed);
+  policy.permille = site->permille.load(std::memory_order_relaxed);
+  policy.seed = site->seed.load(std::memory_order_relaxed);
+  return PolicyFires(policy, hit, site->name_hash);
+}
+
+void FireAndThrow(Site* site) {
+  site->fired.fetch_add(1, std::memory_order_relaxed);
+  if (FiredHook hook = g_fired_hook.load(std::memory_order_acquire)) {
+    hook(site->name.c_str());
+  }
+  throw FaultError(site->name);
+}
+
+}  // namespace detail
+
+bool PolicyFires(const Policy& policy, std::uint64_t hit_number,
+                 std::uint64_t site_hash) {
+  switch (policy.mode) {
+    case Policy::Mode::kOff:
+      return false;
+    case Policy::Mode::kEveryHit:
+      return true;
+    case Policy::Mode::kNthHit:
+      return hit_number == policy.n;
+    case Policy::Mode::kProbability: {
+      // Same mix as schedfuzz::Perturb: seed x site x hit index, so a given
+      // (seed, site) pair replays an identical firing sequence.
+      const std::uint64_t h = schedfuzz::detail::SplitMix64(
+          policy.seed ^ site_hash ^ (hit_number * 0x9E3779B97F4A7C15ULL));
+      return h % 1000 < policy.permille;
+    }
+  }
+  return false;
+}
+
+void Arm(const std::string& site, const Policy& policy) {
+  detail::Registry().Apply(site, policy);
+}
+
+void Disarm(const std::string& site) {
+  detail::Registry().Apply(site, Policy::Off());
+}
+
+void DisarmAll() { detail::Registry().DisarmAll(); }
+
+std::vector<SiteStats> Stats() { return detail::Registry().Stats(); }
+
+void ResetCounters() { detail::Registry().ResetCounters(); }
+
+void ApplySpec(const std::string& spec) {
+  detail::ApplySpecInto(detail::Registry(), spec);
+}
+
+void SetFiredHook(FiredHook hook) {
+  detail::g_fired_hook.store(hook, std::memory_order_release);
+}
+
+}  // namespace reed::fault

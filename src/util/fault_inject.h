@@ -1,0 +1,180 @@
+// Deterministic fault injection: named failure points on the data path.
+//
+// A fault point is a named site — REED_FAULT_POINT("store.container.append")
+// — planted where real failures originate (container append, index insert,
+// wire read/write, RPC dispatch, key-manager calls, thread-pool submit, AONT
+// encode). The macro compiles to nothing unless the tree is configured with
+// -DREED_FAULT_INJECT=ON; in a fault build each site counts its hits and,
+// when armed, throws fault::FaultError (a reed::Error subclass) so the
+// normal unwind path runs exactly as it would for the organic failure.
+//
+// Arming is per-site and policy-driven:
+//   * Policy::EveryHit()            — fire on every traversal;
+//   * Policy::NthHit(n)             — fire on the n-th traversal only
+//                                     (1-based; deterministic mid-batch
+//                                     failures);
+//   * Policy::Probability(pm, seed) — fire on ~pm/1000 of traversals, decided
+//                                     by the seeded SplitMix64 stream from
+//                                     util/schedule_fuzz.h, so a failing seed
+//                                     replays the same firing sequence.
+//
+// Sites can also be armed from the environment (REED_FAULT, see ApplySpec)
+// for whole-binary experiments without recompiling callers. Every firing is
+// reported through an optional hook; obs/fault_metrics.cc installs one that
+// bumps the `fault.<site>.fired` counter in the metrics registry (util
+// itself stays obs-free, same function-pointer pattern as the lock
+// profiler). The sweep harness (tests/fault_sweep_test.cc) enumerates every
+// site in tests/fault_sweep_manifest.h, fires each mid-drive, and
+// tools/lint/failpath_lint.py cross-checks that every REED_FAULT_POINT in
+// src/ appears in that manifest.
+//
+// The registry itself is tiny and compiled unconditionally so tests can
+// exercise policies in any build; only the macro is flag-gated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace reed::fault {
+
+// Thrown when an armed site fires. The site name rides in both what() and
+// site() so tests can assert exactly which point unwound the operation.
+class FaultError : public Error {
+ public:
+  explicit FaultError(const std::string& site)
+      : Error("fault injected at " + site), site_(site) {}
+
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+struct Policy {
+  enum class Mode : std::uint8_t {
+    kOff = 0,
+    kEveryHit = 1,
+    kNthHit = 2,
+    kProbability = 3,
+  };
+
+  Mode mode = Mode::kOff;
+  std::uint64_t n = 0;         // kNthHit: 1-based firing hit
+  std::uint32_t permille = 0;  // kProbability: firings per 1000 hits
+  std::uint64_t seed = 0;      // kProbability: stream seed
+
+  [[nodiscard]] static Policy Off() { return {}; }
+  [[nodiscard]] static Policy EveryHit() {
+    Policy p;
+    p.mode = Mode::kEveryHit;
+    return p;
+  }
+  [[nodiscard]] static Policy NthHit(std::uint64_t nth) {
+    Policy p;
+    p.mode = Mode::kNthHit;
+    p.n = nth;
+    return p;
+  }
+  [[nodiscard]] static Policy Probability(std::uint32_t permille,
+                                          std::uint64_t seed) {
+    Policy p;
+    p.mode = Mode::kProbability;
+    p.permille = permille;
+    p.seed = seed;
+    return p;
+  }
+};
+
+// Pure firing decision for one traversal: hit_number is 1-based, site_hash
+// is FNV-1a of the site name. Exposed so tests can pin determinism without
+// arming a live site.
+[[nodiscard]] bool PolicyFires(const Policy& policy, std::uint64_t hit_number,
+                               std::uint64_t site_hash);
+
+// Arm `site` with `policy` (replacing any previous policy; creates the
+// registry entry if no REED_FAULT_POINT has traversed it yet). Disarm resets
+// one site to Off; DisarmAll resets every site.
+void Arm(const std::string& site, const Policy& policy);
+void Disarm(const std::string& site);
+void DisarmAll();
+
+// RAII arm/disarm, for tests.
+class ScopedFault {
+ public:
+  ScopedFault(std::string site, const Policy& policy) : site_(std::move(site)) {
+    Arm(site_, policy);
+  }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+  ~ScopedFault() { Disarm(site_); }
+
+ private:
+  std::string site_;
+};
+
+struct SiteStats {
+  std::string site;
+  std::uint64_t hits = 0;   // traversals (armed or not)
+  std::uint64_t fired = 0;  // traversals that threw
+};
+
+// Snapshot of every registered site, sorted by name.
+[[nodiscard]] std::vector<SiteStats> Stats();
+
+// Zero all hit/fired counters (policies stay armed).
+void ResetCounters();
+
+// Parse and apply one or more `;`-separated arm specs:
+//   <site>                      arm EveryHit
+//   <site>:nth=<N>              arm NthHit(N)
+//   <site>:prob=<permille>[,<seed>]   arm Probability
+// Throws reed::Error on a malformed spec. The REED_FAULT environment
+// variable, if set, is applied through this on first registry access.
+void ApplySpec(const std::string& spec);
+
+// Per-firing observer (site name), invoked outside all fault-registry locks.
+// obs/fault_metrics.cc installs the metrics hook; nullptr uninstalls.
+using FiredHook = void (*)(const char* site);
+void SetFiredHook(FiredHook hook);
+
+namespace detail {
+
+struct Site;  // defined in fault_inject.cc
+
+// Find-or-create the site record (applies any pending env/programmatic
+// policy). Called once per REED_FAULT_POINT via a function-local static.
+[[nodiscard]] Site* RegisterSite(const char* name);
+
+// Count one traversal; true when the armed policy says this hit fires.
+[[nodiscard]] bool ShouldFire(Site* site);
+
+// Bump the fired counter, invoke the hook, throw FaultError(site name).
+[[noreturn]] void FireAndThrow(Site* site);
+
+}  // namespace detail
+
+}  // namespace reed::fault
+
+// The site macro. Compiles to nothing without -DREED_FAULT_INJECT=ON, so
+// production builds carry zero overhead; in a fault build each traversal is
+// one relaxed counter increment plus an atomic mode load. Place sites
+// OUTSIDE lock scopes: a firing throws, and the metrics hook touches the obs
+// registry.
+#if defined(REED_FAULT_INJECT)
+#define REED_FAULT_POINT(name)                                        \
+  do {                                                                \
+    static ::reed::fault::detail::Site* reed_fault_site_ =            \
+        ::reed::fault::detail::RegisterSite(name);                    \
+    if (::reed::fault::detail::ShouldFire(reed_fault_site_)) {        \
+      ::reed::fault::detail::FireAndThrow(reed_fault_site_);          \
+    }                                                                 \
+  } while (0)
+#else
+#define REED_FAULT_POINT(name) \
+  do {                         \
+  } while (0)
+#endif

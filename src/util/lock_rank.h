@@ -59,6 +59,11 @@ enum class LockRank : std::uint16_t {
   kNetServerSessions = 500,  // TcpServer session list
   kNetLink = 510,            // SimulatedLink bandwidth model
 
+  // fault injection: site registration happens lazily at the first
+  // traversal of a REED_FAULT_POINT, which may sit anywhere on the data
+  // path — near-leaf for the same reason as the obs registry.
+  kFaultRegistry = 590,
+
   // observability: metric registration happens lazily under data locks all
   // over the tree, so the registry must be acquirable while holding almost
   // anything — hence the near-leaf rank.
@@ -100,6 +105,8 @@ constexpr const char* LockRankName(LockRank rank) {
       return "net.server_sessions";
     case LockRank::kNetLink:
       return "net.link";
+    case LockRank::kFaultRegistry:
+      return "util.fault_registry";
     case LockRank::kObsRegistry:
       return "obs.registry";
     case LockRank::kIoChannel:
@@ -110,14 +117,15 @@ constexpr const char* LockRankName(LockRank rank) {
 
 // Every rank except kUnranked, for eager metric registration
 // (obs/lock_metrics.cc resolves one wait + one held histogram per rank).
-inline constexpr std::array<LockRank, 14> kAllLockRanks = {
+inline constexpr std::array<LockRank, 15> kAllLockRanks = {
     LockRank::kServerStats,      LockRank::kServerIngest,
     LockRank::kStoreShard,       LockRank::kStoreContainer,
     LockRank::kKeyManagerState,  LockRank::kAbeAttrCache,
     LockRank::kThreadPool,       LockRank::kLruCache,
     LockRank::kRateLimiter,      LockRank::kCryptoRng,
     LockRank::kNetServerSessions, LockRank::kNetLink,
-    LockRank::kObsRegistry,      LockRank::kIoChannel,
+    LockRank::kFaultRegistry,    LockRank::kObsRegistry,
+    LockRank::kIoChannel,
 };
 
 }  // namespace reed

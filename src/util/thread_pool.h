@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/fault_inject.h"
 #include "util/thread_annotations.h"
 
 namespace reed {
@@ -46,6 +47,7 @@ class ThreadPool {
   // Dropping the future silently swallows that exception, hence nodiscard.
   template <typename F>
   [[nodiscard]] std::future<void> Submit(F&& f) {
+    REED_FAULT_POINT("util.thread_pool.submit");
     auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
     std::future<void> fut = task->get_future();
     {
@@ -69,13 +71,29 @@ class ThreadPool {
     std::vector<std::future<void>> futures;
     futures.reserve(parts);
     std::size_t chunk = (count + parts - 1) / parts;
-    for (std::size_t p = 0; p < parts; ++p) {
-      std::size_t begin = p * chunk;
-      std::size_t end = std::min(count, begin + chunk);
-      if (begin >= end) break;
-      futures.push_back(Submit([&body, begin, end] {
-        for (std::size_t i = begin; i < end; ++i) body(i);
-      }));
+    try {
+      for (std::size_t p = 0; p < parts; ++p) {
+        std::size_t begin = p * chunk;
+        std::size_t end = std::min(count, begin + chunk);
+        if (begin >= end) break;
+        futures.push_back(Submit([&body, begin, end] {
+          for (std::size_t i = begin; i < end; ++i) body(i);
+        }));
+      }
+    } catch (...) {
+      // A mid-loop Submit failure must not leave queued tasks holding a
+      // reference to `body` past this frame: join what was enqueued (their
+      // results are moot — the whole ParallelFor fails), then rethrow the
+      // submit error.
+      std::exception_ptr submit_error = std::current_exception();
+      for (auto& f : futures) {
+        try {
+          f.get();
+        } catch (...) {
+          DiscardResult(std::current_exception());
+        }
+      }
+      std::rethrow_exception(submit_error);
     }
     std::exception_ptr first_error;
     for (auto& f : futures) {

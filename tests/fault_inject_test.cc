@@ -1,0 +1,240 @@
+// Unit tests for util/fault_inject.h: policy determinism, spec parsing,
+// arm/disarm lifecycle, counters, and the fired hook. The registry is
+// compiled unconditionally, so everything except the REED_FAULT_POINT macro
+// tests runs in every build mode.
+#include "util/fault_inject.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/fault_metrics.h"
+#include "obs/metrics.h"
+#include "util/schedule_fuzz.h"
+
+namespace reed::fault {
+namespace {
+
+TEST(FaultPolicyTest, OffNeverFires) {
+  for (std::uint64_t hit = 1; hit <= 100; ++hit) {
+    EXPECT_FALSE(PolicyFires(Policy::Off(), hit, 123));
+  }
+}
+
+TEST(FaultPolicyTest, EveryHitAlwaysFires) {
+  for (std::uint64_t hit = 1; hit <= 100; ++hit) {
+    EXPECT_TRUE(PolicyFires(Policy::EveryHit(), hit, 123));
+  }
+}
+
+TEST(FaultPolicyTest, NthHitFiresExactlyOnNth) {
+  Policy p = Policy::NthHit(7);
+  for (std::uint64_t hit = 1; hit <= 20; ++hit) {
+    EXPECT_EQ(PolicyFires(p, hit, 123), hit == 7) << hit;
+  }
+}
+
+TEST(FaultPolicyTest, ProbabilityIsDeterministicPerSeedSiteAndHit) {
+  const std::uint64_t site_hash = schedfuzz::detail::Fnv1a("some.site");
+  Policy p = Policy::Probability(250, 42);
+  for (std::uint64_t hit = 1; hit <= 200; ++hit) {
+    EXPECT_EQ(PolicyFires(p, hit, site_hash), PolicyFires(p, hit, site_hash));
+  }
+}
+
+TEST(FaultPolicyTest, ProbabilityRateIsRoughlyPermille) {
+  const std::uint64_t site_hash = schedfuzz::detail::Fnv1a("rate.site");
+  Policy p = Policy::Probability(250, 9);
+  int fired = 0;
+  const int kHits = 4000;
+  for (int hit = 1; hit <= kHits; ++hit) {
+    if (PolicyFires(p, static_cast<std::uint64_t>(hit), site_hash)) ++fired;
+  }
+  // ~250/1000 of 4000 = 1000 expected; allow a wide deterministic band.
+  EXPECT_GT(fired, 700);
+  EXPECT_LT(fired, 1300);
+}
+
+TEST(FaultPolicyTest, ProbabilityZeroAndFullPermille) {
+  const std::uint64_t site_hash = schedfuzz::detail::Fnv1a("edge.site");
+  for (std::uint64_t hit = 1; hit <= 50; ++hit) {
+    EXPECT_FALSE(PolicyFires(Policy::Probability(0, 1), hit, site_hash));
+    EXPECT_TRUE(PolicyFires(Policy::Probability(1000, 1), hit, site_hash));
+  }
+}
+
+TEST(FaultPolicyTest, DifferentSeedsGiveDifferentFiringSequences) {
+  const std::uint64_t site_hash = schedfuzz::detail::Fnv1a("seed.site");
+  Policy a = Policy::Probability(500, 1);
+  Policy b = Policy::Probability(500, 2);
+  int diffs = 0;
+  for (std::uint64_t hit = 1; hit <= 200; ++hit) {
+    if (PolicyFires(a, hit, site_hash) != PolicyFires(b, hit, site_hash)) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(FaultRegistryTest, ArmedSiteFiresViaShouldFire) {
+  detail::Site* site = detail::RegisterSite("test.registry.everyhit");
+  EXPECT_FALSE(detail::ShouldFire(site));  // disarmed
+  Arm("test.registry.everyhit", Policy::EveryHit());
+  EXPECT_TRUE(detail::ShouldFire(site));
+  Disarm("test.registry.everyhit");
+  EXPECT_FALSE(detail::ShouldFire(site));
+}
+
+TEST(FaultRegistryTest, NthHitCountsTraversals) {
+  detail::Site* site = detail::RegisterSite("test.registry.nth");
+  ResetCounters();
+  Arm("test.registry.nth", Policy::NthHit(3));
+  EXPECT_FALSE(detail::ShouldFire(site));
+  EXPECT_FALSE(detail::ShouldFire(site));
+  EXPECT_TRUE(detail::ShouldFire(site));
+  EXPECT_FALSE(detail::ShouldFire(site));
+  Disarm("test.registry.nth");
+}
+
+TEST(FaultRegistryTest, ScopedFaultDisarmsOnExit) {
+  detail::Site* site = detail::RegisterSite("test.registry.scoped");
+  {
+    ScopedFault armed("test.registry.scoped", Policy::EveryHit());
+    EXPECT_TRUE(detail::ShouldFire(site));
+  }
+  EXPECT_FALSE(detail::ShouldFire(site));
+}
+
+TEST(FaultRegistryTest, StatsReportHitsAndFired) {
+  detail::Site* site = detail::RegisterSite("test.registry.stats");
+  ResetCounters();
+  ScopedFault armed("test.registry.stats", Policy::EveryHit());
+  EXPECT_TRUE(detail::ShouldFire(site));
+  EXPECT_THROW(detail::FireAndThrow(site), FaultError);
+  bool found = false;
+  for (const auto& s : Stats()) {
+    if (s.site == "test.registry.stats") {
+      found = true;
+      EXPECT_EQ(s.hits, 1u);
+      EXPECT_EQ(s.fired, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FaultRegistryTest, FireAndThrowCarriesSiteAndBumpsObsCounter) {
+  detail::Site* site = detail::RegisterSite("test.registry.throwsite");
+  // Force the metrics hook installation (idempotent) before firing.
+  obs::InstallFaultCounters(obs::Registry::Global());
+  auto& counter = obs::Registry::Global().GetCounter(
+      "fault.test.registry.throwsite.fired");
+  const std::uint64_t before = counter.value();
+  try {
+    detail::FireAndThrow(site);
+    FAIL() << "FireAndThrow returned";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.site(), "test.registry.throwsite");
+    EXPECT_NE(std::string(e.what()).find("test.registry.throwsite"),
+              std::string::npos);
+  }
+  EXPECT_EQ(counter.value(), before + 1);
+}
+
+TEST(FaultSpecTest, BareSiteArmsEveryHit) {
+  detail::Site* site = detail::RegisterSite("test.spec.bare");
+  ApplySpec("test.spec.bare");
+  EXPECT_TRUE(detail::ShouldFire(site));
+  Disarm("test.spec.bare");
+}
+
+TEST(FaultSpecTest, ExplicitEveryAndNthAndProb) {
+  detail::Site* every = detail::RegisterSite("test.spec.every");
+  detail::Site* nth = detail::RegisterSite("test.spec.nth");
+  ResetCounters();
+  ApplySpec("test.spec.every:every;test.spec.nth:nth=2;test.spec.prob:prob=1000,5");
+  EXPECT_TRUE(detail::ShouldFire(every));
+  EXPECT_FALSE(detail::ShouldFire(nth));
+  EXPECT_TRUE(detail::ShouldFire(nth));
+  detail::Site* prob = detail::RegisterSite("test.spec.prob");
+  EXPECT_TRUE(detail::ShouldFire(prob));  // permille=1000 always fires
+  DisarmAll();
+}
+
+TEST(FaultSpecTest, EmptyEntriesAreSkipped) {
+  detail::Site* site = detail::RegisterSite("test.spec.skip");
+  ApplySpec(";;test.spec.skip;;");
+  EXPECT_TRUE(detail::ShouldFire(site));
+  Disarm("test.spec.skip");
+}
+
+TEST(FaultSpecTest, MalformedSpecsThrow) {
+  EXPECT_THROW(ApplySpec(":every"), Error);
+  EXPECT_THROW(ApplySpec("x:bogus"), Error);
+  EXPECT_THROW(ApplySpec("x:nth=0"), Error);
+  EXPECT_THROW(ApplySpec("x:nth=abc"), Error);
+  EXPECT_THROW(ApplySpec("x:nth="), Error);
+  EXPECT_THROW(ApplySpec("x:prob=2000"), Error);
+  EXPECT_THROW(ApplySpec("x:prob=10,zz"), Error);
+}
+
+TEST(FaultHookTest, HookObservesFiringsAndUninstalls) {
+  static std::string last_site;
+  last_site.clear();
+  SetFiredHook([](const char* site) { last_site = site; });
+  detail::Site* site = detail::RegisterSite("test.hook.site");
+  EXPECT_THROW(detail::FireAndThrow(site), FaultError);
+  EXPECT_EQ(last_site, "test.hook.site");
+  SetFiredHook(nullptr);
+  last_site.clear();
+  EXPECT_THROW(detail::FireAndThrow(site), FaultError);
+  EXPECT_TRUE(last_site.empty());
+  // Restore the process-wide metrics hook for any later test in this binary.
+  obs::InstallFaultCounters(obs::Registry::Global());
+}
+
+#if defined(REED_FAULT_INJECT)
+
+TEST(FaultMacroTest, DisarmedSiteIsANoOpThatCounts) {
+  ResetCounters();
+  DisarmAll();
+  auto traverse = [] { REED_FAULT_POINT("test.macro.noop"); };
+  EXPECT_NO_THROW(traverse());
+  EXPECT_NO_THROW(traverse());
+  for (const auto& s : Stats()) {
+    if (s.site == "test.macro.noop") {
+      EXPECT_EQ(s.hits, 2u);
+      EXPECT_EQ(s.fired, 0u);
+    }
+  }
+}
+
+TEST(FaultMacroTest, ArmedSiteThrowsFaultError) {
+  ScopedFault armed("test.macro.armed", Policy::EveryHit());
+  auto traverse = [] { REED_FAULT_POINT("test.macro.armed"); };
+  EXPECT_THROW(traverse(), FaultError);
+}
+
+TEST(FaultMacroTest, NthHitFiresMidSequence) {
+  ResetCounters();
+  ScopedFault armed("test.macro.nth", Policy::NthHit(3));
+  auto traverse = [] { REED_FAULT_POINT("test.macro.nth"); };
+  EXPECT_NO_THROW(traverse());
+  EXPECT_NO_THROW(traverse());
+  EXPECT_THROW(traverse(), FaultError);
+  EXPECT_NO_THROW(traverse());
+}
+
+#else
+
+TEST(FaultMacroTest, CompiledOutMacroDoesNotRegister) {
+  ResetCounters();
+  REED_FAULT_POINT("test.macro.compiled_out");
+  for (const auto& s : Stats()) {
+    EXPECT_NE(s.site, "test.macro.compiled_out");
+  }
+}
+
+#endif  // REED_FAULT_INJECT
+
+}  // namespace
+}  // namespace reed::fault

@@ -1,0 +1,39 @@
+// The fault-site manifest: every REED_FAULT_POINT site planted in src/,
+// sorted by name. The sweep harness (fault_sweep_test.cc) walks this list,
+// arming each site mid-drive; tools/lint/failpath_lint.py cross-checks it
+// against a raw-text scan of src/ in BOTH directions, so a site added to the
+// code without a manifest entry (or vice versa) fails the lint.
+#pragma once
+
+#include <array>
+
+namespace reed::testing {
+
+inline constexpr std::array<const char*, 24> kFaultSites = {
+    "aont.encode",
+    "client.download.decode",
+    "client.download.fetch",
+    "client.get_chunks.batch",
+    "client.put_chunks.batch",
+    "client.rpc.call",
+    "client.upload.encode",
+    "client.upload.store",
+    "keymanager.get_keys",
+    "keymanager.sign_batch",
+    "net.link.transfer",
+    "net.rpc.call",
+    "net.wire.read",
+    "net.wire.write",
+    "server.chunks.read",
+    "server.ingest.chunk",
+    "server.rpc.dispatch",
+    "store.container.append",
+    "store.index.insert",
+    "store.index.lookup",
+    "store.object.get",
+    "store.object.put",
+    "store.recipe.decode",
+    "util.thread_pool.submit",
+};
+
+}  // namespace reed::testing

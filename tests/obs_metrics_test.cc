@@ -8,6 +8,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <stdexcept>
+#include <utility>
 #include <thread>
 #include <vector>
 
@@ -214,6 +216,70 @@ TEST(ObsRenderText, MentionsEveryMetric) {
   EXPECT_NE(text.find("test.render.counter"), std::string::npos);
   EXPECT_NE(text.find("test.render.hist_us"), std::string::npos);
   EXPECT_NE(text.find('7'), std::string::npos);
+}
+
+TEST(ObsGaugeGuard, IncrementsAndReleasesOnEveryExitPath) {
+  Gauge g;
+  {
+    GaugeGuard guard(g);
+    EXPECT_EQ(g.value(), 1);
+  }
+  EXPECT_EQ(g.value(), 0);
+  try {
+    GaugeGuard guard(g);
+    EXPECT_EQ(g.value(), 1);
+    throw std::runtime_error("unwind");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(g.value(), 0) << "guard leaked its increment across an unwind";
+}
+
+TEST(ObsGaugeGuard, CustomDelta) {
+  Gauge g;
+  {
+    GaugeGuard guard(g, 5);
+    EXPECT_EQ(g.value(), 5);
+  }
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(ObsGaugeGuard, ReleaseIsIdempotent) {
+  Gauge g;
+  GaugeGuard guard(g);
+  guard.Release();
+  EXPECT_EQ(g.value(), 0);
+  guard.Release();  // no double decrement
+  EXPECT_EQ(g.value(), 0);
+}  // destructor after Release: still no decrement
+
+TEST(ObsGaugeGuard, MoveTransfersOwnershipWithoutDoubleRelease) {
+  Gauge g;
+  {
+    GaugeGuard outer(g);
+    {
+      GaugeGuard inner(std::move(outer));
+      EXPECT_EQ(g.value(), 1);
+    }  // inner releases
+    EXPECT_EQ(g.value(), 0);
+  }  // moved-from outer must not release again
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(ObsGaugeGuard, MoveAssignReleasesTheOldGauge) {
+  Gauge a;
+  Gauge b;
+  GaugeGuard guard_a(a);
+  {
+    GaugeGuard guard_b(b);
+    EXPECT_EQ(a.value(), 1);
+    EXPECT_EQ(b.value(), 1);
+    guard_a = std::move(guard_b);  // releases a, takes over b
+    EXPECT_EQ(a.value(), 0);
+    EXPECT_EQ(b.value(), 1);
+  }  // moved-from guard_b: no-op
+  EXPECT_EQ(b.value(), 1);
+  guard_a.Release();
+  EXPECT_EQ(b.value(), 0);
 }
 
 }  // namespace

@@ -2,7 +2,7 @@
 # Local CI gate: build + test matrix across sanitizer and static-analysis
 # modes, plus the Python lints. Run from anywhere inside the repo:
 #
-#   tools/ci/check.sh                  # full matrix: plain, asan+ubsan, tsan, tsa, taint, lock, deadlock, tidy
+#   tools/ci/check.sh                  # full matrix: plain, asan+ubsan, tsan, tsa, taint, lock, failpath, deadlock, faults, tidy
 #   tools/ci/check.sh plain            # one mode only
 #   tools/ci/check.sh asan tsa         # subset
 #   tools/ci/check.sh --keep-going     # run every mode even after a failure
@@ -26,10 +26,18 @@
 #   lock      lock-discipline lint: blocking calls under a lock, bare
 #             CondVar::Wait outside a predicate loop, unranked mutex
 #             declarations (pure Python, no build tree).
+#   failpath  exception-hygiene lint: untyped throws, swallowed catches,
+#             throws in dtors/noexcept, manual gauge dances, and the
+#             fault-site manifest cross-check (pure Python, no build tree).
 #   deadlock  REED_DEADLOCK_DETECT=ON build (runtime lock-rank + lock-order
 #             cycle detection compiled into every reed::Mutex) + the
 #             quick-label test suite. Any rank violation or cycle aborts the
 #             offending test.
+#   faults    REED_FAULT_INJECT=ON build (named fault points compiled into
+#             the data path) + the quick suite and the failure-path sweep
+#             (tests/fault_sweep_test.cc): every site armed mid-drive must
+#             propagate typed, drain gauges, leave dedup state consistent,
+#             and survive a disarmed retry.
 #   tidy      clang-tidy over the compile database, warnings-as-errors
 #             (skipped with a notice when clang-tidy is absent).
 #
@@ -51,7 +59,7 @@ for arg in "$@"; do
   esac
 done
 if [[ ${#MODES[@]} -eq 0 ]]; then
-  MODES=(plain asan tsan tsa taint lock deadlock tidy)
+  MODES=(plain asan tsan tsa taint lock failpath deadlock faults tidy)
 fi
 
 GENERATOR_ARGS=()
@@ -134,6 +142,14 @@ run_mode() {
       python3 tools/lint/lock_lint.py --root . src
       return 0
       ;;
+    failpath)
+      # No build tree needed: pure Python over src/ (the manifest
+      # cross-check also reads tests/fault_sweep_manifest.h).
+      echo "=== [failpath] exception-hygiene lint ==="
+      python3 tools/lint/failpath_lint.py --self-test
+      python3 tools/lint/failpath_lint.py --root . src
+      return 0
+      ;;
     deadlock)
       # Debug build with the runtime lock-rank/cycle detector compiled into
       # every reed::Mutex acquisition; the quick suite then exercises every
@@ -142,6 +158,13 @@ run_mode() {
       # consistent with every ordering the suite actually executes.
       cmake_args=(-DREED_SANITIZE=none -DREED_DEADLOCK_DETECT=ON)
       test_args=(-L quick)
+      ;;
+    faults)
+      # Fault-point build: the sweep (label `fault`) arms every site in the
+      # manifest mid-drive; the quick label keeps the unit suites alongside
+      # to prove the disarmed points are inert.
+      cmake_args=(-DREED_SANITIZE=none -DREED_FAULT_INJECT=ON)
+      test_args=(-L "quick|fault")
       ;;
     tidy)
       if ! command -v clang-tidy > /dev/null 2>&1; then
@@ -155,7 +178,7 @@ run_mode() {
       build_only=1
       ;;
     *)
-      echo "unknown mode: ${mode} (expected plain|nodiscard|asan|tsan|tsa|taint|lock|deadlock|tidy)" >&2
+      echo "unknown mode: ${mode} (expected plain|nodiscard|asan|tsan|tsa|taint|lock|failpath|deadlock|faults|tidy)" >&2
       exit 2
       ;;
   esac
@@ -212,6 +235,10 @@ python3 tools/lint/taint_lint.py --root . src
 echo "=== lock-discipline lint ==="
 python3 tools/lint/lock_lint.py --self-test
 python3 tools/lint/lock_lint.py --root . src
+
+echo "=== exception-hygiene lint ==="
+python3 tools/lint/failpath_lint.py --self-test
+python3 tools/lint/failpath_lint.py --root . src
 
 # Per-mode verdicts, reported in a summary table whether or not the matrix
 # ran to completion. The subshell re-enables errexit so a mid-mode failure

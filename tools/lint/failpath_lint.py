@@ -1,0 +1,340 @@
+#!/usr/bin/env python3
+"""Exception-hygiene lint for REED sources (DESIGN.md §8).
+
+The fault sweep (tests/fault_sweep_test.cc) proves the failure paths that
+RUN behave; this lint constrains the failure paths that are WRITTEN:
+
+  raw-throw           a throw whose operand is not a reed error type. Every
+                      deliberate failure must be a reed::Error subclass
+                      (util/error.h taxonomy: StoreError, WireError,
+                      NetError, CryptoError, KeyManagerError, FaultError,
+                      ...) so callers can catch `const Error&` at the API
+                      boundary and the sweep's typed-propagation invariant
+                      holds. Lexically: the thrown expression must start
+                      with a type whose name ends in `Error`; `throw;`
+                      (rethrow) is always fine.
+
+  catch-all-swallow   `catch (...)` that neither rethrows (`throw;`,
+                      std::rethrow_exception) nor captures
+                      std::current_exception(). A catch-all that drops the
+                      exception on the floor erases failures the sweep
+                      exists to observe.
+
+  silent-swallow      a typed catch that does not rethrow and never
+                      examines what it caught — either the clause binds no
+                      name (`catch (const Error&)`) or the bound name is
+                      never mentioned in the body. Swallowing a typed error
+                      is occasionally correct (a detached serving loop has
+                      no caller to rethrow to) but must be audited: count
+                      it via an errors.swallowed.<site> counter and
+                      allowlist the site with the rationale.
+
+  empty-catch         a catch with an empty body: the error is not even
+                      counted. Never correct in this tree.
+
+  throw-in-dtor       a lexical throw inside a destructor body. Destructors
+                      run during unwinds; throwing there is terminate().
+
+  throw-in-noexcept   a lexical throw inside a function whose signature is
+                      `noexcept {` / `noexcept(true) {`. Also terminate().
+
+  gauge-dance         a catch body that manually decrements a gauge
+                      (`.Add(-`/`->Add(-`). The manual raise/try/lower
+                      dance leaks the gauge on any exit path the author
+                      forgot; use the RAII obs::GaugeGuard instead.
+
+  fault-manifest      cross-check (runs only when linting the default src
+                      tree): the REED_FAULT_POINT sites planted in src/ and
+                      the manifest array in tests/fault_sweep_manifest.h
+                      must agree in BOTH directions, so every planted site
+                      is swept and every swept site exists. This scan reads
+                      RAW text (sites live inside string literals, which
+                      strip_comments_and_strings blanks).
+
+Catch-body analysis is lexical (regex + brace matching); a nested try/catch
+inside a catch body can make the outer catch look handled. That costs
+precision, not soundness of the workflow: the fixtures pin the behaviour and
+the allowlist records the audited exceptions.
+
+Usage:
+  failpath_lint.py [--root REPO] [--allowlist FILE] [PATHS...]  # lint (default: src)
+  failpath_lint.py --self-test                                  # run fixture suite
+"""
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from crypto_lint import (  # noqa: E402  (shared helpers, single source of truth)
+    Finding,
+    collect_files,
+    load_allowlist,
+    strip_comments_and_strings,
+)
+
+RULES = ("raw-throw", "catch-all-swallow", "silent-swallow", "empty-catch",
+         "throw-in-dtor", "throw-in-noexcept", "gauge-dance",
+         "fault-manifest")
+
+THROW_RE = re.compile(r"\bthrow\b")
+# `throw <head>` where head is the (possibly qualified) start of the thrown
+# expression. Rethrow-of-a-name (`throw e;`) is caught too: it slices.
+THROW_HEAD_RE = re.compile(r"\bthrow\s+((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*)")
+REED_ERROR_RE = re.compile(r"^(?:[A-Z]\w*)?Error$")
+
+CATCH_RE = re.compile(r"\bcatch\s*\(([^)]*)\)\s*\{")
+CLAUSE_RE = re.compile(
+    r"^(?:const\s+)?((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*)"
+    r"\s*[&*]?\s*([A-Za-z_]\w*)?$")
+RETHROW_RE = re.compile(r"\bthrow\s*;|rethrow_exception|current_exception")
+GAUGE_DEC_RE = re.compile(r"(?:\.|->)\s*Add\s*\(\s*-")
+
+DTOR_RE = re.compile(r"~[A-Za-z_]\w*\s*\(\s*\)\s*(?:noexcept\s*)?"
+                     r"(?:override\s*)?(?:REED_\w+\s*\(\s*\)\s*)?\{")
+# Only unconditional noexcept: `noexcept {` / `noexcept(true) {`.
+# noexcept(false) and conditional noexcept(expr) may legitimately throw.
+NOEXCEPT_RE = re.compile(r"\bnoexcept\b\s*(?:\(\s*true\s*\))?\s*"
+                         r"(?:override\s*)?\{")
+
+MANIFEST_REL = os.path.join("tests", "fault_sweep_manifest.h")
+FAULT_POINT_RE = re.compile(r'REED_FAULT_POINT\(\s*"([^"]+)"\s*\)')
+QUOTED_RE = re.compile(r'"([^"]+)"')
+
+
+def line_of(text, idx):
+    return text.count("\n", 0, idx) + 1
+
+
+def matching_brace(text, open_idx):
+    """Index just past the `}` matching the `{` at open_idx (or len(text))."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def short_type(qualified):
+    return re.sub(r"\s", "", qualified).split("::")[-1]
+
+
+def lint_text(path, raw):
+    text = strip_comments_and_strings(raw)
+    findings = []
+
+    # --- throws --------------------------------------------------------
+    for m in THROW_HEAD_RE.finditer(text):
+        head = short_type(m.group(1))
+        if not REED_ERROR_RE.match(head):
+            findings.append(Finding(
+                path, line_of(text, m.start()), "raw-throw", head,
+                f"thrown operand `{head}` is not a reed error type; throw a "
+                "reed::Error subclass (util/error.h) so the failure stays "
+                "typed all the way to the client API"))
+
+    # --- throws inside dtors / noexcept functions ----------------------
+    for scope_re, rule, what in ((DTOR_RE, "throw-in-dtor", "destructor"),
+                                 (NOEXCEPT_RE, "throw-in-noexcept",
+                                  "noexcept function")):
+        for m in scope_re.finditer(text):
+            open_idx = text.index("{", m.start())
+            body = text[open_idx:matching_brace(text, open_idx)]
+            t = THROW_RE.search(body)
+            if t:
+                findings.append(Finding(
+                    path, line_of(text, open_idx + t.start()), rule, "throw",
+                    f"throw inside a {what} is std::terminate during an "
+                    "unwind; report through a counter or error state "
+                    "instead"))
+
+    # --- catch clauses -------------------------------------------------
+    for m in CATCH_RE.finditer(text):
+        clause = m.group(1).strip()
+        open_idx = m.end() - 1
+        body = text[open_idx + 1:matching_brace(text, open_idx) - 1]
+        lineno = line_of(text, m.start())
+        handled = bool(RETHROW_RE.search(body))
+
+        g = GAUGE_DEC_RE.search(body)
+        if g:
+            findings.append(Finding(
+                path, line_of(text, open_idx + 1 + g.start()), "gauge-dance",
+                "manual-gauge",
+                "manual gauge decrement in a catch body; the raise/try/"
+                "lower dance leaks on forgotten exit paths — use the RAII "
+                "obs::GaugeGuard"))
+
+        if clause == "...":
+            if not body.strip():
+                findings.append(Finding(
+                    path, lineno, "empty-catch", "catch-all",
+                    "empty catch(...) drops the exception without even "
+                    "counting it"))
+            elif not handled:
+                findings.append(Finding(
+                    path, lineno, "catch-all-swallow", "catch-all",
+                    "catch(...) without throw;/rethrow_exception/"
+                    "current_exception erases the failure; rethrow or "
+                    "capture the exception_ptr"))
+            continue
+
+        cm = CLAUSE_RE.match(clause)
+        if not cm:
+            continue  # exotic clause; not this lint's business
+        token = short_type(cm.group(1))
+        name = cm.group(2)
+        if not body.strip():
+            findings.append(Finding(
+                path, lineno, "empty-catch", token,
+                f"empty catch ({token}) drops the error without even "
+                "counting it"))
+        elif not handled and (
+                not name or not re.search(rf"\b{name}\b", body)):
+            findings.append(Finding(
+                path, lineno, "silent-swallow", token,
+                f"typed catch ({token}) neither rethrows nor examines the "
+                "error; if swallowing is the design, count it via an "
+                "errors.swallowed.<site> counter and allowlist the site "
+                "with the audit rationale"))
+
+    # Nested catches can make one physical line carry duplicate findings;
+    # report each (line, rule, token) once.
+    seen = set()
+    unique = []
+    for f in findings:
+        k = (f.line, f.rule, f.token)
+        if k not in seen:
+            seen.add(k)
+            unique.append(f)
+    return unique
+
+
+def check_manifest(root):
+    """Both-direction cross-check of planted sites vs the sweep manifest."""
+    findings = []
+    manifest_path = os.path.join(root, MANIFEST_REL)
+    if not os.path.exists(manifest_path):
+        return [Finding(MANIFEST_REL, 1, "fault-manifest", "missing",
+                        "fault-site manifest not found")]
+    with open(manifest_path, encoding="utf-8") as f:
+        manifest_raw = f.read()
+    manifest = {}
+    for m in QUOTED_RE.finditer(manifest_raw):
+        manifest[m.group(1)] = line_of(manifest_raw, m.start())
+
+    planted = {}
+    for full in collect_files(root, ["src"]):
+        rel = os.path.relpath(full, root)
+        with open(full, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        for m in FAULT_POINT_RE.finditer(raw):
+            planted.setdefault(m.group(1), (rel, line_of(raw, m.start())))
+
+    for site, (rel, lineno) in sorted(planted.items()):
+        if site not in manifest:
+            findings.append(Finding(
+                rel, lineno, "fault-manifest", site,
+                f"REED_FAULT_POINT(\"{site}\") has no entry in "
+                f"{MANIFEST_REL}; an unlisted site is never swept"))
+    for site, lineno in sorted(manifest.items()):
+        if site not in planted:
+            findings.append(Finding(
+                MANIFEST_REL, lineno, "fault-manifest", site,
+                f"manifest entry \"{site}\" matches no REED_FAULT_POINT "
+                "in src/"))
+    return findings
+
+
+def run_lint(root, paths, allowlist_path):
+    allow = load_allowlist(allowlist_path)
+    reported = []
+    for full in collect_files(root, paths):
+        rel = os.path.relpath(full, root)
+        with open(full, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        for finding in lint_text(rel, raw):
+            if finding.key() in allow:
+                allow[finding.key()] += 1
+            else:
+                reported.append(finding)
+
+    # The manifest cross-check only makes sense against the real tree, not
+    # when pointing the lint at an individual fixture file.
+    if paths == ["src"]:
+        for finding in check_manifest(root):
+            if finding.key() in allow:
+                allow[finding.key()] += 1
+            else:
+                reported.append(finding)
+
+    for finding in reported:
+        print(finding)
+    stale = [k for k, hits in allow.items() if hits == 0]
+    for k in stale:
+        print(f"note: stale allowlist entry (no longer matches): {k}")
+    if reported:
+        print(f"failpath_lint: {len(reported)} finding(s)")
+        return 1
+    used = sum(1 for hits in allow.values() if hits)
+    print(f"failpath_lint: clean ({used} allowlisted exception(s) in use)")
+    return 0
+
+
+# --------------------------- fixture self-test ---------------------------
+
+EXPECT_RE = re.compile(r"//\s*LINT-EXPECT:\s*([a-z\-]+)")
+
+
+def run_self_test(root):
+    fixture_dir = os.path.join(root, "tools", "lint", "fixtures", "failpath")
+    failures = []
+    files = collect_files(root, [os.path.join("tools", "lint", "fixtures",
+                                              "failpath")])
+    if not files:
+        print(f"failpath_lint --self-test: no fixtures under {fixture_dir}")
+        return 1
+    for full in files:
+        rel = os.path.relpath(full, root)
+        with open(full, encoding="utf-8") as f:
+            raw = f.read()
+        expected = sorted(r for r in EXPECT_RE.findall(raw) if r in RULES)
+        got = sorted(f.rule for f in lint_text(rel, raw))
+        if expected != got:
+            failures.append(f"{rel}: expected {expected or '[clean]'}, "
+                            f"got {got or '[clean]'}")
+    for f in failures:
+        print("FAIL " + f)
+    print(f"failpath_lint --self-test: {len(files) - len(failures)}/"
+          f"{len(files)} fixtures pass")
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--allowlist", default=None,
+                    help="allowlist file "
+                         "(default: tools/lint/failpath_allowlist.txt)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="lint the fixture files and check expectations")
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files/directories relative to --root (default: src)")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    if args.self_test:
+        return run_self_test(root)
+    allowlist = args.allowlist or os.path.join(root, "tools", "lint",
+                                               "failpath_allowlist.txt")
+    return run_lint(root, args.paths or ["src"], allowlist)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+// Fixture: catch(...) that drops the exception without rethrowing or
+// capturing the exception_ptr.
+bool TryLoad();
+
+bool LoadOrDefault() {
+  // LINT-EXPECT: catch-all-swallow
+  try {
+    return TryLoad();
+  } catch (...) {
+    return false;
+  }
+}

@@ -1,0 +1,92 @@
+// Clean fixture: every pattern here is the sanctioned way to fail, handle,
+// or swallow — failpath_lint.py must report nothing.
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+struct Error {
+  explicit Error(std::string m) : msg(std::move(m)) {}
+  const char* what() const { return msg.c_str(); }
+  std::string msg;
+};
+struct StoreError : Error {
+  using Error::Error;
+};
+struct Counter {
+  void Increment() {}
+};
+struct Gauge {
+  void Add(long d) { v += d; }
+  long v = 0;
+};
+// RAII guard: the sanctioned way to track in-flight work across throws.
+struct GaugeGuard {
+  explicit GaugeGuard(Gauge& g) : g_(&g) { g_->Add(1); }
+  ~GaugeGuard() {
+    if (g_) g_->Add(-1);
+  }
+  Gauge* g_;
+};
+
+// Typed throws: reed error types only.
+void Validate(bool ok) {
+  if (!ok) throw Error("validate failed");
+}
+void Persist(bool ok) {
+  if (!ok) throw StoreError("persist failed");
+}
+
+// throw; rethrow is always fine, including the conditional failover shape
+// (swallow intermediate replicas, rethrow the last — and count the masked
+// ones so the swallow stays observable).
+int CallWithFailover(int replicas, Counter& swallowed) {
+  for (int i = 0; i < replicas; ++i) {
+    try {
+      Validate(i == replicas - 1);
+      return i;
+    } catch (const Error&) {
+      if (i + 1 == replicas) throw;
+      swallowed.Increment();
+    }
+  }
+  return -1;
+}
+
+// catch(...) that captures the exception_ptr: handled, not a swallow.
+std::exception_ptr Capture() {
+  std::exception_ptr first;
+  try {
+    Validate(false);
+  } catch (...) {
+    if (!first) first = std::current_exception();
+  }
+  return first;
+}
+
+// catch(...) that rethrows after cleanup: handled.
+void CleanupThenRethrow(Gauge& g) {
+  GaugeGuard inflight(g);
+  try {
+    Persist(false);
+  } catch (...) {
+    g.v = 0;
+    throw;
+  }
+}
+
+// Named typed catch that examines what it caught: handled.
+std::string Describe() {
+  try {
+    Validate(false);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+// A dtor and a noexcept function with no throw in sight.
+struct Session {
+  ~Session() { ++closed; }
+  void Reset() noexcept { closed = 0; }
+  int closed = 0;
+};

@@ -1,0 +1,25 @@
+// Fixture: catches with empty bodies — the error is not even counted.
+#include <string>
+
+struct NetError {
+  explicit NetError(std::string m) : msg(std::move(m)) {}
+  std::string msg;
+};
+
+void Poll();
+
+void IgnoreEverything() {
+  // LINT-EXPECT: empty-catch
+  try {
+    Poll();
+  } catch (...) {
+  }
+}
+
+void IgnoreNetErrors() {
+  // LINT-EXPECT: empty-catch
+  try {
+    Poll();
+  } catch (const NetError&) {
+  }
+}

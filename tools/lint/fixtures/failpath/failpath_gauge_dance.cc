@@ -1,0 +1,20 @@
+// Fixture: the manual raise/try/lower gauge dance — leaks the gauge on any
+// exit path the author forgot; obs::GaugeGuard is the sanctioned pattern.
+struct Gauge {
+  void Add(long d) { v += d; }
+  long v = 0;
+};
+
+void Transfer(Gauge& inflight);
+
+void Call(Gauge& inflight) {
+  inflight.Add(1);
+  // LINT-EXPECT: gauge-dance
+  try {
+    Transfer(inflight);
+  } catch (...) {
+    inflight.Add(-1);
+    throw;
+  }
+  inflight.Add(-1);
+}

@@ -1,0 +1,22 @@
+// Fixture: throws whose operand is not a reed error type.
+#include <stdexcept>
+#include <string>
+
+struct Error {
+  explicit Error(std::string m) : msg(std::move(m)) {}
+  std::string msg;
+};
+
+void Load(bool ok) {
+  // LINT-EXPECT: raw-throw
+  if (!ok) throw std::runtime_error("untyped failure escapes the taxonomy");
+}
+
+void Rewrap() {
+  try {
+    Load(false);
+  } catch (const Error& e) {
+    // LINT-EXPECT: raw-throw  (throw e; slices — use `throw;`)
+    throw e;
+  }
+}

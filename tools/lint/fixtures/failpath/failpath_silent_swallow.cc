@@ -1,0 +1,28 @@
+// Fixture: typed catches that neither rethrow nor examine the error.
+#include <string>
+
+struct Error {
+  explicit Error(std::string m) : msg(std::move(m)) {}
+  std::string msg;
+};
+
+void Probe();
+int drops = 0;
+
+void SwallowUnnamed() {
+  // LINT-EXPECT: silent-swallow  (clause binds no name)
+  try {
+    Probe();
+  } catch (const Error&) {
+    ++drops;
+  }
+}
+
+void SwallowNamedButUnused() {
+  // LINT-EXPECT: silent-swallow  (bound name never examined)
+  try {
+    Probe();
+  } catch (const Error& err) {
+    ++drops;
+  }
+}

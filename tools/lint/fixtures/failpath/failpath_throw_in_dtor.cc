@@ -1,0 +1,15 @@
+// Fixture: a throw inside a destructor — std::terminate during any unwind.
+#include <string>
+
+struct StoreError {
+  explicit StoreError(std::string m) : msg(std::move(m)) {}
+  std::string msg;
+};
+
+struct Flusher {
+  // LINT-EXPECT: throw-in-dtor
+  ~Flusher() {
+    if (dirty) throw StoreError("flush failed in dtor");
+  }
+  bool dirty = false;
+};

@@ -1,0 +1,16 @@
+// Fixture: a throw inside a noexcept function — std::terminate at runtime.
+#include <string>
+
+struct Error {
+  explicit Error(std::string m) : msg(std::move(m)) {}
+  std::string msg;
+};
+
+struct Pool {
+  // LINT-EXPECT: throw-in-noexcept
+  void Shrink(int n) noexcept {
+    if (n < 0) throw Error("negative shrink");
+    size -= n;
+  }
+  int size = 0;
+};

@@ -143,6 +143,15 @@ std::vector<chunk::ChunkRef> ReedClient::ChunkData(ByteSpan data) {
   return chunker.Split(data);
 }
 
+store::KeyStateRecord ReedClient::InspectKeyStateRecord(
+    const std::string& file_id) {
+  return FetchKeyStateRecord(StorageId(file_id));
+}
+
+rsa::KeyState ReedClient::InspectKeyState(const std::string& file_id) {
+  return UnwrapKeyState(FetchKeyStateRecord(StorageId(file_id)));
+}
+
 std::vector<aont::SealedChunk> ReedClient::EncryptChunks(
     ByteSpan data, const std::vector<chunk::ChunkRef>& refs,
     const std::vector<Secret>& mle_keys) {

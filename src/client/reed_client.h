@@ -132,6 +132,25 @@ class ReedClient {
   // Chunking helper exposing the client's configured chunker.
   [[nodiscard]] std::vector<chunk::ChunkRef> ChunkData(ByteSpan data);
 
+  // --- observable-state accessors (tests/model differential checker) ---
+  // Not storage ops: tools/lint/model_lint.py requires every public
+  // CamelCase method here to either appear in the model generator's op
+  // table or carry a `model-observable` marker — a new client op cannot
+  // ship unchecked.
+
+  // The stored key-state record for `file_id` as the cloud holds it:
+  // versions, owner, policy, envelope. Public metadata only (the wrapped
+  // state stays sealed), diffed against the reference model after every op.
+  [[nodiscard]] store::KeyStateRecord InspectKeyStateRecord(
+      const std::string& file_id);  // model-observable
+
+  // The unwrapped current key state (requires this user to satisfy the
+  // record's policy). Security-oracle facility: a snapshot taken before a
+  // rekey must fail to decrypt the re-encrypted stub file afterwards. Never
+  // crosses the wire — the state stays in process, like Download's own use.
+  [[nodiscard]] rsa::KeyState InspectKeyState(
+      const std::string& file_id);  // model-observable
+
  private:
   // The identifier actually sent to the cloud (salted hash when
   // obfuscation is configured).

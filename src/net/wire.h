@@ -71,7 +71,18 @@ class Writer {
 
 class Reader {
  public:
-  explicit Reader(ByteSpan data) : data_(data) {}
+  // Sanity cap on declared blob lengths. The length prefix is attacker-
+  // controlled: a forged frame inside a legitimately large transport buffer
+  // can claim a multi-gigabyte blob, and the only defense before this cap
+  // was the remaining-buffer check — which still admits anything up to the
+  // transport's 1 GiB frame limit. No REED message carries a blob anywhere
+  // near this size (chunk batches are ~4 MB; the largest stub files are
+  // tens of MB), so a claim above the cap is corruption or an attack, and
+  // it fails as a typed WireError before any allocation sized by the claim.
+  static constexpr std::uint32_t kDefaultMaxBlobLen = 256u << 20;  // 256 MiB
+
+  explicit Reader(ByteSpan data, std::uint32_t max_blob_len = kDefaultMaxBlobLen)
+      : data_(data), max_blob_len_(max_blob_len) {}
 
   [[nodiscard]] std::uint8_t U8() {
     Need(1);
@@ -95,6 +106,10 @@ class Reader {
   [[nodiscard]] Bytes Blob() {
     REED_FAULT_POINT("net.wire.read");
     std::uint32_t len = U32();
+    if (len > max_blob_len_) {
+      throw WireError("Reader: declared blob length " + std::to_string(len) +
+                      " exceeds sanity cap " + std::to_string(max_blob_len_));
+    }
     Need(len);
     Bytes out(data_.begin() + off_, data_.begin() + off_ + len);
     off_ += len;
@@ -127,6 +142,7 @@ class Reader {
   }
 
   ByteSpan data_;
+  std::uint32_t max_blob_len_;
   std::size_t off_ = 0;
 };
 

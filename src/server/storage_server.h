@@ -107,6 +107,15 @@ class StorageServer {
   };
   [[nodiscard]] ConsistencyReport CheckConsistency() const;
 
+  // Order-independent digest over every stored trimmed package:
+  // SHA-256 over the (fingerprint, payload) pairs sorted by fingerprint.
+  // Recipes, stubs, and key states are deliberately excluded — this is the
+  // model checker's oracle that a stub-only rekey left the package bytes on
+  // this server bit-identical (paper §IV-A: revocation never rewrites
+  // packages). Walks the whole index like CheckConsistency — a test/audit
+  // facility, not a data path.
+  [[nodiscard]] std::string PackageDigest() const;
+
  private:
   const store::ObjectStore& StoreFor(StoreId id) const {
     return id == StoreId::kData ? data_objects_ : key_objects_;

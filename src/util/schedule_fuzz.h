@@ -24,16 +24,42 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <string>
 #include <thread>
+
+#include "util/bytes.h"
 
 namespace reed::schedfuzz {
 
+// Strict parse of a REED_SCHEDULE_SEED spec: a decimal uint64, nothing
+// else. The old strtoull-based parse silently accepted trailing garbage
+// ("3abc" -> 3) and overflow, so a typo ran an unintended schedule while
+// looking deliberate. Null/empty means "disabled" (seed 0); anything
+// non-numeric, overflowing, or with trailing bytes throws reed::Error —
+// fail loudly rather than fuzz under a seed the user never asked for.
+// Fuzz-covered in tests/fuzz_robustness_test.cc alongside the REED_FAULT
+// spec parser.
+inline std::uint64_t ParseSeedSpec(const char* spec) {
+  if (spec == nullptr || *spec == '\0') return 0;
+  std::uint64_t value = 0;
+  for (const char* p = spec; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      throw Error(std::string("REED_SCHEDULE_SEED: non-digit byte in '") +
+                  spec + "'");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(*p - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      throw Error(std::string("REED_SCHEDULE_SEED: overflow in '") + spec +
+                  "'");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
 inline std::uint64_t Seed() {
-  static const std::uint64_t seed = [] {
-    const char* env = std::getenv("REED_SCHEDULE_SEED");
-    if (env == nullptr || *env == '\0') return std::uint64_t{0};
-    return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
-  }();
+  static const std::uint64_t seed =
+      ParseSeedSpec(std::getenv("REED_SCHEDULE_SEED"));
   return seed;
 }
 

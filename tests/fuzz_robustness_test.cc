@@ -7,10 +7,14 @@
 
 #include "abe/cpabe.h"
 #include "crypto/random.h"
+#include "net/stats_wire.h"
+#include "obs/metrics.h"
 #include "pairing/pairing.h"
 #include "rsa/rsa.h"
 #include "store/recipe.h"
 #include "trace/trace.h"
+#include "util/fault_inject.h"
+#include "util/schedule_fuzz.h"
 
 namespace reed {
 namespace {
@@ -147,6 +151,58 @@ TEST(FuzzTest, TraceSnapshotDeserializer) {
   }
   FuzzBlob(trace::SerializeSnapshot(snap),
            [](const Bytes& b) { (void)trace::DeserializeSnapshot(b); }, 9, 200);
+}
+
+TEST(FuzzTest, StatsSnapshotDecoder) {
+  // The kGetStats payload codec: counters, a negative gauge (two's
+  // complement on the wire), and a histogram with a full bucket vector —
+  // the list counts inside are attacker-controlled lengths.
+  obs::Snapshot snap;
+  snap.counters.push_back({"server.rpc.put_chunks.calls", 17});
+  snap.counters.push_back({"server.store.unique_chunks", 5});
+  snap.gauges.push_back({"server.net.inflight", -2});
+  obs::Snapshot::HistogramValue h;
+  h.name = "server.rpc.put_chunks.latency_us";
+  h.count = 3;
+  h.sum = 4500;
+  h.buckets.assign(obs::Histogram::kNumBuckets, 0);
+  h.buckets[4] = 3;
+  snap.histograms.push_back(std::move(h));
+  net::Writer w;
+  net::EncodeSnapshot(w, snap);
+  FuzzBlob(w.Take(),
+           [](const Bytes& b) {
+             net::Reader r(b);
+             (void)net::DecodeSnapshot(r);
+             r.ExpectEnd();
+           },
+           10);
+}
+
+// The env-spec parsers are wire-adjacent: REED_FAULT / REED_SCHEDULE_SEED
+// come from outside the process, so mutated text must throw reed::Error or
+// parse — never crash or wedge. Mutants that parse may arm fault sites;
+// DisarmAll afterwards keeps this binary's other tests unperturbed.
+TEST(FuzzTest, FaultSpecParser) {
+  const std::string valid = "net.wire.read:nth=3;client.upload:prob=250,7;a.b";
+  FuzzBlob(ToBytes(valid),
+           [](const Bytes& b) {
+             fault::ApplySpec(std::string(b.begin(), b.end()));
+           },
+           11);
+  fault::DisarmAll();
+}
+
+TEST(FuzzTest, ScheduleSeedParser) {
+  // Max u64: still valid, and one mutation away from overflow or a
+  // non-digit — both must come back as typed errors.
+  const std::string valid = "18446744073709551615";
+  FuzzBlob(ToBytes(valid),
+           [](const Bytes& b) {
+             const std::string text(b.begin(), b.end());
+             (void)schedfuzz::ParseSeedSpec(text.c_str());
+           },
+           12);
 }
 
 }  // namespace

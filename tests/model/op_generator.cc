@@ -1,0 +1,235 @@
+#include "model/op_generator.h"
+
+#include <algorithm>
+#include <iterator>
+#include <set>
+#include <type_traits>
+
+namespace reed::modelgen {
+
+namespace {
+
+// Same SplitMix64 as util/schedule_fuzz.h: cheap, seedable, and good enough
+// to make every sequence a pure function of its seed.
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t x = (state += 0x9E3779B97F4A7C15ULL);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t RandBelow(std::uint64_t& state, std::uint64_t n) {
+  return SplitMix64(state) % n;
+}
+
+bool Chance(std::uint64_t& state, std::uint32_t per_mille) {
+  return RandBelow(state, 1000) < per_mille;
+}
+
+// Skewed pool pick: squaring a uniform [0,1) favors low indices, giving the
+// zipf-ish reuse that makes dedup hits common without a zeta table.
+std::uint32_t SkewedPick(std::uint64_t& state, std::size_t pool_size) {
+  const double u =
+      static_cast<double>(SplitMix64(state) >> 11) / 9007199254740992.0;
+  const auto idx =
+      static_cast<std::uint32_t>(u * u * static_cast<double>(pool_size));
+  return std::min<std::uint32_t>(idx, static_cast<std::uint32_t>(pool_size - 1));
+}
+
+}  // namespace
+
+// Every public ReedClient operation appears here (model_lint.py enforces
+// both directions). Pure observers in the header carry `model-observable`
+// instead — they are how the checker looks, not what it checks.
+const OpSpec kOpTable[] = {
+    {"Upload", OpKind::kUpload, 26},
+    {"UploadChunked", OpKind::kUploadChunked, 6},
+    {"Download", OpKind::kDownload, 30},
+    {"Rekey", OpKind::kRekey, 16},
+    {"RekeyGroup", OpKind::kRekeyGroup, 6},
+    {"EncryptChunks", OpKind::kEncryptChunks, 4},
+    {"ChunkData", OpKind::kChunkData, 4},
+};
+const std::size_t kOpTableSize = sizeof(kOpTable) / sizeof(kOpTable[0]);
+
+const char* OpKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kUpload: return "upload";
+    case OpKind::kUploadChunked: return "upload-chunked";
+    case OpKind::kDownload: return "download";
+    case OpKind::kRekey: return "rekey";
+    case OpKind::kRekeyGroup: return "rekey-group";
+    case OpKind::kEncryptChunks: return "encrypt-chunks";
+    case OpKind::kChunkData: return "chunk-data";
+  }
+  return "?";
+}
+
+std::string BlockContent(std::uint64_t seed, std::uint32_t index,
+                         std::size_t chunk_size) {
+  std::string block(chunk_size, '\0');
+  std::uint64_t state = seed ^ (0xB10CB10CULL + index * 0x9E3779B97F4A7C15ULL);
+  for (std::size_t off = 0; off < chunk_size; off += 8) {
+    const std::uint64_t word = SplitMix64(state);
+    for (std::size_t i = 0; i < 8 && off + i < chunk_size; ++i) {
+      block[off + i] = static_cast<char>((word >> (8 * i)) & 0xFF);
+    }
+  }
+  return block;
+}
+
+std::vector<Op> GenerateOps(std::uint64_t seed, std::size_t num_ops,
+                            const GeneratorConfig& config) {
+  std::uint64_t state = seed ^ 0x5EEDC0DEULL;
+  std::size_t pool_size = config.initial_pool;
+  std::set<std::string> live;  // file ids the sequence has uploaded
+
+  const std::uint32_t total_weight = [] {
+    std::uint32_t w = 0;
+    for (std::size_t i = 0; i < kOpTableSize; ++i) w += kOpTable[i].weight;
+    return w;
+  }();
+
+  auto file_name = [&](std::uint64_t idx) {
+    return config.file_prefix + std::to_string(idx);
+  };
+  auto pick_blocks = [&](std::size_t count) {
+    std::vector<std::uint32_t> blocks;
+    blocks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (pool_size < config.max_pool && Chance(state, 150)) ++pool_size;
+      blocks.push_back(SkewedPick(state, pool_size));
+    }
+    return blocks;
+  };
+  auto pick_users = [&](std::uint64_t& s) {
+    // Anywhere from one user to everyone; the executing user is added by
+    // the client (and the model) automatically.
+    std::vector<std::uint32_t> users;
+    for (std::uint32_t u = 0; u < config.num_users; ++u) {
+      if (Chance(s, 500)) users.push_back(u);
+    }
+    if (users.empty()) {
+      users.push_back(
+          static_cast<std::uint32_t>(RandBelow(s, config.num_users)));
+    }
+    return users;
+  };
+
+  std::vector<Op> ops;
+  ops.reserve(num_ops);
+  // Calibration prologue: one single-block upload so the very first real op
+  // exercises the clean all-new path (and anchors size predictions).
+  {
+    Op op;
+    op.kind = OpKind::kUpload;
+    op.user = 0;
+    op.file_id = file_name(0);
+    op.blocks = {0};
+    op.auth_users = {0};
+    live.insert(op.file_id);
+    ops.push_back(std::move(op));
+  }
+
+  while (ops.size() < num_ops) {
+    Op op;
+    op.user = static_cast<std::uint32_t>(RandBelow(state, config.num_users));
+    std::uint32_t roll =
+        static_cast<std::uint32_t>(RandBelow(state, total_weight));
+    OpKind kind = kOpTable[0].kind;
+    for (std::size_t i = 0; i < kOpTableSize; ++i) {
+      if (roll < kOpTable[i].weight) {
+        kind = kOpTable[i].kind;
+        break;
+      }
+      roll -= kOpTable[i].weight;
+    }
+    op.kind = kind;
+
+    const bool miss = Chance(state, config.missing_file_pm);
+    switch (kind) {
+      case OpKind::kUpload:
+      case OpKind::kUploadChunked: {
+        op.file_id = file_name(RandBelow(state, config.num_files));
+        op.blocks =
+            pick_blocks(1 + RandBelow(state, config.max_file_blocks));
+        op.auth_users = pick_users(state);
+        live.insert(op.file_id);
+        break;
+      }
+      case OpKind::kDownload: {
+        if (miss || live.empty()) {
+          op.file_id = config.file_prefix + "-missing-" +
+                       std::to_string(RandBelow(state, 4));
+        } else {
+          auto it = live.begin();
+          std::advance(it, RandBelow(state, live.size()));
+          op.file_id = *it;
+        }
+        break;
+      }
+      case OpKind::kRekey: {
+        if (miss || live.empty()) {
+          op.file_id = config.file_prefix + "-missing-" +
+                       std::to_string(RandBelow(state, 4));
+        } else {
+          auto it = live.begin();
+          std::advance(it, RandBelow(state, live.size()));
+          op.file_id = *it;
+        }
+        op.auth_users = pick_users(state);
+        op.active = Chance(state, 500);
+        break;
+      }
+      case OpKind::kRekeyGroup: {
+        if (live.empty()) continue;  // nothing to group yet; reroll
+        const std::size_t want = 1 + RandBelow(state, 3);
+        std::set<std::string> members;
+        for (std::size_t i = 0; i < want; ++i) {
+          auto it = live.begin();
+          std::advance(it, RandBelow(state, live.size()));
+          members.insert(*it);
+        }
+        op.group_files.assign(members.begin(), members.end());
+        op.auth_users = pick_users(state);
+        op.active = Chance(state, 500);
+        break;
+      }
+      case OpKind::kEncryptChunks:
+      case OpKind::kChunkData: {
+        op.blocks = pick_blocks(1 + RandBelow(state, 3));
+        break;
+      }
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::string FormatOp(const Op& op) {
+  auto list = [](const auto& v) {
+    std::string s = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) s += ",";
+      if constexpr (std::is_same_v<std::decay_t<decltype(v[0])>,
+                                   std::string>) {
+        s += v[i];
+      } else {
+        s += std::to_string(v[i]);
+      }
+    }
+    return s + "]";
+  };
+  std::string s = OpKindName(op.kind);
+  s += " user=" + std::to_string(op.user);
+  if (!op.file_id.empty()) s += " file=" + op.file_id;
+  if (!op.group_files.empty()) s += " group=" + list(op.group_files);
+  if (!op.blocks.empty()) s += " blocks=" + list(op.blocks);
+  if (!op.auth_users.empty()) s += " auth=" + list(op.auth_users);
+  if (op.kind == OpKind::kRekey || op.kind == OpKind::kRekeyGroup) {
+    s += op.active ? " mode=active" : " mode=lazy";
+  }
+  return s;
+}
+
+}  // namespace reed::modelgen

@@ -1,0 +1,82 @@
+// Seeded operation-sequence generator for the model checker (DESIGN.md §11).
+//
+// A sequence is fully determined by (seed, GeneratorConfig): block contents
+// are derived from the seed, so a repro file only needs the numbers. Ops are
+// drawn from kOpTable — one entry per public client::ReedClient storage or
+// compute operation; tools/lint/model_lint.py cross-checks that table
+// against the real class so a new client op cannot ship without model
+// coverage.
+//
+// Content reuse is skewed (a SplitMix64-fed power law over a slowly growing
+// block pool) so dedup hits are common, and a fraction of ops deliberately
+// target missing files, non-owned files, or revoked users so the failure
+// semantics get diffed too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reed::modelgen {
+
+enum class OpKind {
+  kUpload,
+  kUploadChunked,  // same semantics, caller-supplied boundaries
+  kDownload,
+  kRekey,
+  kRekeyGroup,
+  kEncryptChunks,  // stateless: determinism probe, no server mutation
+  kChunkData,      // stateless: boundary probe, no server mutation
+};
+
+const char* OpKindName(OpKind k);
+
+struct Op {
+  OpKind kind = OpKind::kUpload;
+  std::uint32_t user = 0;                 // index into the user list
+  std::string file_id;                    // empty for stateless ops
+  std::vector<std::string> group_files;   // kRekeyGroup only
+  std::vector<std::uint32_t> blocks;      // content-pool indices (uploads +
+                                          // stateless probes)
+  std::vector<std::uint32_t> auth_users;  // policy user indices
+  bool active = false;                    // revocation mode
+};
+
+struct GeneratorConfig {
+  std::size_t num_users = 3;
+  std::size_t num_files = 6;       // file-id namespace size
+  std::size_t max_file_blocks = 6; // blocks per generated file
+  std::size_t initial_pool = 4;    // content pool starts this big
+  std::size_t max_pool = 64;       // and grows up to this
+  // Per-mille rate of ops aimed at a missing file id (expected failure).
+  std::uint32_t missing_file_pm = 60;
+  // Namespace prefix so concurrent harness threads stay disjoint.
+  std::string file_prefix = "f";
+};
+
+// The weighted op mix. Names must match public ReedClient methods exactly —
+// tools/lint/model_lint.py parses this table.
+struct OpSpec {
+  const char* method;
+  OpKind kind;
+  std::uint32_t weight;
+};
+extern const OpSpec kOpTable[];
+extern const std::size_t kOpTableSize;
+
+// Deterministic ops for (seed, config). The generator tracks which file ids
+// it has uploaded so downloads/rekeys mostly hit live files.
+[[nodiscard]] std::vector<Op> GenerateOps(std::uint64_t seed,
+                                          std::size_t num_ops,
+                                          const GeneratorConfig& config);
+
+// Deterministic content block for a pool index: `chunk_size` bytes derived
+// from (seed, index) only.
+[[nodiscard]] std::string BlockContent(std::uint64_t seed, std::uint32_t index,
+                                       std::size_t chunk_size);
+
+// One-line human/replay form of an op, e.g.
+//   upload user=1 file=f3 blocks=[0,2,2] auth=[0,1]
+[[nodiscard]] std::string FormatOp(const Op& op);
+
+}  // namespace reed::modelgen

@@ -1,0 +1,175 @@
+#include "model/reference_model.h"
+
+#include <stdexcept>
+
+namespace reed::model {
+
+const char* OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kNoSuchFile: return "no-such-file";
+    case Outcome::kNotAuthorized: return "not-authorized";
+    case Outcome::kNotOwner: return "not-owner";
+    case Outcome::kEmptyData: return "empty-data";
+    case Outcome::kEmptyGroup: return "empty-group";
+  }
+  return "?";
+}
+
+ReferenceModel::ReferenceModel(ModelConfig config)
+    : config_(std::move(config)) {
+  if (!config_.trimmed_package_size || !config_.stub_blob_size) {
+    throw std::logic_error("ReferenceModel: size functions are required");
+  }
+}
+
+ModelUploadResult ReferenceModel::Upload(
+    const std::string& user, const std::string& file_id,
+    const std::vector<BlockKey>& blocks,
+    const std::vector<std::string>& authorized_users) {
+  ModelUploadResult r;
+  if (blocks.empty()) {
+    r.outcome = Outcome::kEmptyData;
+    return r;
+  }
+  // Dedup first: counters do not depend on metadata state, and the dedup
+  // set is global and append-only, so this is order-independent even when
+  // the real stack ingests batches concurrently.
+  r.chunk_count = blocks.size();
+  for (const BlockKey& b : blocks) {
+    r.logical_bytes += b.size();
+    if (stored_.insert(b).second) {
+      ++r.stored_chunks;
+      const std::uint64_t trimmed = config_.trimmed_package_size(b.size());
+      r.stored_bytes += trimmed;
+      stored_bytes_ += trimmed;
+    } else {
+      ++r.duplicate_chunks;
+    }
+  }
+  r.stub_bytes = config_.stub_blob_size(blocks.size() * config_.stub_size);
+
+  // Upload overwrites unconditionally: fresh genesis state, uploader owns.
+  FileState state;
+  state.owner = user;
+  state.authorized.insert(authorized_users.begin(), authorized_users.end());
+  state.authorized.insert(user);
+  state.key_version = 0;
+  state.stub_key_version = 0;
+  state.blocks = blocks;
+  files_[file_id] = std::move(state);
+  return r;
+}
+
+ModelDownloadResult ReferenceModel::Download(const std::string& user,
+                                             const std::string& file_id) const {
+  ModelDownloadResult r;
+  auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    r.outcome = Outcome::kNoSuchFile;
+    return r;
+  }
+  if (it->second.authorized.count(user) == 0) {
+    r.outcome = Outcome::kNotAuthorized;
+    return r;
+  }
+  for (const BlockKey& b : it->second.blocks) r.data += b;
+  return r;
+}
+
+ModelRekeyResult ReferenceModel::RekeyOne(FileState& state, bool active) {
+  ModelRekeyResult r;
+  state.key_version += 1;
+  r.new_version = state.key_version;
+  if (active) {
+    state.stub_key_version = state.key_version;
+    r.stub_reencrypted = true;
+    r.stub_bytes =
+        config_.stub_blob_size(state.blocks.size() * config_.stub_size);
+  }
+  // The real client replaces the policy wholesale and always re-adds the
+  // caller (the owner, per the check below).
+  return r;
+}
+
+ModelRekeyResult ReferenceModel::Rekey(
+    const std::string& user, const std::string& file_id,
+    const std::vector<std::string>& authorized_users, bool active) {
+  ModelRekeyResult r;
+  auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    r.outcome = Outcome::kNoSuchFile;
+    return r;
+  }
+  if (it->second.owner != user) {
+    r.outcome = Outcome::kNotOwner;
+    return r;
+  }
+  r = RekeyOne(it->second, active);
+  it->second.authorized.clear();
+  it->second.authorized.insert(authorized_users.begin(),
+                               authorized_users.end());
+  it->second.authorized.insert(user);
+  return r;
+}
+
+ModelGroupRekeyResult ReferenceModel::RekeyGroup(
+    const std::string& user, const std::vector<std::string>& file_ids,
+    const std::vector<std::string>& authorized_users, bool active) {
+  ModelGroupRekeyResult g;
+  if (file_ids.empty()) {
+    g.outcome = Outcome::kEmptyGroup;
+    return g;
+  }
+  // Sequential, stop-on-first-failure with partial effects — exactly what
+  // the real RekeyGroup loop does.
+  for (const std::string& file_id : file_ids) {
+    auto it = files_.find(file_id);
+    if (it == files_.end()) {
+      g.outcome = Outcome::kNoSuchFile;
+      return g;
+    }
+    if (it->second.owner != user) {
+      g.outcome = Outcome::kNotOwner;
+      return g;
+    }
+    ModelRekeyResult r = RekeyOne(it->second, active);
+    it->second.authorized.clear();
+    it->second.authorized.insert(authorized_users.begin(),
+                                 authorized_users.end());
+    it->second.authorized.insert(user);
+    g.applied.push_back(r);
+  }
+  return g;
+}
+
+bool ReferenceModel::Exists(const std::string& file_id) const {
+  return files_.count(file_id) != 0;
+}
+
+const std::string& ReferenceModel::Owner(const std::string& file_id) const {
+  return files_.at(file_id).owner;
+}
+
+std::uint64_t ReferenceModel::KeyVersion(const std::string& file_id) const {
+  return files_.at(file_id).key_version;
+}
+
+std::uint64_t ReferenceModel::StubKeyVersion(const std::string& file_id) const {
+  return files_.at(file_id).stub_key_version;
+}
+
+bool ReferenceModel::IsAuthorized(const std::string& user,
+                                  const std::string& file_id) const {
+  auto it = files_.find(file_id);
+  return it != files_.end() && it->second.authorized.count(user) != 0;
+}
+
+std::vector<std::string> ReferenceModel::FileIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(files_.size());
+  for (const auto& [id, _] : files_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace reed::model

@@ -1,0 +1,151 @@
+// Executable specification of REED's user-visible semantics (DESIGN.md §11).
+//
+// The model is the paper's storage contract written as plain maps and sets —
+// deliberately independent of src/ internals. Files are sequences of
+// plaintext blocks; the cloud is a set of stored block contents (dedup is
+// set membership); key state is an integer version counter per file plus a
+// policy set of authorized users. No crypto, no chunking, no wire format:
+// anything the real stack and this model disagree on is either a bug in the
+// stack or a misreading of the paper, and both are worth a failing test.
+//
+// Size predictions delegate to two pure size functions supplied by the
+// harness (trimmed-package size per chunk length, stub-blob size per stub
+// length) so the model never includes a src/ header.
+//
+// Semantics encoded here (paper §III-A, §IV, and the documented behavior of
+// client::ReedClient):
+//   * Upload always succeeds on non-empty data and OVERWRITES: the uploader
+//     becomes the owner, the key version resets to 0, and the policy is the
+//     given user set plus the uploader. Previously stored blocks are never
+//     reclaimed (servers only ever gain chunks).
+//   * Dedup is global and content-based: a block is stored the first time
+//     its content is seen anywhere (any user, any file, any position),
+//     duplicate every time after — including repeats inside one upload.
+//   * Download succeeds iff the file exists and the requester satisfies the
+//     policy; it returns exactly the uploaded bytes.
+//   * Rekey requires the owner; it bumps the key version and replaces the
+//     policy. Active revocation also moves the stub version forward (the
+//     stub file is re-encrypted); lazy leaves the stub version behind.
+//     Packages never move in either mode (§IV-A).
+//   * RekeyGroup applies member files SEQUENTIALLY and stops at the first
+//     non-owned or missing file, leaving earlier effects in place.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace reed::model {
+
+// Block content is its own identity: the model keys the global dedup set by
+// raw plaintext bytes.
+using BlockKey = std::string;
+
+enum class Outcome {
+  kOk,
+  kNoSuchFile,     // metadata object absent
+  kNotAuthorized,  // policy does not cover the requester
+  kNotOwner,       // rekey by a non-owner
+  kEmptyData,      // upload of an empty file
+  kEmptyGroup,     // group rekey over zero files
+};
+
+const char* OutcomeName(Outcome o);
+
+struct ModelUploadResult {
+  Outcome outcome = Outcome::kOk;
+  std::uint64_t logical_bytes = 0;
+  std::size_t chunk_count = 0;
+  std::size_t duplicate_chunks = 0;
+  std::size_t stored_chunks = 0;
+  std::uint64_t stored_bytes = 0;  // unique trimmed-package bytes
+  std::uint64_t stub_bytes = 0;    // encrypted stub blob size
+};
+
+struct ModelDownloadResult {
+  Outcome outcome = Outcome::kOk;
+  std::string data;  // exact file bytes on success
+};
+
+struct ModelRekeyResult {
+  Outcome outcome = Outcome::kOk;
+  std::uint64_t new_version = 0;
+  bool stub_reencrypted = false;
+  std::uint64_t stub_bytes = 0;
+};
+
+struct ModelGroupRekeyResult {
+  Outcome outcome = Outcome::kOk;  // outcome of the whole call
+  // Per-file results for the files that were rekeyed before the first
+  // failure (all of them when outcome == kOk). Mirrors the real client's
+  // sequential partial application.
+  std::vector<ModelRekeyResult> applied;
+};
+
+struct ModelConfig {
+  std::size_t chunk_size = 4096;  // fixed-size chunking; files are multiples
+  std::size_t stub_size = 64;
+  // Pure size functions measured from the real cipher by the harness.
+  std::function<std::uint64_t(std::uint64_t)> trimmed_package_size;
+  std::function<std::uint64_t(std::uint64_t)> stub_blob_size;
+};
+
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(ModelConfig config);
+
+  // `blocks` are the file's plaintext blocks in order, each exactly
+  // chunk_size bytes (the generator only produces whole-block files).
+  ModelUploadResult Upload(const std::string& user, const std::string& file_id,
+                           const std::vector<BlockKey>& blocks,
+                           const std::vector<std::string>& authorized_users);
+
+  ModelDownloadResult Download(const std::string& user,
+                               const std::string& file_id) const;
+
+  ModelRekeyResult Rekey(const std::string& user, const std::string& file_id,
+                         const std::vector<std::string>& authorized_users,
+                         bool active);
+
+  ModelGroupRekeyResult RekeyGroup(
+      const std::string& user, const std::vector<std::string>& file_ids,
+      const std::vector<std::string>& authorized_users, bool active);
+
+  // --- queries for the differential checker ---
+
+  [[nodiscard]] bool Exists(const std::string& file_id) const;
+  [[nodiscard]] const std::string& Owner(const std::string& file_id) const;
+  [[nodiscard]] std::uint64_t KeyVersion(const std::string& file_id) const;
+  [[nodiscard]] std::uint64_t StubKeyVersion(const std::string& file_id) const;
+  [[nodiscard]] bool IsAuthorized(const std::string& user,
+                                  const std::string& file_id) const;
+  [[nodiscard]] std::vector<std::string> FileIds() const;
+
+  // Global dedup state: how many unique block contents the cluster must
+  // hold, and their total trimmed-package bytes.
+  [[nodiscard]] std::size_t UniqueChunks() const { return stored_.size(); }
+  [[nodiscard]] std::uint64_t StoredBytes() const { return stored_bytes_; }
+
+  const ModelConfig& config() const { return config_; }
+
+ private:
+  struct FileState {
+    std::string owner;
+    std::set<std::string> authorized;  // policy user set (owner included)
+    std::uint64_t key_version = 0;
+    std::uint64_t stub_key_version = 0;
+    std::vector<BlockKey> blocks;
+  };
+
+  ModelRekeyResult RekeyOne(FileState& state, bool active);
+
+  ModelConfig config_;
+  std::map<std::string, FileState> files_;
+  std::set<BlockKey> stored_;  // global content-addressed dedup set
+  std::uint64_t stored_bytes_ = 0;
+};
+
+}  // namespace reed::model

@@ -258,5 +258,39 @@ TEST_F(WireRoundTripTest, TrailingByteRejected) {
   }
 }
 
+// Regression: a forged length prefix claiming a multi-gigabyte blob must
+// fail on the Reader's sanity cap BEFORE any allocation sized by the claim
+// — previously only the remaining-buffer check applied, so a claim just
+// under the transport's frame limit drove a giant allocation attempt.
+TEST(WireBlobCapTest, ForgedHugeLengthRejectedByDefaultCap) {
+  net::Writer w;
+  w.U32(net::Reader::kDefaultMaxBlobLen + 1);  // claim: 256 MiB + 1
+  w.Raw(ToBytes("tiny actual body"));
+  Bytes frame = w.Take();
+  net::Reader r(frame);
+  try {
+    (void)r.Blob();
+    FAIL() << "a blob claim over the sanity cap parsed";
+  } catch (const net::WireError& e) {
+    // The cap must fire on the CLAIM, not on buffer truncation.
+    EXPECT_NE(std::string(e.what()).find("sanity cap"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(WireBlobCapTest, CustomCapBitesEvenWhenBodyIsPresent) {
+  // With the whole declared body present the old truncation check passes,
+  // so only the cap can reject — proving the two checks are independent.
+  Bytes body(32, 0xab);
+  net::Writer w;
+  w.Blob(body);
+  Bytes frame = w.Take();
+  net::Reader strict(frame, /*max_blob_len=*/16);
+  EXPECT_THROW((void)strict.Blob(), net::WireError);
+  net::Reader relaxed(frame, /*max_blob_len=*/32);
+  EXPECT_EQ(relaxed.Blob(), body);
+  relaxed.ExpectEnd();
+}
+
 }  // namespace
 }  // namespace reed

@@ -2,7 +2,7 @@
 # Local CI gate: build + test matrix across sanitizer and static-analysis
 # modes, plus the Python lints. Run from anywhere inside the repo:
 #
-#   tools/ci/check.sh                  # full matrix: plain, asan+ubsan, tsan, tsa, taint, lock, failpath, deadlock, faults, tidy
+#   tools/ci/check.sh                  # full matrix: plain, asan+ubsan, tsan, tsa, taint, lock, failpath, deadlock, faults, model, tidy
 #   tools/ci/check.sh plain            # one mode only
 #   tools/ci/check.sh asan tsa         # subset
 #   tools/ci/check.sh --keep-going     # run every mode even after a failure
@@ -38,6 +38,17 @@
 #             (tests/fault_sweep_test.cc): every site armed mid-drive must
 #             propagate typed, drain gauges, leave dedup state consistent,
 #             and survive a disarmed retry.
+#   model     model-based differential checking (DESIGN.md §11): the
+#             op-coverage lint (model_lint.py, both directions), then the
+#             `model` + `lint` ctest labels — the executable-spec gtest
+#             suite, seeded reed_model_check sweeps in both pipeline modes
+#             plus the concurrent explainability mode, and the WILL_FAIL
+#             injected-bug fixtures that prove the checker still bites.
+#   cov       REED_COVERAGE=ON build + full ctest, then per-module line
+#             coverage via gcov JSON (tools/ci/coverage_report.py) gated on
+#             the floors in tools/ci/coverage_floors.json. Not in the
+#             default matrix (it is a second full build of the tree);
+#             hosted CI runs it as its own job.
 #   tidy      clang-tidy over the compile database, warnings-as-errors
 #             (skipped with a notice when clang-tidy is absent).
 #
@@ -59,7 +70,7 @@ for arg in "$@"; do
   esac
 done
 if [[ ${#MODES[@]} -eq 0 ]]; then
-  MODES=(plain asan tsan tsa taint lock failpath deadlock faults tidy)
+  MODES=(plain asan tsan tsa taint lock failpath deadlock faults model tidy)
 fi
 
 GENERATOR_ARGS=()
@@ -80,6 +91,7 @@ run_mode() {
   local -a test_args=()
   local build_only=0
   local tidy_after=0
+  local cov_after=0
 
   case "${mode}" in
     plain)
@@ -166,6 +178,21 @@ run_mode() {
       cmake_args=(-DREED_SANITIZE=none -DREED_FAULT_INJECT=ON)
       test_args=(-L "quick|fault")
       ;;
+    model)
+      # The op-coverage lint gates the lane up front: if a public client op
+      # is outside the generator's table the differential sweep below would
+      # be vacuously green for it.
+      echo "=== [model] op-coverage lint ==="
+      python3 tools/lint/model_lint.py --root . --self-test
+      python3 tools/lint/model_lint.py --root .
+      cmake_args=(-DREED_SANITIZE=none)
+      build_dir="build-ci-plain"  # same tree as plain: no extra flags
+      test_args=(-L "model|lint")
+      ;;
+    cov)
+      cmake_args=(-DREED_SANITIZE=none -DREED_COVERAGE=ON)
+      cov_after=1
+      ;;
     tidy)
       if ! command -v clang-tidy > /dev/null 2>&1; then
         echo "=== [tidy] SKIPPED: clang-tidy not found ==="
@@ -178,7 +205,7 @@ run_mode() {
       build_only=1
       ;;
     *)
-      echo "unknown mode: ${mode} (expected plain|nodiscard|asan|tsan|tsa|taint|lock|failpath|deadlock|faults|tidy)" >&2
+      echo "unknown mode: ${mode} (expected plain|nodiscard|asan|tsan|tsa|taint|lock|failpath|deadlock|faults|model|cov|tidy)" >&2
       exit 2
       ;;
   esac
@@ -218,6 +245,11 @@ run_mode() {
   # already carries widened per-test timeouts from tests/CMakeLists.txt.
   env "${test_env[@]}" ctest --test-dir "${build_dir}" \
       --output-on-failure -j "$(nproc)" "${test_args[@]}"
+
+  if [[ ${cov_after} -eq 1 ]]; then
+    echo "=== [${mode}] per-module coverage floors ==="
+    python3 tools/ci/coverage_report.py --build-dir "${build_dir}" --root .
+  fi
 }
 
 echo "=== crypto-hygiene lint ==="
@@ -239,6 +271,10 @@ python3 tools/lint/lock_lint.py --root . src
 echo "=== exception-hygiene lint ==="
 python3 tools/lint/failpath_lint.py --self-test
 python3 tools/lint/failpath_lint.py --root . src
+
+echo "=== model op-coverage lint ==="
+python3 tools/lint/model_lint.py --root . --self-test
+python3 tools/lint/model_lint.py --root .
 
 # Per-mode verdicts, reported in a summary table whether or not the matrix
 # ran to completion. The subshell re-enables errexit so a mid-mode failure

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Per-module gcov line-coverage report with enforced floors.
+
+Drives gcov (JSON mode) over every .gcda profile a REED_COVERAGE=ON test run
+left in the build tree, folds the per-line execution counts down to
+repo-relative source files (max count wins when the same line is profiled by
+several translation units — headers), and aggregates per top-level module
+(src/store, src/net, ...).
+
+Modules listed in the floors file (tools/ci/coverage_floors.json, a
+{"src/<module>": percent} map) are GATES: measured line coverage below the
+floor fails the run. Other modules are reported FYI. Floors are deliberately
+a few points under current measurements — the gate catches regressions
+(a new untested subsystem, a test lane silently dropped), not noise.
+
+Usage:
+  coverage_report.py --build-dir build-ci-cov [--root .] [--floors FILE]
+  coverage_report.py --build-dir build-ci-cov --report-only   # no gating
+"""
+
+import argparse
+import collections
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(build_dir):
+        out.extend(os.path.join(dirpath, f) for f in filenames
+                   if f.endswith(".gcda"))
+    return sorted(out)
+
+
+def run_gcov(gcda, build_dir):
+    """Parse one profile; returns gcov's JSON dict or None on failure."""
+    # --stdout keeps the build tree clean (no .gcov litter); JSON mode is
+    # the only gcov output stable enough to parse.
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", os.path.abspath(gcda)],
+        cwd=build_dir, capture_output=True, text=True)
+    if proc.returncode != 0 or not proc.stdout.strip():
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def module_of(rel_path):
+    """src/store/recipe.cc -> src/store; anything else -> first component."""
+    parts = rel_path.split("/")
+    return "/".join(parts[:2]) if parts[0] == "src" and len(parts) > 2 \
+        else parts[0]
+
+
+def collect(build_dir, root):
+    """{rel_file: {line: max_count}} across every profiled TU."""
+    root = os.path.realpath(root) + os.sep
+    lines = collections.defaultdict(dict)
+    gcdas = find_gcda(build_dir)
+    parsed = 0
+    for gcda in gcdas:
+        doc = run_gcov(gcda, build_dir)
+        if doc is None:
+            continue
+        parsed += 1
+        for f in doc.get("files", []):
+            path = os.path.realpath(os.path.join(build_dir, f["file"]))
+            if not path.startswith(root):
+                continue  # system headers, gtest, ...
+            rel = path[len(root):]
+            if not rel.startswith("src/"):
+                continue  # gate the library, not tests/tools
+            per_file = lines[rel]
+            for ln in f.get("lines", []):
+                n = ln["line_number"]
+                per_file[n] = max(per_file.get(n, 0), ln["count"])
+    return lines, len(gcdas), parsed
+
+
+def aggregate(lines):
+    """{module: (covered, total)} plus the same per file."""
+    mods = collections.defaultdict(lambda: [0, 0])
+    files = {}
+    for rel, per_line in sorted(lines.items()):
+        covered = sum(1 for c in per_line.values() if c > 0)
+        total = len(per_line)
+        files[rel] = (covered, total)
+        m = mods[module_of(rel)]
+        m[0] += covered
+        m[1] += total
+    return mods, files
+
+
+def pct(covered, total):
+    return 100.0 * covered / total if total else 0.0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", required=True,
+                    help="REED_COVERAGE=ON build tree holding .gcda profiles")
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--floors", default=None,
+                    help="floors JSON (default: tools/ci/coverage_floors.json)")
+    ap.add_argument("--report-only", action="store_true",
+                    help="print the table but never fail on floors")
+    ap.add_argument("--show-files", action="store_true",
+                    help="also print per-file coverage")
+    args = ap.parse_args()
+
+    floors_path = args.floors or os.path.join(
+        args.root, "tools", "ci", "coverage_floors.json")
+    with open(floors_path, encoding="utf-8") as f:
+        floors = json.load(f)
+
+    lines, found, parsed = collect(args.build_dir, args.root)
+    if not parsed:
+        print(f"coverage_report: no usable .gcda profiles under "
+              f"{args.build_dir} ({found} found) — was the tree built with "
+              "-DREED_COVERAGE=ON and were the tests run?", file=sys.stderr)
+        return 2
+    mods, files = aggregate(lines)
+
+    if args.show_files:
+        for rel, (covered, total) in sorted(files.items()):
+            print(f"  {pct(covered, total):6.1f}%  {covered:5d}/{total:<5d} "
+                  f"{rel}")
+
+    print(f"coverage_report: {parsed}/{found} profiles, "
+          f"{len(files)} source files")
+    failures = []
+    for mod in sorted(set(mods) | set(floors)):
+        covered, total = mods.get(mod, (0, 0))
+        p = pct(covered, total)
+        floor = floors.get(mod)
+        if floor is None:
+            verdict = "    (fyi)"
+        elif total == 0:
+            verdict = f" FAIL (no profiled lines, floor {floor:.0f}%)"
+            failures.append(mod)
+        elif p < floor:
+            verdict = f" FAIL (floor {floor:.0f}%)"
+            failures.append(mod)
+        else:
+            verdict = f" ok   (floor {floor:.0f}%)"
+        print(f"  {p:6.1f}%  {covered:5d}/{total:<5d} {mod}{verdict}")
+
+    if failures and not args.report_only:
+        print(f"coverage_report: {len(failures)} module(s) below floor: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("coverage_report: all floors hold" if not failures
+          else "coverage_report: floors ignored (--report-only)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+// Fixture generator paired with clean/reed_client.h.
+const OpSpec kOpTable[] = {
+    {"Upload", OpKind::kUpload, 30},
+    {"Download", OpKind::kDownload, 30},
+    {"Rekey", OpKind::kRekey, 20},
+};

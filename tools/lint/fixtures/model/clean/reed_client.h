@@ -1,0 +1,21 @@
+// Fixture: fully covered client surface — every public op is either in the
+// generator's op table or a marked observer. Expect no findings.
+namespace client {
+
+class ReedClient {
+ public:
+  explicit ReedClient(int x);
+
+  void Upload(const char* file_id);
+  void Download(const char* file_id);
+  void Rekey(const char* file_id);
+
+  int InspectKeyState(const char* file_id);  // model-observable
+
+  int user_id() const;  // lowercase accessor: out of lint scope
+
+ private:
+  void Helper(int y);  // private: out of lint scope
+};
+
+}  // namespace client

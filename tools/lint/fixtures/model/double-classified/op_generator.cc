@@ -1,0 +1,5 @@
+// Fixture generator paired with double-classified/reed_client.h.
+const OpSpec kOpTable[] = {
+    {"Upload", OpKind::kUpload, 30},
+    {"Rekey", OpKind::kRekey, 20},
+};

@@ -1,0 +1,5 @@
+// Fixture generator paired with stale-entry/reed_client.h.
+const OpSpec kOpTable[] = {
+    {"Upload", OpKind::kUpload, 30},
+    {"Restore", OpKind::kRestore, 10},  // LINT-EXPECT: op-table-stale
+};

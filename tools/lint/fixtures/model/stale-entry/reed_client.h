@@ -1,0 +1,10 @@
+// Fixture: the generator's table still names an op that was renamed away —
+// the claimed coverage is air. The finding lands on op_generator.cc.
+namespace client {
+
+class ReedClient {
+ public:
+  void Upload(const char* file_id);
+};
+
+}  // namespace client

@@ -1,0 +1,4 @@
+// Fixture generator paired with uncovered-op/reed_client.h: Purge missing.
+const OpSpec kOpTable[] = {
+    {"Upload", OpKind::kUpload, 30},
+};

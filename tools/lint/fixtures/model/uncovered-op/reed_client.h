@@ -1,0 +1,11 @@
+// Fixture: Purge is a public client op that the generator never drives and
+// that carries no model-observable marker — unchecked surface.
+namespace client {
+
+class ReedClient {
+ public:
+  void Upload(const char* file_id);
+  void Purge(const char* file_id);  // LINT-EXPECT: op-coverage
+};
+
+}  // namespace client

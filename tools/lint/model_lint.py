@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Op-coverage cross-check for the executable REED spec (DESIGN.md §11).
+
+The model checker (tests/model/) only proves what it drives. This lint pins
+the coverage contract in BOTH directions, the fault-manifest pattern applied
+to the client API:
+
+  op-coverage    every public CamelCase method of client::ReedClient must
+                 either appear in the generator's op table
+                 (kOpTable in tests/model/op_generator.cc) or carry a
+                 `model-observable` marker comment on its declaration —
+                 observers are how the checker looks at state, ops are what
+                 it checks; a new client op cannot ship unchecked.
+
+  op-table-stale an op-table entry naming no public ReedClient method: the
+                 generator claims to cover an op that does not exist (e.g.
+                 after a rename), so part of the "covered" surface is air.
+
+  op-double      a method both in the op table and marked model-observable;
+                 the two classifications are mutually exclusive, pick one.
+
+Method extraction is lexical: CamelCase identifiers followed by `(` inside
+the class's public sections, constructors excluded. Lowercase accessors
+(user_id, options, ...) are out of scope by convention — they return
+references to client-local configuration, not cloud state.
+
+Usage:
+  model_lint.py [--root REPO]            # check the real tree
+  model_lint.py --root REPO --client-header H --generator G
+                                         # check explicit files (fixtures)
+  model_lint.py --self-test              # run fixture suite
+"""
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from crypto_lint import (  # noqa: E402  (shared helpers, single source of truth)
+    Finding,
+    load_allowlist,
+    strip_comments_and_strings,
+)
+
+RULES = ("op-coverage", "op-table-stale", "op-double")
+
+CLIENT_HEADER_REL = os.path.join("src", "client", "reed_client.h")
+GENERATOR_REL = os.path.join("tests", "model", "op_generator.cc")
+
+CLASS_RE = re.compile(r"\bclass\s+ReedClient\b")
+ACCESS_RE = re.compile(r"^\s*(public|private|protected)\s*:", re.M)
+METHOD_RE = re.compile(r"\b([A-Z]\w*)\s*\(")
+MARKER = "model-observable"
+OP_TABLE_RE = re.compile(r"\bkOpTable\s*\[\s*\]\s*=\s*\{")
+OP_ENTRY_RE = re.compile(r'\{\s*"(\w+)"')
+
+# Type-ish CamelCase tokens that precede `(` without being declarations
+# (constructor calls, templates). Anything ending in these is skipped.
+SKIP_NAMES = {"ReedClient"}
+
+
+def line_of(text, idx):
+    return text.count("\n", 0, idx) + 1
+
+
+def public_regions(stripped):
+    """(start, end) index pairs of the public sections of class ReedClient."""
+    m = CLASS_RE.search(stripped)
+    if not m:
+        return []
+    # Classes in this codebase end at the first `};` at column 0 after the
+    # class head — good enough lexically, and the fixtures pin it.
+    open_idx = stripped.index("{", m.end())
+    end_m = re.compile(r"^\};", re.M).search(stripped, open_idx)
+    class_end = end_m.start() if end_m else len(stripped)
+
+    regions = []
+    current = None  # start index of an open public region
+    for am in ACCESS_RE.finditer(stripped, open_idx, class_end):
+        if current is not None:
+            regions.append((current, am.start()))
+            current = None
+        if am.group(1) == "public":
+            current = am.end()
+    if current is not None:
+        regions.append((current, class_end))
+    return regions
+
+
+def public_methods(raw):
+    """{name: (line, has_marker)} for public CamelCase methods."""
+    stripped = strip_comments_and_strings(raw)
+    marker_lines = {i + 1 for i, line in enumerate(raw.splitlines())
+                    if MARKER in line}
+    methods = {}
+    for start, end in public_regions(stripped):
+        for m in METHOD_RE.finditer(stripped, start, end):
+            name = m.group(1)
+            if name in SKIP_NAMES:
+                continue
+            semi = stripped.find(";", m.end())
+            brace = stripped.find("{", m.end())
+            # Inline bodies (`{ ... }`) end the declaration too; take the
+            # nearer terminator so one decl never swallows the next.
+            decl_end = min(x for x in (semi, brace, end) if x != -1)
+            first, last = line_of(stripped, m.start()), line_of(stripped,
+                                                                decl_end)
+            has_marker = any(first <= ln <= last for ln in marker_lines)
+            if name not in methods:
+                methods[name] = (first, has_marker)
+    return methods
+
+
+def op_table(raw):
+    """{name: line} for kOpTable entries in the generator source."""
+    m = OP_TABLE_RE.search(raw)
+    if not m:
+        return None
+    end = raw.find("};", m.end())
+    block = raw[m.end():end if end != -1 else len(raw)]
+    return {em.group(1): line_of(raw, m.end() + em.start())
+            for em in OP_ENTRY_RE.finditer(block)}
+
+
+def check(root, client_header_rel, generator_rel):
+    findings = []
+    header_path = os.path.join(root, client_header_rel)
+    generator_path = os.path.join(root, generator_rel)
+    for path, rel in ((header_path, client_header_rel),
+                      (generator_path, generator_rel)):
+        if not os.path.exists(path):
+            return [Finding(rel, 1, "op-coverage", "missing",
+                            f"{rel} not found")]
+    with open(header_path, encoding="utf-8", errors="replace") as f:
+        header_raw = f.read()
+    with open(generator_path, encoding="utf-8", errors="replace") as f:
+        generator_raw = f.read()
+
+    methods = public_methods(header_raw)
+    table = op_table(generator_raw)
+    if table is None:
+        return [Finding(generator_rel, 1, "op-table-stale", "kOpTable",
+                        "no kOpTable[] block found in the generator")]
+
+    for name, (lineno, has_marker) in sorted(methods.items()):
+        if name in table and has_marker:
+            findings.append(Finding(
+                client_header_rel, lineno, "op-double", name,
+                f"{name} is both in kOpTable and marked {MARKER}; an "
+                "operation is either generated-and-diffed or a read-only "
+                "observer, not both"))
+        elif name not in table and not has_marker:
+            findings.append(Finding(
+                client_header_rel, lineno, "op-coverage", name,
+                f"public client op {name} is neither generated by the model "
+                f"checker (kOpTable in {GENERATOR_REL}) nor marked "
+                f"`{MARKER}`; a client operation the checker never drives "
+                "is unchecked surface"))
+    for name, lineno in sorted(table.items()):
+        if name not in methods:
+            findings.append(Finding(
+                generator_rel, lineno, "op-table-stale", name,
+                f"kOpTable entry \"{name}\" matches no public ReedClient "
+                "method; the generator claims coverage of an op that does "
+                "not exist"))
+    return findings
+
+
+def run_lint(root, client_header, generator, allowlist_path):
+    allow = load_allowlist(allowlist_path)
+    reported = []
+    for finding in check(root, client_header, generator):
+        if finding.key() in allow:
+            allow[finding.key()] += 1
+        else:
+            reported.append(finding)
+    for finding in reported:
+        print(finding)
+    stale = [k for k, hits in allow.items() if hits == 0]
+    for k in stale:
+        print(f"note: stale allowlist entry (no longer matches): {k}")
+    if reported:
+        print(f"model_lint: {len(reported)} finding(s)")
+        return 1
+    used = sum(1 for hits in allow.values() if hits)
+    print(f"model_lint: clean ({used} allowlisted exception(s) in use)")
+    return 0
+
+
+# --------------------------- fixture self-test ---------------------------
+#
+# Each fixture case is a DIRECTORY under tools/lint/fixtures/model/ holding a
+# reed_client.h + op_generator.cc pair (the lint is a cross-file check, so
+# single-file fixtures cannot express it). Expected rules are LINT-EXPECT
+# annotations in either file of the pair.
+
+EXPECT_RE = re.compile(r"//\s*LINT-EXPECT:\s*([a-z\-]+)")
+
+
+def run_self_test(root):
+    fixture_dir = os.path.join(root, "tools", "lint", "fixtures", "model")
+    if not os.path.isdir(fixture_dir):
+        print(f"model_lint --self-test: no fixtures under {fixture_dir}")
+        return 1
+    cases = sorted(d for d in os.listdir(fixture_dir)
+                   if os.path.isdir(os.path.join(fixture_dir, d)))
+    if not cases:
+        print(f"model_lint --self-test: no fixture cases under {fixture_dir}")
+        return 1
+    failures = []
+    for case in cases:
+        case_rel = os.path.join("tools", "lint", "fixtures", "model", case)
+        header_rel = os.path.join(case_rel, "reed_client.h")
+        generator_rel = os.path.join(case_rel, "op_generator.cc")
+        expected = []
+        for rel in (header_rel, generator_rel):
+            path = os.path.join(root, rel)
+            if os.path.exists(path):
+                with open(path, encoding="utf-8") as f:
+                    expected.extend(r for r in EXPECT_RE.findall(f.read())
+                                    if r in RULES)
+        got = sorted(f.rule for f in check(root, header_rel, generator_rel))
+        if sorted(expected) != got:
+            failures.append(f"{case_rel}: expected "
+                            f"{sorted(expected) or '[clean]'}, "
+                            f"got {got or '[clean]'}")
+    for f in failures:
+        print("FAIL " + f)
+    print(f"model_lint --self-test: {len(cases) - len(failures)}/"
+          f"{len(cases)} fixture cases pass")
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--client-header", default=CLIENT_HEADER_REL,
+                    help="client header relative to --root")
+    ap.add_argument("--generator", default=GENERATOR_REL,
+                    help="op-generator source relative to --root")
+    ap.add_argument("--allowlist", default=None,
+                    help="allowlist file "
+                         "(default: tools/lint/model_allowlist.txt)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="lint the fixture pairs and check expectations")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    if args.self_test:
+        return run_self_test(root)
+    allowlist = args.allowlist or os.path.join(root, "tools", "lint",
+                                               "model_allowlist.txt")
+    return run_lint(root, args.client_header, args.generator, allowlist)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,12 +35,33 @@ ReedSystem::ReedSystem(const SystemOptions& options)
       std::make_unique<keymanager::KeyManager>(options_.key_manager, rng_);
   server::StorageServer::Options server_opts;
   server_opts.read_seek_seconds = options_.disk_seek_seconds;
+  server_opts.durability = options_.durability;
   for (std::size_t i = 0; i < options_.num_data_servers; ++i) {
-    data_servers_.push_back(std::make_unique<server::StorageServer>(
-        "data-server-" + std::to_string(i), server_opts));
+    std::string name = "data-server-" + std::to_string(i);
+    if (!options_.data_dir.empty()) {
+      server_opts.data_dir = options_.data_dir + "/" + name;
+    }
+    data_servers_.push_back(
+        std::make_unique<server::StorageServer>(name, server_opts));
+  }
+  if (!options_.data_dir.empty()) {
+    server_opts.data_dir = options_.data_dir + "/key-server";
   }
   key_server_ =
       std::make_unique<server::StorageServer>("key-server", server_opts);
+}
+
+void ReedSystem::ReopenServers(bool checkpoint_first) {
+  if (options_.data_dir.empty()) {
+    throw store::StoreError(
+        "ReedSystem: ReopenServers requires a durable data_dir");
+  }
+  for (const auto& srv : data_servers_) {
+    if (checkpoint_first) srv->Close();
+    srv->Reopen();
+  }
+  if (checkpoint_first) key_server_->Close();
+  key_server_->Reopen();
 }
 
 void ReedSystem::RegisterUser(const std::string& user_id) {

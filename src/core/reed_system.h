@@ -30,6 +30,11 @@ struct SystemOptions {
   double disk_seek_seconds = 0;
   // 0 = seed from the OS; fixed seeds make whole-system runs reproducible.
   std::uint64_t rng_seed = 0;
+  // Non-empty = durable servers: each gets its own subdirectory
+  // (data-server-<i>/, key-server/) under this path and recovers whatever it
+  // finds there on construction. Empty keeps the in-memory servers.
+  std::string data_dir;
+  store::DurabilityOptions durability;
 
   static SystemOptions PaperTestbed() {
     SystemOptions o;
@@ -65,6 +70,13 @@ class ReedSystem {
   std::size_t data_server_count() const { return data_servers_.size(); }
   server::StorageServer& data_server(std::size_t i) { return *data_servers_.at(i); }
   server::StorageServer& key_server() { return *key_server_; }
+
+  // Durable deployments only (throws StoreError otherwise): restarts every
+  // storage server from disk — Close() (checkpoint) first when
+  // `checkpoint_first`, else a cold crash-recovery reopen. Server addresses
+  // are stable, so existing clients and channels keep working. Callers must
+  // be quiesced (no in-flight uploads).
+  void ReopenServers(bool checkpoint_first);
 
   // Aggregated storage accounting across the cluster (drives Fig. 9).
   struct StorageStats {

@@ -53,13 +53,52 @@ RpcMetrics& MetricsFor(Opcode op) {
 
 }  // namespace
 
+StorageServer::Stores::Stores(const Options& options)
+    : engine(options.data_dir.empty()
+                 ? nullptr
+                 : std::make_unique<store::DurableEngine>(options.data_dir,
+                                                          options.durability)),
+      containers(options.container_capacity,
+                 engine ? &engine->segments() : nullptr),
+      index(engine ? &engine->wal() : nullptr),
+      data_objects(engine ? &engine->wal() : nullptr, store::kDataStoreTag),
+      key_objects(engine ? &engine->wal() : nullptr, store::kKeyStoreTag) {
+  // The engine opened (and tail-truncated) the on-disk logs before the
+  // stores attached to them; now replay disk state into the fresh stores.
+  if (engine) engine->Recover(containers, index, data_objects, key_objects);
+}
+
 StorageServer::StorageServer(std::string name)
     : StorageServer(std::move(name), Options()) {}
 
 StorageServer::StorageServer(std::string name, Options options)
     : name_(std::move(name)),
-      options_(options),
-      containers_(options.container_capacity) {}
+      options_(std::move(options)),
+      stores_(std::make_unique<Stores>(options_)) {}
+
+StorageServer::~StorageServer() = default;
+
+void StorageServer::Reopen() {
+  if (options_.data_dir.empty()) {
+    throw store::StoreError(
+        "StorageServer: Reopen requires a durable data_dir");
+  }
+  // Destroy first (closing the log descriptors), then recover from disk —
+  // the moral equivalent of a process restart, minus the exec.
+  stores_.reset();
+  stores_ = std::make_unique<Stores>(options_);
+}
+
+void StorageServer::Close() {
+  if (!stores_->engine) return;
+  stores_->engine->Checkpoint(stores_->index, stores_->data_objects,
+                              stores_->key_objects);
+}
+
+store::DurableEngine::RecoveryStats StorageServer::RecoveryStats() const {
+  if (!stores_->engine) return {};
+  return stores_->engine->recovery_stats();
+}
 
 StorageServer::PutChunksResult StorageServer::PutChunks(
     const std::vector<std::pair<chunk::Fingerprint, Bytes>>& chunks) {
@@ -92,26 +131,26 @@ StorageServer::PutChunksResult StorageServer::PutChunks(
     ContendedMutexLock<obs::Counter> ingest(
         ingest_mu_[chunk::FingerprintHash{}(fp) % kIngestStripes].mu,
         ingest_contention);
-    if (index_.Lookup(fp).has_value()) {
+    if (stores_->index.Lookup(fp).has_value()) {
       ++result.duplicates;
       continue;
     }
-    store::ChunkLocation loc = containers_.Append(data);
+    store::ChunkLocation loc = stores_->containers.Append(data);
     bool inserted = false;
     try {
-      inserted = index_.Insert(fp, loc);
+      inserted = stores_->index.Insert(fp, loc);
     } catch (...) {
       // The append landed but the index entry did not (the fault sweep arms
       // exactly this window): discard the appended bytes so the failure
       // leaves no orphaned container data behind.
-      containers_.Discard(loc);
+      stores_->containers.Discard(loc);
       throw;
     }
     if (!inserted) {
       // Unreachable while the ingest stripe serializes lookup+insert; if it
       // ever fires, dedup accounting is wrong — discard our losing copy and
       // fail loudly rather than report the chunk as stored.
-      containers_.Discard(loc);
+      stores_->containers.Discard(loc);
       throw Error("StorageServer: concurrent insert raced for fingerprint " +
                   fp.ToHex());
     }
@@ -125,6 +164,9 @@ StorageServer::PutChunksResult StorageServer::PutChunks(
   static obs::Counter& dups = reg.GetCounter("server.dedup.duplicate_chunks");
   logical.Add(chunks.size());
   dups.Add(result.duplicates);
+  // Durability point: the batch's appends and index records ride one group
+  // fsync (segments first via the WAL pre-sync hook). No locks held here.
+  if (stores_->engine) stores_->engine->Commit();
   return result;
 }
 
@@ -135,12 +177,12 @@ std::vector<Bytes> StorageServer::GetChunks(
   std::set<std::uint32_t> containers_touched;
   for (const auto& fp : fps) {
     REED_FAULT_POINT("server.chunks.read");
-    auto loc = index_.Lookup(fp);
+    auto loc = stores_->index.Lookup(fp);
     if (!loc.has_value()) {
       throw Error("StorageServer: unknown fingerprint " + fp.ToHex());
     }
     containers_touched.insert(loc->container_id);
-    out.push_back(containers_.Read(*loc));
+    out.push_back(stores_->containers.Read(*loc));
   }
   if (options_.read_seek_seconds > 0 && !containers_touched.empty()) {
     // Disk model: a restore batch is served with reads sorted by container
@@ -157,6 +199,7 @@ std::vector<Bytes> StorageServer::GetChunks(
 void StorageServer::PutObject(StoreId store, const std::string& name,
                               Bytes value) {
   StoreFor(store).Put(name, std::move(value));
+  if (stores_->engine) stores_->engine->Commit();
 }
 
 Bytes StorageServer::GetObject(StoreId store, const std::string& name) const {
@@ -174,23 +217,23 @@ StorageServer::Stats StorageServer::stats() const {
     s.logical_chunks = logical_chunks_;
     s.logical_bytes = logical_bytes_;
   }
-  auto cs = containers_.stats();
+  auto cs = stores_->containers.stats();
   s.unique_chunks = cs.chunks;
   s.physical_bytes = cs.bytes;
-  s.data_object_bytes = data_objects_.total_bytes();
-  s.key_object_bytes = key_objects_.total_bytes();
+  s.data_object_bytes = stores_->data_objects.total_bytes();
+  s.key_object_bytes = stores_->key_objects.total_bytes();
   return s;
 }
 
 StorageServer::ConsistencyReport StorageServer::CheckConsistency() const {
   ConsistencyReport report;
-  index_.ForEach([&](const chunk::Fingerprint& fp,
+  stores_->index.ForEach([&](const chunk::Fingerprint& fp,
                      const store::ChunkLocation& loc) {
     ++report.index_entries;
     report.index_bytes += loc.length;
     if (!report.ok) return;
     try {
-      Bytes chunk = containers_.Read(loc);
+      Bytes chunk = stores_->containers.Read(loc);
       if (chunk.size() != loc.length) {
         report.ok = false;
         report.detail = "short read for fingerprint " + fp.ToHex();
@@ -202,7 +245,7 @@ StorageServer::ConsistencyReport StorageServer::CheckConsistency() const {
                       e.what();
     }
   });
-  auto cs = containers_.stats();
+  auto cs = stores_->containers.stats();
   report.stored_chunks = cs.chunks;
   report.stored_bytes = cs.bytes;
   if (report.ok && report.stored_chunks != report.index_entries) {
@@ -225,7 +268,7 @@ std::string StorageServer::PackageDigest() const {
   // then read and hash outside them so the per-entry work never holds a
   // shard lock across a container read.
   std::vector<std::pair<chunk::Fingerprint, store::ChunkLocation>> entries;
-  index_.ForEach([&](const chunk::Fingerprint& fp,
+  stores_->index.ForEach([&](const chunk::Fingerprint& fp,
                      const store::ChunkLocation& loc) {
     entries.emplace_back(fp, loc);
   });
@@ -242,7 +285,7 @@ std::string StorageServer::PackageDigest() const {
   crypto::Sha256 hash;
   for (const auto& [fp, loc] : entries) {
     hash.Update(fp.AsSpan());
-    hash.Update(containers_.Read(loc));
+    hash.Update(stores_->containers.Read(loc));
   }
   crypto::Sha256Digest digest = hash.Finish();
   return HexEncode(ByteSpan(digest.data(), digest.size()));

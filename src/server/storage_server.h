@@ -15,10 +15,12 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <string>
 
 #include "net/wire.h"
 #include "store/container_store.h"
+#include "store/durable_engine.h"
 #include "store/index.h"
 #include "util/thread_annotations.h"
 
@@ -48,12 +50,35 @@ class StorageServer {
     // in new containers interleaved with old ones), which is what degrades
     // restore speed in the paper's Fig. 10 / [Lillibridge FAST'13]. 0 = off.
     double read_seek_seconds = 0;
+    // Non-empty = durable mode (DESIGN.md §12): containers, the fingerprint
+    // index, and both object stores persist under this directory, and
+    // construction runs crash recovery over whatever it finds there. Empty
+    // keeps the historical in-memory behaviour.
+    std::string data_dir;
+    store::DurabilityOptions durability;
   };
 
   explicit StorageServer(std::string name = "server");
   StorageServer(std::string name, Options options);
+  ~StorageServer();
 
   const std::string& name() const { return name_; }
+
+  // --- durable lifecycle (open happens in the constructor) ---
+
+  // Durable mode only (throws StoreError otherwise): drops all in-memory
+  // state and recovers from disk, exactly like a process restart, while the
+  // object identity (and any channels pointing at it) stays valid. Caller
+  // must be quiesced — this is a lifecycle operation, not a data path.
+  void Reopen();
+
+  // Durable mode: checkpoints the metadata plane and flushes everything so
+  // a subsequent open replays nothing. The server remains usable. No-op in
+  // memory-only mode.
+  void Close();
+
+  // Recovery statistics from the last open/Reopen (zeros in memory mode).
+  [[nodiscard]] store::DurableEngine::RecoveryStats RecoveryStats() const;
 
   // --- direct API (also reachable via HandleRequest) ---
 
@@ -117,19 +142,32 @@ class StorageServer {
   [[nodiscard]] std::string PackageDigest() const;
 
  private:
+  // The four stores plus (in durable mode) the engine that recovers and
+  // persists them, bundled so Reopen() can rebuild everything in place with
+  // one pointer swap while the StorageServer address — captured raw by
+  // in-process channels (core::ReedSystem) — stays stable.
+  struct Stores {
+    explicit Stores(const Options& options);
+
+    std::unique_ptr<store::DurableEngine> engine;  // null in memory mode
+    store::ContainerStore containers;
+    store::FingerprintIndex index;
+    store::ObjectStore data_objects;
+    store::ObjectStore key_objects;
+  };
+
   const store::ObjectStore& StoreFor(StoreId id) const {
-    return id == StoreId::kData ? data_objects_ : key_objects_;
+    return id == StoreId::kData ? stores_->data_objects
+                                : stores_->key_objects;
   }
   store::ObjectStore& StoreFor(StoreId id) {
-    return id == StoreId::kData ? data_objects_ : key_objects_;
+    return id == StoreId::kData ? stores_->data_objects
+                                : stores_->key_objects;
   }
 
   std::string name_;
   Options options_;
-  store::ContainerStore containers_;
-  store::FingerprintIndex index_;
-  store::ObjectStore data_objects_;
-  store::ObjectStore key_objects_;
+  std::unique_ptr<Stores> stores_;
 
   // Serializes the dedup check-then-store step in PutChunks; see there.
   // index_ and containers_ lock themselves — the ingest stripes guard the

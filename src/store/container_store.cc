@@ -1,5 +1,6 @@
 #include "store/container_store.h"
 
+#include "store/segment_log.h"
 #include "store/store_error.h"
 
 #include "obs/metrics.h"
@@ -28,8 +29,8 @@ ContainerMetrics& Metrics() {
 
 }  // namespace
 
-ContainerStore::ContainerStore(std::size_t container_capacity)
-    : capacity_(container_capacity) {
+ContainerStore::ContainerStore(std::size_t container_capacity, SegmentLog* log)
+    : capacity_(container_capacity), log_(log) {
   if (capacity_ == 0) throw StoreError("ContainerStore: zero capacity");
   containers_.emplace_back();
   containers_.back().reserve(capacity_);
@@ -50,6 +51,9 @@ ChunkLocation ContainerStore::Append(ByteSpan data) {
     ++stats_.containers;
     Metrics().containers_opened->Increment();
     current = &containers_.back();
+    if (log_ != nullptr) {
+      log_->Rotate(static_cast<std::uint32_t>(containers_.size() - 1));
+    }
   }
   ChunkLocation loc;
   loc.container_id = static_cast<std::uint32_t>(containers_.size() - 1);
@@ -60,11 +64,21 @@ ChunkLocation ContainerStore::Append(ByteSpan data) {
   stats_.bytes += data.size();
   Metrics().appends->Increment();
   Metrics().bytes->Add(data.size());
+  // Mirror to the segment log while the writer lock pins the (id, offset)
+  // ordering — replay re-applies records in file order and must land every
+  // chunk at the same logical coordinates.
+  if (log_ != nullptr) log_->AppendChunk(loc.container_id, loc.offset, data);
   return loc;
 }
 
 void ContainerStore::Discard(const ChunkLocation& loc) {
   WriterMutexLock lock(mu_);
+  DiscardLocked(loc);
+  Metrics().discards->Increment();
+  if (log_ != nullptr) log_->AppendDiscard(loc);
+}
+
+void ContainerStore::DiscardLocked(const ChunkLocation& loc) {
   if (loc.container_id >= containers_.size()) {
     throw StoreError("ContainerStore: discard of bad container id");
   }
@@ -80,7 +94,6 @@ void ContainerStore::Discard(const ChunkLocation& loc) {
   }
   --stats_.chunks;
   stats_.bytes -= loc.length;
-  Metrics().discards->Increment();
 }
 
 Bytes ContainerStore::Read(const ChunkLocation& loc) const {
@@ -99,6 +112,44 @@ Bytes ContainerStore::Read(const ChunkLocation& loc) const {
 ContainerStore::Stats ContainerStore::stats() const {
   ReaderMutexLock lock(mu_);
   return stats_;
+}
+
+void ContainerStore::ReplayBeginContainer(std::uint32_t id) {
+  WriterMutexLock lock(mu_);
+  if (id == 0) {
+    if (containers_.size() != 1 || !containers_[0].empty()) {
+      throw StoreError("ContainerStore: replay into a non-fresh store");
+    }
+    return;
+  }
+  if (id != containers_.size()) {
+    throw StoreError("ContainerStore: replay container id out of sequence");
+  }
+  // Replay bumps only the recovery counters (DurableEngine), never the
+  // normal write-path metrics — a restart must not look like new writes.
+  containers_.emplace_back();
+  containers_.back().reserve(capacity_);
+  ++stats_.containers;
+}
+
+void ContainerStore::ReplayAppend(std::uint32_t container_id,
+                                  std::uint32_t offset, ByteSpan data) {
+  WriterMutexLock lock(mu_);
+  if (container_id != containers_.size() - 1) {
+    throw StoreError("ContainerStore: replay append to non-current container");
+  }
+  Bytes& current = containers_.back();
+  if (offset != current.size()) {
+    throw StoreError("ContainerStore: replay append offset mismatch");
+  }
+  reed::Append(current, data);
+  ++stats_.chunks;
+  stats_.bytes += data.size();
+}
+
+void ContainerStore::ReplayDiscard(const ChunkLocation& loc) {
+  WriterMutexLock lock(mu_);
+  DiscardLocked(loc);
 }
 
 }  // namespace reed::store

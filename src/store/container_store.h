@@ -2,6 +2,14 @@
 // (4 MB, §V-B) containers before hitting the storage backend, amortizing
 // backend I/O. Locations are stable (container id, offset, length) triples
 // recorded by the fingerprint index and file recipes.
+//
+// Persistence is optional: attach a SegmentLog and every append/discard is
+// mirrored as a framed record in the per-container segment files while the
+// in-memory vector doubles as the read cache (the full store stays
+// memory-resident; DESIGN.md §12). The Replay* methods are the recovery
+// path — they rebuild the identical in-memory state from segment records
+// WITHOUT re-logging, and verify that replayed locations land exactly where
+// the original appends did.
 #pragma once
 
 #include <vector>
@@ -10,6 +18,8 @@
 #include "util/thread_annotations.h"
 
 namespace reed::store {
+
+class SegmentLog;
 
 struct ChunkLocation {
   std::uint32_t container_id = 0;
@@ -23,7 +33,8 @@ class ContainerStore {
  public:
   static constexpr std::size_t kDefaultContainerSize = 4u << 20;  // 4 MB
 
-  explicit ContainerStore(std::size_t container_capacity = kDefaultContainerSize);
+  explicit ContainerStore(std::size_t container_capacity = kDefaultContainerSize,
+                          SegmentLog* log = nullptr);
 
   // Appends one chunk; opens a new container when the current one cannot
   // fit it. Chunks never span containers. Dropping the returned location
@@ -51,8 +62,22 @@ class ContainerStore {
   };
   [[nodiscard]] Stats stats() const;
 
+  // --- recovery-only (DurableEngine, single-threaded, before serving) ---
+
+  // Opens container `id` during replay; id 0 (created by the constructor)
+  // is verified rather than opened.
+  void ReplayBeginContainer(std::uint32_t id);
+  // Re-applies a segment append/discard record; throws StoreError if the
+  // replayed location disagrees with what the original operation recorded.
+  void ReplayAppend(std::uint32_t container_id, std::uint32_t offset,
+                    ByteSpan data);
+  void ReplayDiscard(const ChunkLocation& loc);
+
  private:
+  void DiscardLocked(const ChunkLocation& loc) REED_REQUIRES(mu_);
+
   std::size_t capacity_;
+  SegmentLog* log_;  // null = memory-only (the pre-durability behaviour)
   mutable SharedMutex mu_{LockRank::kStoreContainer};
   std::vector<Bytes> containers_ REED_GUARDED_BY(mu_);
   Stats stats_ REED_GUARDED_BY(mu_);

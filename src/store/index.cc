@@ -1,6 +1,7 @@
 #include "store/index.h"
 
 #include "store/store_error.h"
+#include "store/wal.h"
 
 #include "obs/metrics.h"
 #include "util/fault_inject.h"
@@ -78,7 +79,25 @@ bool FingerprintIndex::Insert(const chunk::Fingerprint& fp,
   Shard& shard = ShardFor(fp);
   schedfuzz::Perturb("store.index.shard");
   ShardLock lock(shard.mu, *Metrics().shard_contention);
-  return shard.map.emplace(fp, loc).second;
+  if (!shard.map.emplace(fp, loc).second) return false;
+  // Logged under the shard lock: WAL order equals apply order per shard,
+  // which is what makes last-writer-wins replay converge.
+  if (wal_ != nullptr) {
+    DiscardResult(wal_->Append(RecordType::kIndexInsert,
+                               EncodeIndexInsert({fp, loc})));
+  }
+  return true;
+}
+
+bool FingerprintIndex::Erase(const chunk::Fingerprint& fp) {
+  Shard& shard = ShardFor(fp);
+  ShardLock lock(shard.mu, *Metrics().shard_contention);
+  if (shard.map.erase(fp) == 0) return false;
+  if (wal_ != nullptr) {
+    DiscardResult(
+        wal_->Append(RecordType::kIndexErase, EncodeIndexErase({fp})));
+  }
+  return true;
 }
 
 std::size_t FingerprintIndex::size() const {
@@ -99,11 +118,21 @@ void FingerprintIndex::ForEach(
   }
 }
 
-void ObjectStore::Put(const std::string& name, Bytes value) {
-  REED_FAULT_POINT("store.object.put");
-  Shard& shard = ShardFor(name);
-  schedfuzz::Perturb("store.object.shard");
-  ShardLock lock(shard.mu, *ObjMetrics().shard_contention);
+void FingerprintIndex::ReplayInsert(const chunk::Fingerprint& fp,
+                                    const ChunkLocation& loc) {
+  Shard& shard = ShardFor(fp);
+  MutexLock lock(shard.mu);
+  shard.map[fp] = loc;
+}
+
+void FingerprintIndex::ReplayErase(const chunk::Fingerprint& fp) {
+  Shard& shard = ShardFor(fp);
+  MutexLock lock(shard.mu);
+  shard.map.erase(fp);
+}
+
+void ObjectStore::PutLocked(Shard& shard, const std::string& name,
+                            Bytes value) {
   // Overwrites keep the same name, hence the same directory counter.
   std::uint64_t& dir = shard.dir_bytes[std::string(DirOf(name))];
   auto it = shard.objects.find(name);
@@ -118,6 +147,33 @@ void ObjectStore::Put(const std::string& name, Bytes value) {
   shard.bytes += value.size();
   dir += value.size();
   shard.objects.emplace(name, std::move(value));
+}
+
+bool ObjectStore::EraseLocked(Shard& shard, const std::string& name) {
+  auto it = shard.objects.find(name);
+  if (it == shard.objects.end()) return false;
+  shard.bytes -= it->second.size();
+  auto dir = shard.dir_bytes.find(DirOf(name));
+  if (dir != shard.dir_bytes.end()) dir->second -= it->second.size();
+  shard.objects.erase(it);
+  return true;
+}
+
+void ObjectStore::Put(const std::string& name, Bytes value) {
+  REED_FAULT_POINT("store.object.put");
+  Shard& shard = ShardFor(name);
+  schedfuzz::Perturb("store.object.shard");
+  ShardLock lock(shard.mu, *ObjMetrics().shard_contention);
+  // Encode the redo record before the apply consumes `value`; append it
+  // under the shard lock so WAL order equals apply order (replay is
+  // last-writer-wins per name).
+  if (wal_ != nullptr) {
+    Bytes payload = EncodeObjectPut({store_tag_, name, value});
+    PutLocked(shard, name, std::move(value));
+    DiscardResult(wal_->Append(RecordType::kObjectPut, payload));
+    return;
+  }
+  PutLocked(shard, name, std::move(value));
 }
 
 Bytes ObjectStore::Get(const std::string& name) const {
@@ -140,12 +196,11 @@ bool ObjectStore::Contains(const std::string& name) const {
 bool ObjectStore::Erase(const std::string& name) {
   Shard& shard = ShardFor(name);
   ShardLock lock(shard.mu, *ObjMetrics().shard_contention);
-  auto it = shard.objects.find(name);
-  if (it == shard.objects.end()) return false;
-  shard.bytes -= it->second.size();
-  auto dir = shard.dir_bytes.find(DirOf(name));
-  if (dir != shard.dir_bytes.end()) dir->second -= it->second.size();
-  shard.objects.erase(it);
+  if (!EraseLocked(shard, name)) return false;
+  if (wal_ != nullptr) {
+    DiscardResult(wal_->Append(RecordType::kObjectErase,
+                               EncodeObjectErase({store_tag_, name})));
+  }
   return true;
 }
 
@@ -185,6 +240,26 @@ std::uint64_t ObjectStore::TotalBytesWithPrefix(std::string_view prefix) const {
     }
   }
   return total;
+}
+
+void ObjectStore::ForEach(
+    const std::function<void(const std::string&, const Bytes&)>& fn) const {
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (const auto& [name, value] : shard.objects) fn(name, value);
+  }
+}
+
+void ObjectStore::ReplayPut(const std::string& name, Bytes value) {
+  Shard& shard = ShardFor(name);
+  MutexLock lock(shard.mu);
+  PutLocked(shard, name, std::move(value));
+}
+
+void ObjectStore::ReplayErase(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  MutexLock lock(shard.mu);
+  DiscardResult(EraseLocked(shard, name));
 }
 
 }  // namespace reed::store

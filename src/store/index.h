@@ -29,9 +29,17 @@
 
 namespace reed::store {
 
+class Wal;
+
 class FingerprintIndex {
  public:
   static constexpr std::size_t kNumShards = 8;
+
+  // With a WAL attached, every successful Insert/Erase appends a redo
+  // record under the shard lock (LockRank::kStoreWal ranks above
+  // kStoreShard), so recovery replays mutations in per-shard apply order.
+  // Null keeps the pre-durability memory-only behaviour.
+  explicit FingerprintIndex(Wal* wal = nullptr) : wal_(wal) {}
 
   // Returns the existing location, or nullopt if the fingerprint is new.
   [[nodiscard]] std::optional<ChunkLocation> Lookup(
@@ -43,6 +51,10 @@ class FingerprintIndex {
   [[nodiscard]] bool Insert(const chunk::Fingerprint& fp,
                             const ChunkLocation& loc);
 
+  // Drops a mapping; returns false if absent. Outside tests this is the
+  // recovery reconciler's tool for dangling entries, not a data-path op.
+  [[nodiscard]] bool Erase(const chunk::Fingerprint& fp);
+
   [[nodiscard]] std::size_t size() const;
 
   // Visits every entry, one shard at a time (the callback runs under that
@@ -52,6 +64,13 @@ class FingerprintIndex {
   void ForEach(
       const std::function<void(const chunk::Fingerprint&, const ChunkLocation&)>&
           fn) const;
+
+  // Recovery-only (DurableEngine, single-threaded): re-apply a checkpoint
+  // or WAL record without re-logging it. ReplayInsert overwrites — WAL
+  // records are replayed in order, so last-writer-wins converges on the
+  // pre-crash state.
+  void ReplayInsert(const chunk::Fingerprint& fp, const ChunkLocation& loc);
+  void ReplayErase(const chunk::Fingerprint& fp);
 
  private:
   struct Shard {
@@ -67,12 +86,18 @@ class FingerprintIndex {
     return shards_[(chunk::FingerprintHash{}(fp) >> 56) % kNumShards];
   }
 
+  Wal* wal_;  // null = memory-only
   mutable std::array<Shard, kNumShards> shards_;
 };
 
 class ObjectStore {
  public:
   static constexpr std::size_t kNumShards = 8;
+
+  // `store_tag` distinguishes the data store from the key store inside the
+  // one shared WAL (server::StoreId values). Null wal = memory-only.
+  explicit ObjectStore(Wal* wal = nullptr, std::uint8_t store_tag = 0)
+      : wal_(wal), store_tag_(store_tag) {}
 
   void Put(const std::string& name, Bytes value);
   // Throws Error if absent.
@@ -91,6 +116,16 @@ class ObjectStore {
   // arbitrary prefixes fall back to a scan with identical results.
   [[nodiscard]] std::uint64_t TotalBytesWithPrefix(std::string_view prefix) const;
 
+  // Visits every object, one shard at a time (callback runs under that
+  // shard's lock — keep it cheap). Checkpointing and the counter-vs-rescan
+  // regression tests use this; it is not a data path.
+  void ForEach(
+      const std::function<void(const std::string&, const Bytes&)>& fn) const;
+
+  // Recovery-only: re-apply checkpoint/WAL records without re-logging.
+  void ReplayPut(const std::string& name, Bytes value);
+  void ReplayErase(const std::string& name);
+
  private:
   struct Shard {
     mutable Mutex mu{LockRank::kStoreShard};
@@ -107,6 +142,16 @@ class ObjectStore {
     return shards_[(std::hash<std::string_view>{}(name) >> 56) % kNumShards];
   }
 
+  // Applies a put to `shard` and returns the value bytes delta; shared by
+  // the logging and replay paths so the per-directory counters (the O(1)
+  // prefix accounting) move identically under both.
+  void PutLocked(Shard& shard, const std::string& name, Bytes value)
+      REED_REQUIRES(shard.mu);
+  bool EraseLocked(Shard& shard, const std::string& name)
+      REED_REQUIRES(shard.mu);
+
+  Wal* wal_;  // null = memory-only
+  std::uint8_t store_tag_;
   mutable std::array<Shard, kNumShards> shards_;
 };
 

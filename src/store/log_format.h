@@ -1,0 +1,139 @@
+// On-disk record framing shared by the WAL, the container segment log, and
+// the index checkpoint (DESIGN.md §12).
+//
+// Every durable artifact is a flat sequence of framed records:
+//
+//     u32 magic   "RED1"
+//     u8  type    RecordType
+//     u32 len     payload length
+//     u8  payload[len]
+//     u32 crc     CRC-32 over (type, len, payload)
+//
+// All integers big-endian, matching the wire format. The CRC is what lets
+// recovery distinguish a torn tail (truncate and continue) from valid data;
+// the magic catches gross misalignment early. Payload lengths are capped at
+// kMaxRecordPayload — the same 256 MiB sanity bound as net::Reader — so a
+// corrupted length field can never drive a huge allocation.
+//
+// Two decoders on purpose:
+//   * DecodeRecord throws the typed StoreError on ANY malformation — the
+//     strict path for checkpoints (where corruption is fatal) and the
+//     contract the fuzz suite locks down;
+//   * ScanRecord never throws — the recovery path, where a malformed record
+//     is by definition the torn tail of the log and simply ends the scan.
+#pragma once
+
+#include <string>
+
+#include "chunk/fingerprint.h"
+#include "store/container_store.h"
+#include "store/store_error.h"
+#include "util/bytes.h"
+
+namespace reed::store {
+
+enum class RecordType : std::uint8_t {
+  // WAL + checkpoint records (metadata plane).
+  kIndexInsert = 1,   // fingerprint -> container location
+  kIndexErase = 2,    // drop a fingerprint mapping
+  kObjectPut = 3,     // named blob write (recipes, stubs, key states)
+  kObjectErase = 4,   // named blob delete
+  kCheckpointFooter = 5,  // checkpoint completeness marker (record count)
+  // Segment-log records (data plane).
+  kSegmentAppend = 10,   // one chunk appended to a container
+  kSegmentDiscard = 11,  // rollback/garbage-collect of one chunk
+  kSegmentSeal = 12,     // sealed-segment footer (record + byte totals)
+};
+
+inline constexpr std::uint32_t kRecordMagic = 0x52454431;  // "RED1"
+inline constexpr std::uint32_t kMaxRecordPayload = 256u << 20;  // 256 MiB
+inline constexpr std::size_t kRecordHeaderBytes = 9;   // magic + type + len
+inline constexpr std::size_t kRecordTrailerBytes = 4;  // crc
+
+// Frames `payload` as one record appended to `out`.
+void AppendRecord(Bytes& out, RecordType type, ByteSpan payload);
+
+struct RecordView {
+  RecordType type{};
+  ByteSpan payload;          // view into the scanned buffer — no copy
+  std::size_t encoded_size = 0;  // header + payload + trailer
+};
+
+// Strict decode of the record starting at `offset`; throws StoreError on
+// truncation, bad magic, oversized length, unknown type, or CRC mismatch.
+[[nodiscard]] RecordView DecodeRecord(ByteSpan buf, std::size_t offset);
+
+enum class ScanStatus : std::uint8_t {
+  kRecord,  // a valid record was decoded
+  kEnd,     // offset is exactly the end of the buffer
+  kTorn,    // trailing bytes that do not form a valid record
+};
+
+struct ScanResult {
+  ScanStatus status = ScanStatus::kEnd;
+  RecordView record;
+};
+
+// Tolerant decode for recovery: anything malformed is reported as kTorn
+// instead of throwing.
+[[nodiscard]] ScanResult ScanRecord(ByteSpan buf, std::size_t offset);
+
+// --- typed payloads -------------------------------------------------------
+
+struct IndexInsertRecord {
+  chunk::Fingerprint fp;
+  ChunkLocation loc;
+};
+[[nodiscard]] Bytes EncodeIndexInsert(const IndexInsertRecord& rec);
+[[nodiscard]] IndexInsertRecord DecodeIndexInsert(ByteSpan payload);
+
+struct IndexEraseRecord {
+  chunk::Fingerprint fp;
+};
+[[nodiscard]] Bytes EncodeIndexErase(const IndexEraseRecord& rec);
+[[nodiscard]] IndexEraseRecord DecodeIndexErase(ByteSpan payload);
+
+// store_tag tells the two ObjectStores (data vs key) apart in one WAL.
+struct ObjectPutRecord {
+  std::uint8_t store_tag = 0;
+  std::string name;
+  Bytes value;
+};
+[[nodiscard]] Bytes EncodeObjectPut(const ObjectPutRecord& rec);
+[[nodiscard]] ObjectPutRecord DecodeObjectPut(ByteSpan payload);
+
+struct ObjectEraseRecord {
+  std::uint8_t store_tag = 0;
+  std::string name;
+};
+[[nodiscard]] Bytes EncodeObjectErase(const ObjectEraseRecord& rec);
+[[nodiscard]] ObjectEraseRecord DecodeObjectErase(ByteSpan payload);
+
+struct SegmentAppendRecord {
+  std::uint32_t container_id = 0;
+  std::uint32_t offset = 0;
+  ByteSpan data;  // chunk payload — a view for both encode and decode
+};
+[[nodiscard]] Bytes EncodeSegmentAppend(const SegmentAppendRecord& rec);
+[[nodiscard]] SegmentAppendRecord DecodeSegmentAppend(ByteSpan payload);
+
+struct SegmentDiscardRecord {
+  ChunkLocation loc;
+};
+[[nodiscard]] Bytes EncodeSegmentDiscard(const SegmentDiscardRecord& rec);
+[[nodiscard]] SegmentDiscardRecord DecodeSegmentDiscard(ByteSpan payload);
+
+struct SegmentSealRecord {
+  std::uint64_t records = 0;        // framed records in the sealed segment
+  std::uint64_t payload_bytes = 0;  // chunk bytes appended to it
+};
+[[nodiscard]] Bytes EncodeSegmentSeal(const SegmentSealRecord& rec);
+[[nodiscard]] SegmentSealRecord DecodeSegmentSeal(ByteSpan payload);
+
+struct CheckpointFooterRecord {
+  std::uint64_t records = 0;  // records preceding the footer
+};
+[[nodiscard]] Bytes EncodeCheckpointFooter(const CheckpointFooterRecord& rec);
+[[nodiscard]] CheckpointFooterRecord DecodeCheckpointFooter(ByteSpan payload);
+
+}  // namespace reed::store

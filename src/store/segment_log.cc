@@ -1,0 +1,193 @@
+#include "store/segment_log.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace reed::store {
+namespace {
+
+obs::Counter& SealedCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("store.segment.sealed");
+  return c;
+}
+
+bool IsSegmentName(const std::string& name) {
+  return name.starts_with("seg-") && name.ends_with(".log");
+}
+
+}  // namespace
+
+SegmentLog::SegmentLog(std::string dir, DurabilityOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  (void)SealedCounter();  // resolve before any lock is held
+}
+
+std::string SegmentLog::PathFor(std::uint32_t id) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06u.log", id);
+  return dir_ + "/" + name;
+}
+
+std::uint64_t SegmentLog::Replay(const BeginContainerFn& begin_container,
+                                 const RecordFn& record) {
+  // Recovery is single-threaded and strictly precedes concurrent use; the
+  // scan runs lock-free so the per-record callbacks can take the container
+  // writer lock (rank kStoreContainer < kStoreSegment) without inversion.
+  std::vector<std::string> names;
+  for (const std::string& name : util::ListFiles(dir_)) {
+    if (IsSegmentName(name)) names.push_back(name);
+  }
+  std::uint64_t torn_bytes = 0;
+  std::uint64_t sealed_files = 0;
+  std::uint32_t next_id = 0;
+  std::uint32_t open_id = 0;          // segment left current after replay
+  std::uint64_t open_records = 0;     // its replayed record count
+  std::uint64_t open_payload = 0;     // its replayed chunk bytes
+  for (const std::string& name : names) {
+    const std::uint32_t id = next_id++;
+    if (PathFor(id) != dir_ + "/" + name) {
+      throw StoreError("SegmentLog: segment files not contiguous at " + name);
+    }
+    const bool last = id + 1 == names.size();
+    begin_container(id);
+    Bytes raw = util::ReadFileBytes(PathFor(id));
+    std::size_t offset = 0;
+    std::uint64_t file_records = 0;
+    std::uint64_t file_payload = 0;
+    bool sealed = false;
+    for (;;) {
+      ScanResult scan = ScanRecord(raw, offset);
+      if (scan.status == ScanStatus::kEnd) break;
+      if (scan.status == ScanStatus::kTorn) {
+        if (!last) {
+          throw StoreError("SegmentLog: corrupt interior segment " + name);
+        }
+        torn_bytes += raw.size() - offset;
+        util::File f = util::File::OpenAppend(PathFor(id));
+        f.Truncate(offset);
+        f.Close();
+        break;
+      }
+      const RecordView& rec = scan.record;
+      offset += rec.encoded_size;
+      if (rec.type == RecordType::kSegmentSeal) {
+        SegmentSealRecord seal = DecodeSegmentSeal(rec.payload);
+        if (seal.records != file_records ||
+            seal.payload_bytes != file_payload) {
+          throw StoreError("SegmentLog: seal totals mismatch in " + name);
+        }
+        if (offset != raw.size()) {
+          throw StoreError("SegmentLog: records after seal in " + name);
+        }
+        sealed = true;
+        ++sealed_files;
+        break;
+      }
+      if (rec.type != RecordType::kSegmentAppend &&
+          rec.type != RecordType::kSegmentDiscard) {
+        throw StoreError("SegmentLog: unexpected record type in " + name);
+      }
+      ++file_records;
+      if (rec.type == RecordType::kSegmentAppend) {
+        file_payload += DecodeSegmentAppend(rec.payload).data.size();
+      }
+      record(rec);
+    }
+    if (!sealed && !last) {
+      throw StoreError("SegmentLog: interior segment missing seal: " + name);
+    }
+    if (!sealed) {
+      open_id = id;
+      open_records = file_records;
+      open_payload = file_payload;
+    } else if (last) {
+      // Crash landed between sealing this segment and creating the next
+      // file: finish the rotation now.
+      open_id = id + 1;
+      open_records = 0;
+      open_payload = 0;
+      begin_container(open_id);
+    }
+  }
+  if (names.empty()) {
+    open_id = 0;
+  }
+  MutexLock lock(mu_);
+  if (replayed_) throw StoreError("SegmentLog: Replay called twice");
+  replayed_ = true;
+  current_id_ = open_id;
+  current_records_ = open_records;
+  current_payload_bytes_ = open_payload;
+  sealed_ = sealed_files;
+  OpenCurrent();
+  return torn_bytes;
+}
+
+void SegmentLog::OpenCurrent() {
+  file_ = util::File::OpenAppend(PathFor(current_id_));
+}
+
+void SegmentLog::AppendFrame(RecordType type, ByteSpan payload) {
+  if (!replayed_) throw StoreError("SegmentLog: append before Replay");
+  Bytes frame;
+  frame.reserve(kRecordHeaderBytes + payload.size() + kRecordTrailerBytes);
+  AppendRecord(frame, type, payload);
+  file_.Append(frame);
+}
+
+void SegmentLog::AppendChunk(std::uint32_t container_id, std::uint32_t offset,
+                             ByteSpan data) {
+  MutexLock lock(mu_);
+  if (container_id != current_id_) {
+    throw StoreError("SegmentLog: append to non-current segment");
+  }
+  SegmentAppendRecord rec{container_id, offset, data};
+  AppendFrame(RecordType::kSegmentAppend, EncodeSegmentAppend(rec));
+  ++current_records_;
+  current_payload_bytes_ += data.size();
+}
+
+void SegmentLog::AppendDiscard(const ChunkLocation& loc) {
+  MutexLock lock(mu_);
+  AppendFrame(RecordType::kSegmentDiscard, EncodeSegmentDiscard({loc}));
+  ++current_records_;
+}
+
+void SegmentLog::Rotate(std::uint32_t new_container_id) {
+  MutexLock lock(mu_);
+  if (new_container_id != current_id_ + 1) {
+    throw StoreError("SegmentLog: non-sequential rotation");
+  }
+  SegmentSealRecord seal{current_records_, current_payload_bytes_};
+  AppendFrame(RecordType::kSegmentSeal, EncodeSegmentSeal(seal));
+  if (options_.fsync_policy != FsyncPolicy::kNone) {
+    // Sealed files are immutable from here on; one fsync at the seal means
+    // only the CURRENT segment can ever hold a torn tail.
+    file_.Sync();
+  }
+  ++sealed_;
+  SealedCounter().Increment();
+  current_id_ = new_container_id;
+  current_records_ = 0;
+  current_payload_bytes_ = 0;
+  OpenCurrent();
+  if (options_.fsync_policy != FsyncPolicy::kNone) {
+    util::SyncDirectory(dir_);
+  }
+}
+
+void SegmentLog::Sync() {
+  MutexLock lock(mu_);
+  if (!replayed_) return;  // nothing opened yet
+  file_.Sync();
+}
+
+std::uint64_t SegmentLog::segments_sealed() const {
+  MutexLock lock(mu_);
+  return sealed_;
+}
+
+}  // namespace reed::store

@@ -1,0 +1,74 @@
+// Log-structured container persistence (DESIGN.md §12): one append-only
+// segment file per container (`seg-NNNNNN.log`), each a sequence of framed
+// records (store/log_format.h). A container's appends and any discards
+// issued while it is current land in its file; when the ContainerStore
+// rotates, the old segment is SEALED with a footer recording its totals
+// (then fsynced, so only the LAST segment can ever be torn) and the next
+// file is opened.
+//
+// Replay rebuilds the in-memory ContainerStore exactly: files are read in
+// id order, every record re-applied, a torn tail on the last file truncated
+// at the CRC boundary. A missing seal on an interior file means the log is
+// corrupt beyond the crash-consistency contract and recovery fails loudly.
+//
+// Locking: appends arrive under the ContainerStore writer lock; the group
+// commit leader calls Sync() with no caller lock. The internal mutex
+// (LockRank::kStoreSegment, above kStoreContainer) covers the fd + seal
+// bookkeeping for exactly that overlap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "store/durability.h"
+#include "store/log_format.h"
+#include "util/file_io.h"
+#include "util/thread_annotations.h"
+
+namespace reed::store {
+
+class SegmentLog {
+ public:
+  SegmentLog(std::string dir, DurabilityOptions options);
+
+  // Replays every existing segment file in order: `begin_container(id)` at
+  // each file boundary, then `record` per valid record. Truncates a torn
+  // tail on the last file, opens it for appending, and returns the number
+  // of torn bytes dropped. Must be called exactly once, before any append.
+  using BeginContainerFn = std::function<void(std::uint32_t id)>;
+  using RecordFn = std::function<void(const RecordView&)>;
+  std::uint64_t Replay(const BeginContainerFn& begin_container,
+                       const RecordFn& record);
+
+  // Called by ContainerStore under its writer lock.
+  void AppendChunk(std::uint32_t container_id, std::uint32_t offset,
+                   ByteSpan data);
+  void AppendDiscard(const ChunkLocation& loc);
+  // Seals the current segment (footer + fsync) and opens seg-(id+1);
+  // `new_container_id` must be the next sequential id.
+  void Rotate(std::uint32_t new_container_id);
+
+  // Flushes the current segment file; sealed files were synced at the seal.
+  void Sync();
+
+  [[nodiscard]] std::uint64_t segments_sealed() const;
+
+ private:
+  void OpenCurrent() REED_REQUIRES(mu_);
+  void AppendFrame(RecordType type, ByteSpan payload) REED_REQUIRES(mu_);
+  [[nodiscard]] std::string PathFor(std::uint32_t id) const;
+
+  const std::string dir_;
+  const DurabilityOptions options_;
+
+  mutable Mutex mu_{LockRank::kStoreSegment};
+  util::File file_ REED_GUARDED_BY(mu_);
+  std::uint32_t current_id_ REED_GUARDED_BY(mu_) = 0;
+  std::uint64_t current_records_ REED_GUARDED_BY(mu_) = 0;
+  std::uint64_t current_payload_bytes_ REED_GUARDED_BY(mu_) = 0;
+  std::uint64_t sealed_ REED_GUARDED_BY(mu_) = 0;
+  bool replayed_ REED_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace reed::store

@@ -40,6 +40,11 @@ enum class LockRank : std::uint16_t {
   // store: nested under the ingest stripes on the write path.
   kStoreShard = 200,      // FingerprintIndex / ObjectStore shard locks
   kStoreContainer = 210,  // ContainerStore reader/writer lock
+  // Durable-store leaves of the store band: the segment log is written
+  // under the container writer lock, the WAL under index/object shard
+  // locks — both must rank above every lock that feeds them records.
+  kStoreSegment = 240,  // SegmentLog file state
+  kStoreWal = 250,      // Wal append/commit state
 
   // keymanager
   kKeyManagerState = 300,  // KeyManager buckets_ + stats_
@@ -89,6 +94,10 @@ constexpr const char* LockRankName(LockRank rank) {
       return "store.shard";
     case LockRank::kStoreContainer:
       return "store.container";
+    case LockRank::kStoreSegment:
+      return "store.segment";
+    case LockRank::kStoreWal:
+      return "store.wal";
     case LockRank::kKeyManagerState:
       return "keymanager.state";
     case LockRank::kAbeAttrCache:
@@ -117,9 +126,10 @@ constexpr const char* LockRankName(LockRank rank) {
 
 // Every rank except kUnranked, for eager metric registration
 // (obs/lock_metrics.cc resolves one wait + one held histogram per rank).
-inline constexpr std::array<LockRank, 15> kAllLockRanks = {
+inline constexpr std::array<LockRank, 17> kAllLockRanks = {
     LockRank::kServerStats,      LockRank::kServerIngest,
     LockRank::kStoreShard,       LockRank::kStoreContainer,
+    LockRank::kStoreSegment,     LockRank::kStoreWal,
     LockRank::kKeyManagerState,  LockRank::kAbeAttrCache,
     LockRank::kThreadPool,       LockRank::kLruCache,
     LockRank::kRateLimiter,      LockRank::kCryptoRng,

@@ -1,0 +1,489 @@
+// Durable storage engine (DESIGN.md §12): record framing, WAL tail
+// truncation, group commit, segment sealing, checkpointing, and full
+// crash-shaped recovery through DurableEngine and StorageServer::Reopen.
+// The SIGKILL-under-fault variants live in crash_recovery_test.cc; this
+// suite covers the same machinery in-process at quick-tier speed.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "chunk/fingerprint.h"
+#include "server/storage_server.h"
+#include "store/durable_engine.h"
+#include "store/log_format.h"
+#include "store/segment_log.h"
+#include "store/store_error.h"
+#include "store/wal.h"
+#include "util/crc32.h"
+#include "util/file_io.h"
+
+namespace reed {
+namespace {
+
+using server::StorageServer;
+using server::StoreId;
+using store::ChunkLocation;
+using store::DurabilityOptions;
+using store::RecordType;
+using store::RecordView;
+using store::StoreError;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+Bytes Pattern(std::size_t n, std::uint8_t salt) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>((i * 31 + salt) & 0xFF);
+  }
+  return out;
+}
+
+chunk::Fingerprint FpOf(const Bytes& data) {
+  return chunk::Fingerprint::Of(ByteSpan(data));
+}
+
+TEST(Crc32Test, SeedChainingMatchesConcatenation) {
+  Bytes a = Pattern(100, 1);
+  Bytes b = Pattern(57, 2);
+  Bytes ab = a;
+  ab.insert(ab.end(), b.begin(), b.end());
+  EXPECT_EQ(util::Crc32(ab), util::Crc32(b, util::Crc32(a)));
+  EXPECT_NE(util::Crc32(a), util::Crc32(b));
+  EXPECT_EQ(util::Crc32(ByteSpan()), 0u);
+}
+
+TEST(LogFormatTest, RecordRoundtripAllTypes) {
+  Bytes buf;
+  store::AppendRecord(buf, RecordType::kIndexInsert,
+                      store::EncodeIndexInsert(
+                          {FpOf(Pattern(8, 3)), ChunkLocation{1, 2, 3}}));
+  store::AppendRecord(buf, RecordType::kObjectPut,
+                      store::EncodeObjectPut({1, "stub/f1", Pattern(20, 4)}));
+  store::AppendRecord(buf, RecordType::kSegmentAppend,
+                      store::EncodeSegmentAppend({7, 40, Pattern(16, 5)}));
+
+  std::size_t offset = 0;
+  RecordView r1 = store::DecodeRecord(buf, offset);
+  EXPECT_EQ(r1.type, RecordType::kIndexInsert);
+  store::IndexInsertRecord ins = store::DecodeIndexInsert(r1.payload);
+  EXPECT_EQ(ins.fp, FpOf(Pattern(8, 3)));
+  EXPECT_EQ(ins.loc, (ChunkLocation{1, 2, 3}));
+  offset += r1.encoded_size;
+
+  RecordView r2 = store::DecodeRecord(buf, offset);
+  store::ObjectPutRecord put = store::DecodeObjectPut(r2.payload);
+  EXPECT_EQ(put.store_tag, 1);
+  EXPECT_EQ(put.name, "stub/f1");
+  EXPECT_EQ(put.value, Pattern(20, 4));
+  offset += r2.encoded_size;
+
+  RecordView r3 = store::DecodeRecord(buf, offset);
+  store::SegmentAppendRecord app = store::DecodeSegmentAppend(r3.payload);
+  EXPECT_EQ(app.container_id, 7u);
+  EXPECT_EQ(app.offset, 40u);
+  EXPECT_EQ(Bytes(app.data.begin(), app.data.end()), Pattern(16, 5));
+  EXPECT_EQ(offset + r3.encoded_size, buf.size());
+}
+
+TEST(LogFormatTest, ScanDetectsTornTailAtEveryTruncationOffset) {
+  Bytes buf;
+  store::AppendRecord(buf, RecordType::kIndexErase,
+                      store::EncodeIndexErase({FpOf(Pattern(4, 6))}));
+  const std::size_t first = buf.size();
+  store::AppendRecord(buf, RecordType::kObjectErase,
+                      store::EncodeObjectErase({0, "recipe/f2"}));
+
+  // Whole buffer scans clean.
+  auto full = store::ScanRecord(buf, first);
+  ASSERT_EQ(full.status, store::ScanStatus::kRecord);
+  EXPECT_EQ(store::ScanRecord(buf, first + full.record.encoded_size).status,
+            store::ScanStatus::kEnd);
+
+  // Every proper prefix of the second record is torn, never fatal.
+  for (std::size_t cut = first; cut < buf.size(); ++cut) {
+    Bytes torn(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(cut));
+    auto r = store::ScanRecord(torn, first);
+    if (cut == first) {
+      EXPECT_EQ(r.status, store::ScanStatus::kEnd);
+    } else {
+      EXPECT_EQ(r.status, store::ScanStatus::kTorn) << "cut at " << cut;
+    }
+  }
+
+  // A bit flip anywhere in the record is torn too (CRC or magic breaks) —
+  // except inside the length field, where a larger forged length reads as
+  // an incomplete (also torn) record and a smaller one misframes into a
+  // CRC mismatch. All of them must scan as kTorn, never decode garbage.
+  for (std::size_t i = first; i < buf.size(); ++i) {
+    Bytes flipped = buf;
+    flipped[i] ^= 0x20;
+    auto r = store::ScanRecord(flipped, first);
+    EXPECT_EQ(r.status, store::ScanStatus::kTorn) << "flip at " << i;
+  }
+}
+
+TEST(LogFormatTest, StrictDecodeThrowsTyped) {
+  Bytes buf;
+  store::AppendRecord(buf, RecordType::kObjectPut,
+                      store::EncodeObjectPut({0, "x", Pattern(4, 7)}));
+  buf.back() ^= 0xFF;  // break the CRC
+  EXPECT_THROW((void)store::DecodeRecord(buf, 0), StoreError);
+  EXPECT_THROW((void)store::DecodeRecord(Bytes{0x52}, 0), StoreError);
+  EXPECT_THROW((void)store::DecodeIndexInsert(ByteSpan()), StoreError);
+}
+
+TEST(WalTest, RecoversValidPrefixAndTruncatesTornTail) {
+  const std::string dir = FreshDir("wal_torn");
+  util::CreateDirectories(dir);
+  const std::string path = dir + "/wal.log";
+  {
+    store::Wal wal(path, DurabilityOptions{});
+    EXPECT_EQ(wal.Append(RecordType::kIndexErase,
+                         store::EncodeIndexErase({FpOf(Pattern(4, 8))})),
+              1u);
+    EXPECT_EQ(wal.Append(RecordType::kObjectErase,
+                         store::EncodeObjectErase({0, "a"})),
+              2u);
+    wal.CommitAll();
+  }
+  // Simulate a torn write: append half a record's worth of garbage.
+  {
+    util::File f = util::File::OpenAppend(path);
+    Bytes garbage = {0x52, 0x45, 0x44, 0x31, 0x02};  // magic + type, no more
+    f.Append(garbage);
+  }
+  const std::uint64_t dirty_size = util::File::OpenRead(path).Size();
+  store::Wal wal(path, DurabilityOptions{});
+  EXPECT_EQ(wal.torn_tail_bytes(), 5u);
+  EXPECT_EQ(util::File::OpenRead(path).Size(), dirty_size - 5);
+  // Both records survive in the recovered buffer, in order.
+  std::size_t offset = 0;
+  RecordView r1 = store::DecodeRecord(wal.recovered(), offset);
+  EXPECT_EQ(r1.type, RecordType::kIndexErase);
+  offset += r1.encoded_size;
+  RecordView r2 = store::DecodeRecord(wal.recovered(), offset);
+  EXPECT_EQ(r2.type, RecordType::kObjectErase);
+  EXPECT_EQ(offset + r2.encoded_size, wal.recovered().size());
+  // New appends continue after the truncated tail with fresh LSNs.
+  EXPECT_EQ(wal.Append(RecordType::kObjectErase,
+                       store::EncodeObjectErase({0, "b"})),
+            1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalTest, GroupCommitMakesAppendsDurableUnderEveryPolicy) {
+  for (store::FsyncPolicy policy :
+       {store::FsyncPolicy::kNone, store::FsyncPolicy::kGrouped,
+        store::FsyncPolicy::kAlways}) {
+    const std::string dir = FreshDir("wal_commit");
+    util::CreateDirectories(dir);
+    DurabilityOptions opts;
+    opts.fsync_policy = policy;
+    opts.group_commit_window = std::chrono::microseconds(100);
+    store::Wal wal(dir + "/wal.log", opts);
+    std::uint64_t last = 0;
+    for (int i = 0; i < 16; ++i) {
+      last = wal.Append(RecordType::kObjectErase,
+                        store::EncodeObjectErase({0, std::to_string(i)}));
+    }
+    wal.Commit(last);
+    wal.CommitAll();  // idempotent
+    store::Wal reopened(dir + "/wal.log", opts);
+    EXPECT_EQ(reopened.torn_tail_bytes(), 0u);
+    std::size_t offset = 0, records = 0;
+    while (offset < reopened.recovered().size()) {
+      offset += store::DecodeRecord(reopened.recovered(), offset).encoded_size;
+      ++records;
+    }
+    EXPECT_EQ(records, 16u);
+    std::filesystem::remove_all(dir);
+  }
+}
+
+// The harness every engine test drives: the same four stores StorageServer
+// bundles, attached to a fresh engine over one directory.
+struct EngineFixture {
+  explicit EngineFixture(const std::string& dir,
+                         std::size_t container_capacity = 256)
+      : engine(dir, DurabilityOptions{}),
+        containers(container_capacity, &engine.segments()),
+        index(&engine.wal()),
+        data_objects(&engine.wal(), store::kDataStoreTag),
+        key_objects(&engine.wal(), store::kKeyStoreTag) {
+    engine.Recover(containers, index, data_objects, key_objects);
+  }
+
+  store::DurableEngine engine;
+  store::ContainerStore containers;
+  store::FingerprintIndex index;
+  store::ObjectStore data_objects;
+  store::ObjectStore key_objects;
+};
+
+TEST(DurableEngineTest, RecoversChunksObjectsAndIndexAcrossReopen) {
+  const std::string dir = FreshDir("engine_roundtrip");
+  std::vector<Bytes> chunks;
+  std::vector<ChunkLocation> locs;
+  {
+    EngineFixture fx(dir);
+    for (int i = 0; i < 10; ++i) {
+      chunks.push_back(Pattern(100 + static_cast<std::size_t>(i), 9));
+      locs.push_back(fx.containers.Append(chunks.back()));
+      ASSERT_TRUE(fx.index.Insert(FpOf(chunks.back()), locs.back()));
+    }
+    fx.data_objects.Put("recipe/f1", Pattern(64, 10));
+    fx.key_objects.Put("keystate/f1", Pattern(48, 11));
+    fx.engine.Commit();
+  }
+  EngineFixture fx(dir);
+  EXPECT_GT(fx.engine.recovery_stats().replayed_records, 0u);
+  EXPECT_EQ(fx.engine.recovery_stats().orphans_discarded, 0u);
+  EXPECT_EQ(fx.engine.recovery_stats().dangling_erased, 0u);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    auto loc = fx.index.Lookup(FpOf(chunks[i]));
+    ASSERT_TRUE(loc.has_value());
+    EXPECT_EQ(*loc, locs[i]);
+    EXPECT_EQ(fx.containers.Read(*loc), chunks[i]);
+  }
+  EXPECT_EQ(fx.data_objects.Get("recipe/f1"), Pattern(64, 10));
+  EXPECT_EQ(fx.key_objects.Get("keystate/f1"), Pattern(48, 11));
+  // Replayed appends land exactly where the originals did.
+  Bytes next = Pattern(33, 12);
+  ChunkLocation resumed = fx.containers.Append(next);
+  EXPECT_GT(resumed.offset + 0u, 0u);
+  EXPECT_EQ(fx.containers.Read(resumed), next);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableEngineTest, SegmentRotationSealsAndRecovers) {
+  const std::string dir = FreshDir("engine_seal");
+  std::vector<Bytes> chunks;
+  {
+    // 64-byte containers force a rotation roughly every chunk.
+    EngineFixture fx(dir, /*container_capacity=*/64);
+    for (int i = 0; i < 6; ++i) {
+      chunks.push_back(Pattern(50, static_cast<std::uint8_t>(13 + i)));
+      ASSERT_TRUE(
+          fx.index.Insert(FpOf(chunks.back()),
+                          fx.containers.Append(chunks.back())));
+    }
+    fx.engine.Commit();
+    EXPECT_GE(fx.engine.segments().segments_sealed(), 5u);
+  }
+  EngineFixture fx(dir, 64);
+  EXPECT_GE(fx.engine.recovery_stats().segments_sealed, 5u);
+  for (const Bytes& c : chunks) {
+    auto loc = fx.index.Lookup(FpOf(c));
+    ASSERT_TRUE(loc.has_value());
+    EXPECT_EQ(fx.containers.Read(*loc), c);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableEngineTest, CheckpointEmptiesWalAndRecoveryReplaysNothing) {
+  const std::string dir = FreshDir("engine_ckpt");
+  Bytes chunk = Pattern(80, 20);
+  {
+    EngineFixture fx(dir);
+    ASSERT_TRUE(fx.index.Insert(FpOf(chunk), fx.containers.Append(chunk)));
+    fx.data_objects.Put("stub/f9", Pattern(32, 21));
+    fx.engine.Checkpoint(fx.index, fx.data_objects, fx.key_objects);
+  }
+  EXPECT_EQ(util::File::OpenRead(dir + "/wal.log").Size(), 0u);
+  EXPECT_TRUE(util::FileExists(dir + "/index.ckpt"));
+  EngineFixture fx(dir);
+  auto loc = fx.index.Lookup(FpOf(chunk));
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(fx.containers.Read(*loc), chunk);
+  EXPECT_EQ(fx.data_objects.Get("stub/f9"), Pattern(32, 21));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableEngineTest, ReconcilesDanglingIndexEntryFromTornSegmentTail) {
+  const std::string dir = FreshDir("engine_dangling");
+  Bytes kept = Pattern(40, 22);
+  Bytes lost = Pattern(44, 23);
+  std::uint64_t cut;
+  {
+    EngineFixture fx(dir);
+    ASSERT_TRUE(fx.index.Insert(FpOf(kept), fx.containers.Append(kept)));
+    cut = util::File::OpenRead(dir + "/seg-000000.log").Size();
+    ASSERT_TRUE(fx.index.Insert(FpOf(lost), fx.containers.Append(lost)));
+    fx.engine.Commit();
+  }
+  // Crash shape: the second chunk's segment record is torn away while its
+  // index insert survived in the WAL.
+  {
+    util::File f = util::File::OpenAppend(dir + "/seg-000000.log");
+    f.Truncate(cut);
+  }
+  EngineFixture fx(dir);
+  EXPECT_EQ(fx.engine.recovery_stats().dangling_erased, 1u);
+  EXPECT_FALSE(fx.index.Lookup(FpOf(lost)).has_value());
+  auto loc = fx.index.Lookup(FpOf(kept));
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(fx.containers.Read(*loc), kept);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableEngineTest, ReconcilesOrphanChunkFromTornWalTail) {
+  const std::string dir = FreshDir("engine_orphan");
+  Bytes kept = Pattern(40, 24);
+  Bytes orphan = Pattern(44, 25);
+  std::uint64_t cut;
+  {
+    EngineFixture fx(dir);
+    ASSERT_TRUE(fx.index.Insert(FpOf(kept), fx.containers.Append(kept)));
+    cut = util::File::OpenRead(dir + "/wal.log").Size();
+    // Append lands in the segment log; its index insert is then torn away.
+    ASSERT_TRUE(fx.index.Insert(FpOf(orphan), fx.containers.Append(orphan)));
+    fx.engine.Commit();
+  }
+  {
+    util::File f = util::File::OpenAppend(dir + "/wal.log");
+    f.Truncate(cut);
+  }
+  EngineFixture fx(dir);
+  EXPECT_EQ(fx.engine.recovery_stats().orphans_discarded, 1u);
+  EXPECT_FALSE(fx.index.Lookup(FpOf(orphan)).has_value());
+  auto stats = fx.containers.stats();
+  EXPECT_EQ(stats.chunks, 1u);
+  EXPECT_EQ(stats.bytes, kept.size());
+  // The repaired state survives ANOTHER reopen: the orphan discard went
+  // through the logged path, so replay offsets stay aligned.
+  Bytes more = Pattern(20, 26);
+  ASSERT_TRUE(fx.index.Insert(FpOf(more), fx.containers.Append(more)));
+  fx.engine.Commit();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableEngineTest, RepairedStateIsStableAcrossASecondReopen) {
+  const std::string dir = FreshDir("engine_stable");
+  Bytes kept = Pattern(40, 27);
+  Bytes orphan = Pattern(44, 28);
+  std::uint64_t cut;
+  {
+    EngineFixture fx(dir);
+    ASSERT_TRUE(fx.index.Insert(FpOf(kept), fx.containers.Append(kept)));
+    cut = util::File::OpenRead(dir + "/wal.log").Size();
+    ASSERT_TRUE(fx.index.Insert(FpOf(orphan), fx.containers.Append(orphan)));
+    fx.engine.Commit();
+  }
+  {
+    util::File f = util::File::OpenAppend(dir + "/wal.log");
+    f.Truncate(cut);
+  }
+  { EngineFixture fx(dir); }  // first recovery repairs
+  EngineFixture fx(dir);      // second must find nothing left to repair
+  EXPECT_EQ(fx.engine.recovery_stats().orphans_discarded, 0u);
+  EXPECT_EQ(fx.engine.recovery_stats().dangling_erased, 0u);
+  EXPECT_EQ(fx.containers.stats().chunks, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableEngineTest, ObjectEraseReplaysAndPrefixCountersMatchRescan) {
+  const std::string dir = FreshDir("engine_obj_erase");
+  {
+    EngineFixture fx(dir);
+    fx.data_objects.Put("stub/a", Pattern(100, 60));
+    fx.data_objects.Put("stub/b", Pattern(50, 61));
+    fx.data_objects.Put("recipe/a", Pattern(25, 62));
+    fx.data_objects.Put("stub/a", Pattern(10, 63));  // overwrite shrinks
+    ASSERT_TRUE(fx.data_objects.Erase("stub/b"));
+    EXPECT_FALSE(fx.data_objects.Erase("stub/missing"));
+    fx.engine.Commit();
+  }
+  EngineFixture fx(dir);
+  EXPECT_FALSE(fx.data_objects.Contains("stub/b"));
+  EXPECT_EQ(fx.data_objects.Get("stub/a"), Pattern(10, 63));
+  // The O(1) per-directory counters must equal a full rescan after replay.
+  std::uint64_t rescan = 0;
+  fx.data_objects.ForEach([&](const std::string& name, const Bytes& value) {
+    if (name.starts_with("stub/")) rescan += value.size();
+  });
+  EXPECT_EQ(fx.data_objects.TotalBytesWithPrefix("stub/"), rescan);
+  EXPECT_EQ(rescan, 10u);
+  EXPECT_EQ(fx.data_objects.total_bytes(), 35u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StorageServerDurableTest, ReopenPreservesChunksObjectsAndDedup) {
+  const std::string dir = FreshDir("server_reopen");
+  StorageServer::Options opts;
+  opts.data_dir = dir;
+  StorageServer server("srv", opts);
+
+  std::vector<std::pair<chunk::Fingerprint, Bytes>> batch;
+  for (int i = 0; i < 8; ++i) {
+    Bytes data = Pattern(200, static_cast<std::uint8_t>(30 + i));
+    batch.emplace_back(FpOf(data), data);
+  }
+  auto put = server.PutChunks(batch);
+  EXPECT_EQ(put.stored, batch.size());
+  server.PutObject(StoreId::kData, "stub/f1", Pattern(64, 40));
+  server.PutObject(StoreId::kKey, "keystate/f1", Pattern(32, 41));
+
+  server.Reopen();
+
+  auto report = server.CheckConsistency();
+  EXPECT_TRUE(report.ok) << report.detail;
+  EXPECT_GT(server.RecoveryStats().replayed_records, 0u);
+  std::vector<chunk::Fingerprint> fps;
+  for (const auto& [fp, data] : batch) fps.push_back(fp);
+  std::vector<Bytes> got = server.GetChunks(fps);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(got[i], batch[i].second);
+  }
+  EXPECT_EQ(server.GetObject(StoreId::kData, "stub/f1"), Pattern(64, 40));
+  EXPECT_EQ(server.GetObject(StoreId::kKey, "keystate/f1"), Pattern(32, 41));
+  // Dedup state survived: the same batch is now all duplicates.
+  auto again = server.PutChunks(batch);
+  EXPECT_EQ(again.duplicates, batch.size());
+  EXPECT_EQ(again.stored, 0u);
+
+  // A clean close checkpoints; the next open replays only segment records.
+  server.Close();
+  server.Reopen();
+  EXPECT_TRUE(server.CheckConsistency().ok);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StorageServerDurableTest, ReopenThrowsInMemoryMode) {
+  StorageServer server("mem");
+  EXPECT_THROW(server.Reopen(), StoreError);
+  server.Close();  // no-op, must not throw
+}
+
+// Regression (per-prefix byte counters across recovery): replayed puts,
+// overwrites, and erases must move the per-directory counters exactly like
+// the original ops did, so TotalBytesWithPrefix matches a full rescan.
+TEST(StorageServerDurableTest, PrefixByteCountersSurviveRecoveryReplay) {
+  const std::string dir = FreshDir("server_prefix");
+  StorageServer::Options opts;
+  opts.data_dir = dir;
+  StorageServer server("srv", opts);
+  server.PutObject(StoreId::kData, "stub/f1", Pattern(100, 50));
+  server.PutObject(StoreId::kData, "stub/f2", Pattern(60, 51));
+  server.PutObject(StoreId::kData, "recipe/f1", Pattern(40, 52));
+  server.PutObject(StoreId::kData, "stub/f1", Pattern(30, 53));  // overwrite
+  server.PutObject(StoreId::kData, "noslash", Pattern(10, 54));
+
+  server.Reopen();
+
+  EXPECT_EQ(server.ObjectBytesWithPrefix(StoreId::kData, "stub/"), 90u);
+  EXPECT_EQ(server.ObjectBytesWithPrefix(StoreId::kData, "recipe/"), 40u);
+  // The generic-prefix path rescans; both answers must agree.
+  EXPECT_EQ(server.ObjectBytesWithPrefix(StoreId::kData, "stub/"),
+            server.ObjectBytesWithPrefix(StoreId::kData, "stub"));
+  EXPECT_EQ(server.ObjectBytesWithPrefix(StoreId::kData, ""), 140u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace reed

@@ -27,12 +27,16 @@ using modelgen::OpKind;
 // fixed-size chunker exactly.
 constexpr std::size_t kChunkSize = 1024;
 
-core::SystemOptions FastSystemOptions(std::uint64_t seed) {
+core::SystemOptions FastSystemOptions(const HarnessOptions& options) {
   core::SystemOptions opts;
   opts.key_manager.rsa_bits = 512;  // test-speed keys, as integration_test
   opts.derivation_key_bits = 512;
   opts.num_data_servers = 4;
-  opts.rng_seed = seed ^ 0xC0FFEEULL;
+  opts.rng_seed = options.seed ^ 0xC0FFEEULL;
+  opts.data_dir = options.data_dir;
+  // The reopen cycle models a same-machine process restart (the page cache
+  // survives), so the no-fsync policy is honest here and keeps runs fast.
+  opts.durability.fsync_policy = store::FsyncPolicy::kNone;
   return opts;
 }
 
@@ -58,8 +62,7 @@ struct Cluster {
   std::uint64_t seed;
 
   Cluster(const HarnessOptions& options, model::ModelConfig config)
-      : system(std::make_unique<core::ReedSystem>(
-            FastSystemOptions(options.seed))),
+      : system(std::make_unique<core::ReedSystem>(FastSystemOptions(options))),
         model(std::move(config)),
         seed(options.seed) {
     for (std::uint32_t u = 0; u < options.num_users; ++u) {
@@ -190,6 +193,16 @@ class SequentialRun {
     RunReport report;
     for (std::size_t i = 0; i < ops_.size(); ++i) {
       std::string divergence = Step(ops_[i]);
+      if (divergence.empty() && options_.reopen_every > 0 &&
+          (i + 1) % options_.reopen_every == 0) {
+        // Alternate clean (checkpoint) and crash-style (WAL replay) restarts
+        // so both recovery paths run against every oracle.
+        const bool checkpoint_first =
+            ((i + 1) / options_.reopen_every) % 2 == 1;
+        if (std::string d = ReopenCluster(checkpoint_first); !d.empty()) {
+          divergence = "reopen after op: " + d;
+        }
+      }
       report.ops_executed = i + 1;
       if (!divergence.empty()) {
         report.ok = false;
@@ -489,6 +502,30 @@ class SequentialRun {
     return DiffServerDeltas(before, 0, 0, 0);
   }
 
+  // Durable runs: restart every server from disk mid-sequence, exactly as a
+  // process restart would, and check the restart-local oracles. The ops and
+  // sweeps that follow then exercise every OTHER oracle (stub decryption,
+  // key-state metadata, download bytes) against the recovered state.
+  std::string ReopenCluster(bool checkpoint_first) {
+    const std::vector<std::string> before = SnapshotDigests(*cluster_.system);
+    cluster_.system->ReopenServers(checkpoint_first);
+    const std::vector<std::string> after = SnapshotDigests(*cluster_.system);
+    for (std::size_t s = 0; s < before.size(); ++s) {
+      if (before[s] != after[s]) {
+        return "security invariant violated: package digest changed across "
+               "a restart on " + cluster_.system->data_server(s).name();
+      }
+    }
+    for (std::size_t s = 0; s < cluster_.system->data_server_count(); ++s) {
+      const auto rep = cluster_.system->data_server(s).CheckConsistency();
+      if (!rep.ok) {
+        return "server " + cluster_.system->data_server(s).name() +
+               " failed CheckConsistency after restart: " + rep.detail;
+      }
+    }
+    return "";
+  }
+
   // --- shared diff helpers ---
 
   std::string DiffOutcome(bool real_ok, Outcome want) {
@@ -632,6 +669,10 @@ class SequentialRun {
         << " --users=" << options_.num_users
         << " --depth=" << options_.pipeline_depth;
     if (options_.bug != Bug::kNone) out << " --bug=" << BugName(options_.bug);
+    if (options_.reopen_every > 0) {
+      out << " --reopen-every=" << options_.reopen_every
+          << " --data-dir=<fresh dir>";
+    }
     out << "\n#\n";
     for (std::size_t i = 0; i < ops_.size(); ++i) {
       out << (i == failing_op ? ">" : " ") << " op " << i << ": "

@@ -6,12 +6,20 @@
 //   reed_model_check --seed=3 --ops=60 [--users=3] [--depth=2]
 //                    [--mode=sequential|concurrent] [--bug=none|
 //                    skip-stub-reencrypt|stale-keystate] [--repro-dir=DIR]
+//                    [--reopen-every=N --data-dir=DIR]
+//
+// --reopen-every (sequential mode, with --data-dir) makes the cluster
+// durable and restarts every server from disk each N ops, checking that the
+// security oracles hold on the recovered state (DESIGN.md §12). The data
+// dir is WIPED first: each run must start from an empty store or the model
+// and the recovered state would diverge on op 0.
 //
 // The --bug flags corrupt the stack at the harness level to prove the
 // checker bites; the WILL_FAIL ctests pin them.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "model/harness.h"
@@ -55,6 +63,10 @@ int main(int argc, char** argv) {
       mode = value;
     } else if (ParseFlag(argv[i], "--repro-dir", value)) {
       options.repro_dir = value;
+    } else if (ParseFlag(argv[i], "--reopen-every", value)) {
+      options.reopen_every = ParseUint(value, "--reopen-every");
+    } else if (ParseFlag(argv[i], "--data-dir", value)) {
+      options.data_dir = value;
     } else if (ParseFlag(argv[i], "--bug", value)) {
       if (value == "none") {
         options.bug = reed::modelcheck::Bug::kNone;
@@ -72,6 +84,17 @@ int main(int argc, char** argv) {
                    argv[i]);
       return 2;
     }
+  }
+
+  if (options.reopen_every > 0 &&
+      (options.data_dir.empty() || mode != "sequential")) {
+    std::fprintf(stderr,
+                 "reed_model_check: --reopen-every needs --data-dir and "
+                 "--mode=sequential\n");
+    return 2;
+  }
+  if (!options.data_dir.empty()) {
+    std::filesystem::remove_all(options.data_dir);
   }
 
   reed::modelcheck::RunReport report;

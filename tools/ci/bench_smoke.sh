@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Run every bench_fig* binary at --smoke scale with --json output and merge
+# Run every bench_fig* binary (plus bench_recovery) at --smoke scale with
+# --json output and merge
 # the results into one document, suitable for diffing against
 # BENCH_baseline.json (see tools/ci/bench_compare.py) or for regenerating
 # that baseline (see EXPERIMENTS.md):
@@ -24,7 +25,8 @@ OUT_JSON="$2"
 REPS="${REPS:-3}"
 
 BENCHES=(bench_fig5_keygen bench_fig6_encryption bench_fig7_updown
-         bench_fig8_rekeying bench_fig9_storage bench_fig10_trace)
+         bench_fig8_rekeying bench_fig9_storage bench_fig10_trace
+         bench_recovery)
 
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT

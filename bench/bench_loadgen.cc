@@ -1,0 +1,208 @@
+// Massive-client load generator: async epoll front end vs thread-per-
+// connection under identical paced workloads, plus an adversarial rekey
+// storm (DESIGN.md §13, EXPERIMENTS.md).
+//
+// Phases (every phase re-creates its server and re-seeds an identical
+// corpus, so dedup state is fair):
+//   threadconn @ C    TcpServer, C clients at the target aggregate rate
+//   async @ C         AsyncServer, same client count and rate
+//   async @ 4C        AsyncServer, 4x the clients, same aggregate rate —
+//                     the acceptance phase: the async front end must hold
+//                     p99 at or near the thread-per-conn baseline while
+//                     carrying 4x the connection count
+//   rekey storm @ 4C  closed-loop 100%-rekey burst through per-tenant
+//                     admission control; the security oracle then checks
+//                     that no stored package changed (PackageDigest) and
+//                     the dedup state is intact (CheckConsistency) — the
+//                     paper's stub-only-rekey invariant under contention.
+//
+// Reported per phase: throughput and p50/p99 (JSON, baseline-gated via
+// tools/ci/bench_compare.py) plus p999 on stdout (too noisy at smoke scale
+// to gate on).
+//
+//   ./bench_loadgen [--full|--smoke] [--json out.json]
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/loadgen_util.h"
+#include "net/async_server.h"
+#include "net/tcp_server.h"
+#include "server/storage_server.h"
+
+using namespace reed;
+using namespace reed::bench;
+
+namespace {
+
+struct Scale {
+  std::size_t clients;         // C: the thread-per-conn fleet
+  std::size_t total_ops;       // per capacity phase, split across clients
+  double rate;                 // aggregate ops/sec
+  std::size_t files;
+  std::size_t chunks_per_file;
+  std::size_t chunk_bytes;
+  std::size_t storm_ops;       // rekey-storm total ops (closed loop)
+};
+
+LoadgenConfig ConfigFor(const Scale& scale, std::size_t clients) {
+  LoadgenConfig cfg;
+  cfg.clients = clients;
+  cfg.ops_per_client = scale.total_ops / clients;
+  cfg.target_rate = scale.rate;
+  cfg.files = scale.files;
+  cfg.chunks_per_file = scale.chunks_per_file;
+  cfg.chunk_bytes = scale.chunk_bytes;
+  return cfg;
+}
+
+LoadgenReport RunPhase(const char* label, std::uint16_t port,
+                       const LoadgenConfig& cfg) {
+  SeedLoadgenCorpus(port, cfg);
+  LoadgenReport r = RunLoadgen(port, cfg);
+  std::printf(
+      "%-14s clients=%4zu ops=%6llu  %8.0f ops/s  "
+      "p50=%6llu us  p99=%7llu us  p999=%7llu us  errs=%llu/%llu thr=%llu\n",
+      label, cfg.clients, (unsigned long long)r.ops, r.ops_per_sec,
+      (unsigned long long)r.p50_us, (unsigned long long)r.p99_us,
+      (unsigned long long)r.p999_us, (unsigned long long)r.net_errors,
+      (unsigned long long)r.op_errors, (unsigned long long)r.throttled);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReporter json("loadgen", argc, argv);
+  Scale scale{16, 960, 800, 24, 4, 4096, 480};  // default
+  if (HasFlag(argc, argv, "--smoke")) {
+    scale = {6, 240, 300, 12, 3, 2048, 96};
+  } else if (HasFlag(argc, argv, "--full")) {
+    scale = {125, 10000, 2500, 64, 8, 8192, 4000};
+  }
+  auto handler_for = [](server::StorageServer& storage) {
+    return [&storage](ByteSpan request) {
+      return storage.HandleRequest(request);
+    };
+  };
+
+  int failures = 0;
+
+  // --- capacity phases ---
+  LoadgenReport threadconn;
+  {
+    server::StorageServer storage("loadgen-threadconn");
+    net::TcpServer server(0, handler_for(storage));
+    threadconn =
+        RunPhase("threadconn@C", server.port(), ConfigFor(scale, scale.clients));
+    json.Add("capacity", {{"mode", 0},
+                          {"clients", (double)scale.clients},
+                          {"ops_rate", threadconn.ops_per_sec},
+                          {"p50_us", (double)threadconn.p50_us},
+                          {"p99_us", (double)threadconn.p99_us}});
+  }
+  LoadgenReport async_c;
+  {
+    server::StorageServer storage("loadgen-async");
+    net::AsyncServer::Options options;
+    options.loops = 2;
+    options.workers = 4;
+    net::AsyncServer server(0, handler_for(storage), options);
+    async_c =
+        RunPhase("async@C", server.port(), ConfigFor(scale, scale.clients));
+    json.Add("capacity", {{"mode", 1},
+                          {"clients", (double)scale.clients},
+                          {"ops_rate", async_c.ops_per_sec},
+                          {"p50_us", (double)async_c.p50_us},
+                          {"p99_us", (double)async_c.p99_us}});
+  }
+  LoadgenReport async_4c;
+  {
+    server::StorageServer storage("loadgen-async4");
+    net::AsyncServer::Options options;
+    options.loops = 2;
+    options.workers = 4;
+    net::AsyncServer server(0, handler_for(storage), options);
+    async_4c = RunPhase("async@4C", server.port(),
+                        ConfigFor(scale, scale.clients * 4));
+    json.Add("capacity", {{"mode", 1},
+                          {"clients", (double)(scale.clients * 4)},
+                          {"ops_rate", async_4c.ops_per_sec},
+                          {"p50_us", (double)async_4c.p50_us},
+                          {"p99_us", (double)async_4c.p99_us}});
+  }
+
+  // The tentpole claim: 4x the concurrent clients at equal-or-better p99.
+  // Bucketed percentiles quantize coarsely, so allow one interpolation
+  // step of slack; a real regression (a wedged loop, lost wakeups,
+  // outbox stalls) blows p99 out by orders of magnitude, not 30%.
+  double p99_ratio = threadconn.p99_us > 0
+                         ? (double)async_4c.p99_us / (double)threadconn.p99_us
+                         : 0;
+  bool p99_held = async_4c.p99_us <= threadconn.p99_us ||
+                  p99_ratio <= 1.30;
+  std::printf("verdict: async@4C carried %zux clients, p99 %llu us vs "
+              "threadconn %llu us (ratio %.2f) -> %s\n",
+              (size_t)4, (unsigned long long)async_4c.p99_us,
+              (unsigned long long)threadconn.p99_us, p99_ratio,
+              p99_held ? "PASS" : "WARN");
+
+  // Lost ops are a hard failure in every capacity phase: nothing should
+  // drop connections or fail in-protocol at these rates.
+  for (const LoadgenReport* r : {&threadconn, &async_c, &async_4c}) {
+    if (r->net_errors != 0 || r->op_errors != 0 || r->throttled != 0) {
+      std::printf("FAIL: capacity phase dropped ops (net=%llu op=%llu "
+                  "thr=%llu)\n",
+                  (unsigned long long)r->net_errors,
+                  (unsigned long long)r->op_errors,
+                  (unsigned long long)r->throttled);
+      ++failures;
+    }
+  }
+
+  // --- rekey storm through admission control ---
+  {
+    server::StorageServer storage("loadgen-storm");
+    net::AsyncServer::Options options;
+    options.loops = 2;
+    options.workers = 4;
+    // Generous per-tenant rate: the storm mostly flows, but bursts clip —
+    // both the admitted and the throttled path stay hot.
+    options.tenant_rate_per_sec = scale.rate;
+    options.tenant_burst = 16;
+    net::AsyncServer server(0, handler_for(storage), options);
+
+    LoadgenConfig cfg = ConfigFor(scale, scale.clients * 4);
+    cfg.ops_per_client = scale.storm_ops / cfg.clients;
+    cfg.target_rate = 0;  // closed loop: as hard as the fleet can push
+    cfg.upload_pct = 0;
+    cfg.rekey_pct = 100;
+    cfg.tenants = 4;
+    SeedLoadgenCorpus(server.port(), cfg);
+    std::string digest_before = storage.PackageDigest();
+    LoadgenReport storm = RunLoadgen(server.port(), cfg);
+    std::printf(
+        "rekey-storm    clients=%4zu ops=%6llu  %8.0f ops/s  "
+        "p99=%7llu us  throttled=%llu\n",
+        cfg.clients, (unsigned long long)storm.ops, storm.ops_per_sec,
+        (unsigned long long)storm.p99_us, (unsigned long long)storm.throttled);
+
+    // Security oracle: a rekey storm rewrites key states only — every
+    // stored package must be bit-identical and the dedup index intact.
+    bool oracle_ok = storage.PackageDigest() == digest_before &&
+                     storage.CheckConsistency().ok;
+    if (!oracle_ok || storm.net_errors != 0 || storm.op_errors != 0) {
+      std::printf("FAIL: rekey storm broke an invariant (oracle=%d "
+                  "net=%llu op=%llu)\n",
+                  oracle_ok ? 1 : 0, (unsigned long long)storm.net_errors,
+                  (unsigned long long)storm.op_errors);
+      ++failures;
+    }
+    json.Add("storm", {{"clients", (double)cfg.clients},
+                       {"ops_rate", storm.ops_per_sec},
+                       {"p99_us", (double)storm.p99_us},
+                       {"oracle_ok", oracle_ok ? 1.0 : 0.0}});
+  }
+
+  return failures == 0 ? 0 : 1;
+}

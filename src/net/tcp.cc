@@ -19,7 +19,9 @@ namespace {
 
 void WriteAll(int fd, const std::uint8_t* data, std::size_t len) {
   while (len > 0) {
-    ssize_t n = ::write(fd, data, len);
+    // MSG_NOSIGNAL: a peer that closed mid-exchange must surface as EPIPE
+    // (-> NetError), not a process-wide SIGPIPE.
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       ThrowErrno("TcpTransport::Send");
@@ -99,7 +101,7 @@ Bytes TcpTransport::Receive() {
   return frame;
 }
 
-TcpListener::TcpListener(std::uint16_t port) {
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) ThrowErrno("socket");
   int one = 1;
@@ -112,7 +114,8 @@ TcpListener::TcpListener(std::uint16_t port) {
     ::close(fd_);
     ThrowErrno("bind");
   }
-  if (::listen(fd_, 64) != 0) {
+  if (backlog <= 0) backlog = SOMAXCONN;
+  if (::listen(fd_, backlog) != 0) {
     ::close(fd_);
     ThrowErrno("listen");
   }

@@ -52,14 +52,20 @@ class TcpTransport {
 
 class TcpListener {
  public:
-  // Binds 127.0.0.1:port; port 0 picks an ephemeral port.
-  explicit TcpListener(std::uint16_t port);
+  // Binds 127.0.0.1:port; port 0 picks an ephemeral port. backlog <= 0
+  // means SOMAXCONN — a load generator's connection burst should queue in
+  // the kernel, not bounce off a short default backlog.
+  explicit TcpListener(std::uint16_t port, int backlog = 0);
   ~TcpListener();
 
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
   std::uint16_t port() const { return port_; }
+
+  // The listening socket, for callers that multiplex accepts themselves
+  // (AsyncServer registers it with epoll). Ownership stays here.
+  [[nodiscard]] int fd() const { return fd_; }
 
   [[nodiscard]] TcpTransport Accept();
 

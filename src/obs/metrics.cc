@@ -37,7 +37,58 @@ void AppendLine(std::string& out, const char* fmt, ...) {
   out.push_back('\n');
 }
 
+// Shared percentile walk: find the bucket holding the target rank, then
+// interpolate linearly between the bucket's power-of-two bounds (log-linear
+// overall, since bounds double). The last bucket is open-ended; it
+// interpolates toward twice its lower bound, which keeps the estimator
+// monotone without inventing a max.
+std::uint64_t PercentileFromBuckets(const std::uint64_t* buckets,
+                                    std::size_t num_buckets,
+                                    std::uint64_t count, double p) {
+  if (count == 0) return 0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Rank of the sample that bounds percentile p from above (1-based).
+  auto rank = static_cast<std::uint64_t>(
+      p / 100.0 * static_cast<double>(count) + 0.9999999);
+  rank = std::min(count, std::max<std::uint64_t>(1, rank));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < num_buckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (cumulative + buckets[i] >= rank) {
+      if (i == 0) return 0;  // bucket 0 holds exact zeros
+      std::uint64_t lo = Histogram::BucketLowerBound(i);
+      std::uint64_t hi = i + 1 < num_buckets
+                             ? Histogram::BucketLowerBound(i + 1)
+                             : lo * 2;
+      double frac = static_cast<double>(rank - cumulative) /
+                    static_cast<double>(buckets[i]);
+      return lo + static_cast<std::uint64_t>(
+                      frac * static_cast<double>(hi - lo));
+    }
+    cumulative += buckets[i];
+  }
+  return Histogram::BucketLowerBound(num_buckets - 1);
+}
+
 }  // namespace
+
+std::uint64_t Histogram::Percentile(double p) const {
+  std::array<std::uint64_t, kNumBuckets> buckets;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    buckets[i] = bucket(i);
+    total += buckets[i];
+  }
+  // Sum the snapshotted buckets rather than trusting count_: a concurrent
+  // Record may have bumped one but not yet the other.
+  return PercentileFromBuckets(buckets.data(), kNumBuckets, total, p);
+}
+
+std::uint64_t Snapshot::HistogramValue::Percentile(double p) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t b : buckets) total += b;
+  return PercentileFromBuckets(buckets.data(), buckets.size(), total, p);
+}
 
 const Snapshot::CounterValue* Snapshot::FindCounter(
     std::string_view name) const {
@@ -135,8 +186,13 @@ std::string RenderText(const Snapshot& snapshot) {
   if (!snapshot.histograms.empty()) {
     out += "histograms:\n";
     for (const auto& h : snapshot.histograms) {
-      AppendLine(out, "  %-44s count=%llu mean=%.1f", h.name.c_str(),
-                 static_cast<unsigned long long>(h.count), h.mean());
+      AppendLine(out, "  %-44s count=%llu mean=%.1f p50=%llu p99=%llu "
+                 "p999=%llu",
+                 h.name.c_str(), static_cast<unsigned long long>(h.count),
+                 h.mean(),
+                 static_cast<unsigned long long>(h.Percentile(50)),
+                 static_cast<unsigned long long>(h.Percentile(99)),
+                 static_cast<unsigned long long>(h.Percentile(99.9)));
       for (std::size_t i = 0; i < h.buckets.size(); ++i) {
         if (h.buckets[i] == 0) continue;
         std::uint64_t lo = Histogram::BucketLowerBound(i);

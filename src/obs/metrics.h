@@ -93,6 +93,14 @@ class Histogram {
     sum_.store(0, std::memory_order_relaxed);
   }
 
+  // Estimated value at percentile p (0 < p <= 100), log-linear: the target
+  // rank's bucket is found by cumulative count, then the value is
+  // interpolated linearly between the bucket's power-of-two bounds. Exact
+  // for zeros (bucket 0); within one bucket's relative width (< 2x)
+  // otherwise. Reads a relaxed snapshot — concurrent Records may or may not
+  // be included, like count()/sum().
+  [[nodiscard]] std::uint64_t Percentile(double p) const;
+
   [[nodiscard]] static std::size_t BucketIndex(std::uint64_t v) {
     if (v == 0) return 0;
     return std::min<std::size_t>(kNumBuckets - 1,
@@ -131,6 +139,10 @@ struct Snapshot {
       return count == 0 ? 0.0
                         : static_cast<double>(sum) / static_cast<double>(count);
     }
+
+    // Same estimator as Histogram::Percentile, over the snapshotted buckets
+    // (reedctl decodes wire snapshots into this struct).
+    [[nodiscard]] std::uint64_t Percentile(double p) const;
   };
 
   std::vector<CounterValue> counters;

@@ -63,6 +63,8 @@ enum class LockRank : std::uint16_t {
   // net bookkeeping (not the wire itself)
   kNetServerSessions = 500,  // TcpServer session list
   kNetLink = 510,            // SimulatedLink bandwidth model
+  kNetAsyncLoop = 520,       // AsyncServer per-loop handoff/completion queues
+  kNetTenantMap = 530,       // AsyncServer tenant -> TokenBucket map
 
   // fault injection: site registration happens lazily at the first
   // traversal of a REED_FAULT_POINT, which may sit anywhere on the data
@@ -114,6 +116,10 @@ constexpr const char* LockRankName(LockRank rank) {
       return "net.server_sessions";
     case LockRank::kNetLink:
       return "net.link";
+    case LockRank::kNetAsyncLoop:
+      return "net.async_loop";
+    case LockRank::kNetTenantMap:
+      return "net.tenant_map";
     case LockRank::kFaultRegistry:
       return "util.fault_registry";
     case LockRank::kObsRegistry:
@@ -126,7 +132,7 @@ constexpr const char* LockRankName(LockRank rank) {
 
 // Every rank except kUnranked, for eager metric registration
 // (obs/lock_metrics.cc resolves one wait + one held histogram per rank).
-inline constexpr std::array<LockRank, 17> kAllLockRanks = {
+inline constexpr std::array<LockRank, 19> kAllLockRanks = {
     LockRank::kServerStats,      LockRank::kServerIngest,
     LockRank::kStoreShard,       LockRank::kStoreContainer,
     LockRank::kStoreSegment,     LockRank::kStoreWal,
@@ -134,6 +140,7 @@ inline constexpr std::array<LockRank, 17> kAllLockRanks = {
     LockRank::kThreadPool,       LockRank::kLruCache,
     LockRank::kRateLimiter,      LockRank::kCryptoRng,
     LockRank::kNetServerSessions, LockRank::kNetLink,
+    LockRank::kNetAsyncLoop,     LockRank::kNetTenantMap,
     LockRank::kFaultRegistry,    LockRank::kObsRegistry,
     LockRank::kIoChannel,
 };

@@ -36,4 +36,16 @@ inline constexpr std::array<const char*, 24> kFaultSites = {
     "util.thread_pool.submit",
 };
 
+// Async front-end sites (src/net/async_server.cc), swept separately by
+// AsyncFaultSweep: they live on event-loop threads behind real sockets, so
+// the in-process clean drive above cannot traverse them. Kept in this
+// header so failpath_lint's both-direction manifest cross-check still sees
+// every planted site.
+inline constexpr std::array<const char*, 4> kAsyncFaultSites = {
+    "net.async.accept",
+    "net.async.dispatch",
+    "net.async.read",
+    "net.async.write",
+};
+
 }  // namespace reed::testing

@@ -19,13 +19,17 @@
 // manifest site, and must traverse no site missing from the manifest.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "core/reed_system.h"
 #include "crypto/random.h"
+#include "net/async_server.h"
 #include "obs/metrics.h"
 #include "fault_sweep_manifest.h"
+#include "server/storage_server.h"
 #include "util/fault_inject.h"
 
 #if !defined(REED_FAULT_INJECT)
@@ -241,6 +245,118 @@ TEST(FaultSweepTest, PartialFanoutPutChunksLeavesRetryableState) {
   EXPECT_EQ(out, data);
   for (std::size_t s = 0; s < system.data_server_count(); ++s) {
     EXPECT_TRUE(system.data_server(s).CheckConsistency().ok);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Async front-end sweep: the four net.async.* sites live on AsyncServer's
+// event-loop threads behind real sockets, so they get their own drive (a
+// TcpChannel round trip against an in-process AsyncServer) instead of the
+// SimulatedChannel drive above. The contract per site: the client observes a
+// typed NetError (the connection is the blast radius — it closes), the
+// fault.<site>.fired counter proves the injection, the server's net gauges
+// drain back to zero, the storage state stays consistent, and a disarmed
+// retry round-trips.
+// ---------------------------------------------------------------------------
+
+Bytes BuildPutObject(const std::string& name, const Bytes& value) {
+  net::Writer w;
+  w.U8(static_cast<std::uint8_t>(server::Opcode::kPutObject));
+  w.U8(static_cast<std::uint8_t>(server::StoreId::kData));
+  w.Str(name);
+  w.Blob(value);
+  return w.Take();
+}
+
+Bytes BuildGetObject(const std::string& name) {
+  net::Writer w;
+  w.U8(static_cast<std::uint8_t>(server::Opcode::kGetObject));
+  w.U8(static_cast<std::uint8_t>(server::StoreId::kData));
+  w.Str(name);
+  return w.Take();
+}
+
+void WaitForGaugeZero(const char* name) {
+  auto& gauge = obs::Registry::Global().GetGauge(name);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (gauge.value() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(gauge.value(), 0) << name << " did not drain";
+}
+
+TEST(FaultSweepTest, AsyncFrontEndSweep) {
+  server::StorageServer storage("async-sweep");
+  net::AsyncServer::Options net_opts;
+  net_opts.loops = 2;
+  net_opts.workers = 2;
+  net::AsyncServer server(
+      0, [&storage](ByteSpan req) { return storage.HandleRequest(req); },
+      net_opts);
+  auto& reg = obs::Registry::Global();
+
+  // One fresh connection per exchange, so an armed per-connection fault
+  // hits exactly the exchange under test.
+  auto call_once = [&](const Bytes& request) {
+    net::TcpChannel chan(
+        net::TcpTransport::Connect("127.0.0.1", server.port()));
+    return chan.Call(request);
+  };
+
+  fault::DisarmAll();
+  fault::ResetCounters();
+  Bytes value = TestFile(4096, 20250808);
+
+  // Coverage gate: one clean round trip must traverse all four async sites.
+  Bytes resp = call_once(BuildPutObject("seed", value));
+  ASSERT_FALSE(resp.empty());
+  ASSERT_EQ(resp[0], 0);
+  std::set<std::string> traversed;
+  for (const auto& s : fault::Stats()) {
+    if (s.hits > 0) traversed.insert(s.site);
+  }
+  for (const char* site : testing::kAsyncFaultSites) {
+    EXPECT_TRUE(traversed.contains(site))
+        << "async site never traversed by a clean round trip: " << site;
+  }
+
+  for (const char* site : testing::kAsyncFaultSites) {
+    SCOPED_TRACE(std::string("site=") + site);
+    const std::uint64_t fired_before =
+        reg.GetCounter(std::string("fault.") + site + ".fired").value();
+
+    std::string msg;
+    {
+      fault::ScopedFault armed(site, fault::Policy::EveryHit());
+      try {
+        (void)call_once(BuildPutObject("sweep", value));
+      } catch (const net::NetError& e) {
+        msg = e.what();
+      }
+    }
+    // Typed propagation: the connection is torn down, so the client sees a
+    // NetError from its own Send/Receive rather than a hang or a garbled
+    // success frame.
+    EXPECT_FALSE(msg.empty())
+        << "armed async fault did not surface at the client";
+    EXPECT_GE(reg.GetCounter(std::string("fault.") + site + ".fired").value(),
+              fired_before + 1);
+
+    // Gauges drain: the loop thread closes the connection and releases its
+    // active_conns guard and queued outbox bytes shortly after the fault.
+    WaitForGaugeZero("server.net.active_conns");
+    WaitForGaugeZero("server.net.outbox_bytes");
+    EXPECT_TRUE(storage.CheckConsistency().ok);
+
+    // Disarmed retry on a fresh connection round-trips.
+    Bytes put = call_once(BuildPutObject("sweep", value));
+    ASSERT_FALSE(put.empty());
+    EXPECT_EQ(put[0], 0);
+    Bytes got = call_once(BuildGetObject("seed"));
+    net::Reader r(got);
+    ASSERT_EQ(r.U8(), 0);
+    EXPECT_EQ(r.Blob(), value);
   }
 }
 

@@ -26,7 +26,7 @@ REPS="${REPS:-3}"
 
 BENCHES=(bench_fig5_keygen bench_fig6_encryption bench_fig7_updown
          bench_fig8_rekeying bench_fig9_storage bench_fig10_trace
-         bench_recovery)
+         bench_recovery bench_loadgen)
 
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT

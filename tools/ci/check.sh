@@ -2,7 +2,7 @@
 # Local CI gate: build + test matrix across sanitizer and static-analysis
 # modes, plus the Python lints. Run from anywhere inside the repo:
 #
-#   tools/ci/check.sh                  # full matrix: plain, asan+ubsan, tsan, tsa, taint, lock, failpath, deadlock, faults, durability, model, tidy
+#   tools/ci/check.sh                  # full matrix: plain, asan+ubsan, tsan, tsa, taint, lock, failpath, deadlock, faults, durability, model, loadgen, tidy
 #   tools/ci/check.sh plain            # one mode only
 #   tools/ci/check.sh asan tsa         # subset
 #   tools/ci/check.sh --keep-going     # run every mode even after a failure
@@ -52,6 +52,11 @@
 #             suite, seeded reed_model_check sweeps in both pipeline modes
 #             plus the concurrent explainability mode, and the WILL_FAIL
 #             injected-bug fixtures that prove the checker still bites.
+#   loadgen   async-front-end load smoke: bench_loadgen --smoke drives the
+#             thread-per-connection and epoll front ends plus the rekey
+#             storm through per-tenant admission; the binary's exit code
+#             carries the oracle verdicts (lost ops, package-digest drift,
+#             dedup-state consistency). Shares the plain build tree.
 #   cov       REED_COVERAGE=ON build + full ctest, then per-module line
 #             coverage via gcov JSON (tools/ci/coverage_report.py) gated on
 #             the floors in tools/ci/coverage_floors.json. Not in the
@@ -78,7 +83,7 @@ for arg in "$@"; do
   esac
 done
 if [[ ${#MODES[@]} -eq 0 ]]; then
-  MODES=(plain asan tsan tsa taint lock failpath deadlock faults durability model tidy)
+  MODES=(plain asan tsan tsa taint lock failpath deadlock faults durability model loadgen tidy)
 fi
 
 GENERATOR_ARGS=()
@@ -100,6 +105,7 @@ run_mode() {
   local build_only=0
   local tidy_after=0
   local cov_after=0
+  local loadgen_after=0
 
   case "${mode}" in
     plain)
@@ -206,6 +212,13 @@ run_mode() {
       build_dir="build-ci-plain"  # same tree as plain: no extra flags
       test_args=(-L "model|lint")
       ;;
+    loadgen)
+      # Shares the plain tree; the smoke run is the check (seconds of wall
+      # time), no ctest phase.
+      cmake_args=(-DREED_SANITIZE=none)
+      build_dir="build-ci-plain"
+      loadgen_after=1
+      ;;
     cov)
       cmake_args=(-DREED_SANITIZE=none -DREED_COVERAGE=ON)
       cov_after=1
@@ -222,7 +235,7 @@ run_mode() {
       build_only=1
       ;;
     *)
-      echo "unknown mode: ${mode} (expected plain|nodiscard|asan|tsan|tsa|taint|lock|failpath|deadlock|faults|durability|model|cov|tidy)" >&2
+      echo "unknown mode: ${mode} (expected plain|nodiscard|asan|tsan|tsa|taint|lock|failpath|deadlock|faults|durability|model|loadgen|cov|tidy)" >&2
       exit 2
       ;;
   esac
@@ -248,6 +261,13 @@ run_mode() {
           "${tidy_sources[@]}"
     fi
     echo "=== [${mode}] clang-tidy clean ==="
+    return 0
+  fi
+
+  if [[ ${loadgen_after} -eq 1 ]]; then
+    echo "=== [${mode}] bench_loadgen --smoke ==="
+    "${build_dir}/bench/bench_loadgen" --smoke
+    echo "=== [${mode}] load smoke clean ==="
     return 0
   fi
 

@@ -1,0 +1,70 @@
+// loadgen — drive a running reed_serverd with the massive-client workload
+// engine (bench/loadgen_util.h): zipfian file popularity, configurable
+// upload/download/rekey mix, paced or closed-loop, latency percentiles from
+// the same obs histograms the benches gate on.
+//
+//   loadgen --target host:port [--clients 64] [--ops 100] [--rate 0]
+//           [--files 32] [--chunks 4] [--chunk-bytes 4096]
+//           [--upload-pct 30] [--rekey-pct 10] [--tenants 0] [--seed 42]
+//           [--no-seed-corpus]
+//
+// --rate paces the aggregate fleet (ops/sec, open loop, latency measured
+// from the scheduled start); 0 runs closed-loop saturation. --tenants N
+// wraps requests in the tenant envelope (client c as tenant c%N) to
+// exercise the server's per-tenant admission control — run the server with
+// --tenant-rate to see throttling. --no-seed-corpus skips the setup upload
+// when the corpus is already in place (repeat runs against one daemon).
+#include <cstdio>
+
+#include "bench/loadgen_util.h"
+#include "tools/cli_util.h"
+
+using namespace reed;
+using namespace reed::bench;
+
+int main(int argc, char** argv) {
+  try {
+    cli::Args args(argc, argv);
+    auto [host, port] = cli::ParseHostPort(args.Require("target"));
+    if (host != "127.0.0.1" && host != "localhost") {
+      throw Error("loadgen: only loopback targets are supported");
+    }
+
+    LoadgenConfig cfg;
+    cfg.clients = args.GetInt("clients", 64);
+    cfg.ops_per_client = args.GetInt("ops", 100);
+    cfg.target_rate = static_cast<double>(args.GetInt("rate", 0));
+    cfg.files = args.GetInt("files", 32);
+    cfg.chunks_per_file = args.GetInt("chunks", 4);
+    cfg.chunk_bytes = args.GetInt("chunk-bytes", 4096);
+    cfg.upload_pct = static_cast<unsigned>(args.GetInt("upload-pct", 30));
+    cfg.rekey_pct = static_cast<unsigned>(args.GetInt("rekey-pct", 10));
+    cfg.tenants = static_cast<std::uint32_t>(args.GetInt("tenants", 0));
+    cfg.seed = args.GetInt("seed", 42);
+    if (cfg.upload_pct + cfg.rekey_pct > 100) {
+      throw Error("loadgen: --upload-pct + --rekey-pct must be <= 100");
+    }
+
+    if (!args.Has("no-seed-corpus")) {
+      std::printf("loadgen: seeding %zu files x %zu chunks...\n", cfg.files,
+                  cfg.chunks_per_file);
+      SeedLoadgenCorpus(port, cfg);
+    }
+    std::printf("loadgen: %zu clients x %zu ops against %s:%u%s\n",
+                cfg.clients, cfg.ops_per_client, host.c_str(), port,
+                cfg.target_rate > 0 ? " (paced)" : " (closed loop)");
+    LoadgenReport r = RunLoadgen(port, cfg);
+    std::printf(
+        "ops=%llu wall=%.2fs rate=%.0f ops/s\n"
+        "latency p50=%llu us  p99=%llu us  p999=%llu us\n"
+        "net_errors=%llu op_errors=%llu throttled=%llu\n",
+        (unsigned long long)r.ops, r.wall_seconds, r.ops_per_sec,
+        (unsigned long long)r.p50_us, (unsigned long long)r.p99_us,
+        (unsigned long long)r.p999_us, (unsigned long long)r.net_errors,
+        (unsigned long long)r.op_errors, (unsigned long long)r.throttled);
+    return r.net_errors == 0 && r.op_errors == 0 ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "loadgen: %s\n", e.what());
+    return 2;
+  }
+}
